@@ -1,0 +1,316 @@
+//! Class-based GPS (the paper's Section-7 proposal): GPS *between*
+//! traffic classes, FCFS (or anything work-conserving) *within* a class.
+//!
+//! The paper argues GPS's strict isolation wastes multiplexing gain
+//! between similar sessions, and proposes grouping sessions of similar
+//! `ρ_i/φ_i` into classes: the feasible-partition machinery then gives
+//! statistical bounds for each *class aggregate*, which serve as
+//! worst-case bounds for every member session (FCFS within the class
+//! means a session's traffic clears no later than the whole class backlog
+//! present at its arrival), while members still pool their burstiness.
+//!
+//! Implementation: each class is an [`AggregateArrival`]; classes form a
+//! GPS system whose feasible partition is computed from the aggregate
+//! ratios `ρ̃_c/φ̃_c`; Theorem-11-style combination over *class*
+//! aggregates yields backlog/delay bounds per class, exposed per member
+//! session.
+
+use crate::theta_opt::optimize_tail;
+use gps_ebb::{
+    chernoff_combine, AggregateArrival, EbbProcess, MgfArrival, TailBound, TimeModel, WeightedDelta,
+};
+
+/// A traffic class: member sessions plus the class GPS weight.
+#[derive(Debug, Clone)]
+pub struct TrafficClass {
+    /// E.B.B. characterizations of the member sessions.
+    pub members: Vec<EbbProcess>,
+    /// GPS weight `φ̃` of the whole class.
+    pub phi: f64,
+}
+
+impl TrafficClass {
+    /// Creates a class; panics on empty membership or non-positive weight.
+    pub fn new(members: Vec<EbbProcess>, phi: f64) -> Self {
+        assert!(!members.is_empty(), "class needs at least one member");
+        assert!(phi > 0.0, "class weight must be positive");
+        Self { members, phi }
+    }
+
+    /// Aggregate long-term rate `ρ̃`.
+    pub fn rho(&self) -> f64 {
+        self.members.iter().map(|m| m.rho).sum()
+    }
+}
+
+/// Class-based GPS analysis.
+#[derive(Debug, Clone)]
+pub struct ClassBasedGps {
+    classes: Vec<TrafficClass>,
+    rate: f64,
+    model: TimeModel,
+    /// Feasible-partition layer of each class (0-based).
+    layer_of: Vec<usize>,
+    /// Classes per layer.
+    layers: Vec<Vec<usize>>,
+}
+
+impl ClassBasedGps {
+    /// Sets up the analysis; returns `None` when `Σ ρ̃_c >= rate`.
+    pub fn new(classes: Vec<TrafficClass>, rate: f64, model: TimeModel) -> Option<Self> {
+        assert!(!classes.is_empty());
+        assert!(rate > 0.0);
+        let total: f64 = classes.iter().map(|c| c.rho()).sum();
+        if total >= rate {
+            return None;
+        }
+        // Feasible partition over the classes (same recursion as
+        // gps_core::FeasiblePartition, on aggregate quantities).
+        let n = classes.len();
+        let mut layer_of = vec![usize::MAX; n];
+        let mut layers: Vec<Vec<usize>> = Vec::new();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut used = 0.0;
+        while !remaining.is_empty() {
+            let phi_rem: f64 = remaining.iter().map(|&c| classes[c].phi).sum();
+            let threshold = (rate - used) / phi_rem;
+            let (this, rest): (Vec<usize>, Vec<usize>) = remaining
+                .iter()
+                .partition(|&&c| classes[c].rho() / classes[c].phi < threshold);
+            assert!(!this.is_empty(), "stability guarantees progress");
+            used += this.iter().map(|&c| classes[c].rho()).sum::<f64>();
+            for &c in &this {
+                layer_of[c] = layers.len();
+            }
+            layers.push(this);
+            remaining = rest;
+        }
+        Some(Self {
+            classes,
+            rate,
+            model,
+            layer_of,
+            layers,
+        })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The feasible-partition layer of class `c`.
+    pub fn layer_of(&self, c: usize) -> usize {
+        self.layer_of[c]
+    }
+
+    /// The guaranteed rate of class `c` relative to its layer (the
+    /// Theorem-11 `ĝ`): `ψ_c (rate - Σ_{lower layers} ρ̃)`.
+    pub fn class_rate(&self, c: usize) -> f64 {
+        let k = self.layer_of[c];
+        let lower_rho: f64 = self.layers[..k]
+            .iter()
+            .flatten()
+            .map(|&d| self.classes[d].rho())
+            .sum();
+        let not_lower_phi: f64 = self.layers[k..]
+            .iter()
+            .flatten()
+            .map(|&d| self.classes[d].phi)
+            .sum();
+        self.classes[c].phi / not_lower_phi * (self.rate - lower_rho)
+    }
+
+    /// The true GPS guaranteed rate of class `c`: `φ̃_c·rate/Σφ̃`.
+    pub fn true_class_rate(&self, c: usize) -> f64 {
+        let total_phi: f64 = self.classes.iter().map(|x| x.phi).sum();
+        self.classes[c].phi / total_phi * self.rate
+    }
+
+    fn terms_for(&self, c: usize) -> Vec<WeightedDelta> {
+        let k = self.layer_of[c];
+        let g_hat = self.class_rate(c);
+        let rho = self.classes[c].rho();
+        let share = (g_hat - rho) / (k + 1) as f64;
+        let not_lower_phi: f64 = self.layers[k..]
+            .iter()
+            .flatten()
+            .map(|&d| self.classes[d].phi)
+            .sum();
+        let psi = self.classes[c].phi / not_lower_phi;
+        let mut terms = vec![WeightedDelta::new(
+            AggregateArrival::new(self.classes[c].members.clone()),
+            rho + share,
+            1.0,
+        )];
+        for layer in &self.layers[..k] {
+            let members: Vec<EbbProcess> = layer
+                .iter()
+                .flat_map(|&d| self.classes[d].members.iter().copied())
+                .collect();
+            let agg = AggregateArrival::new(members);
+            let agg_rho = agg.rho();
+            terms.push(WeightedDelta::new(agg, agg_rho + share / psi, psi));
+        }
+        terms
+    }
+
+    /// Largest admissible `θ` for class `c`'s bound.
+    pub fn theta_sup(&self, c: usize) -> f64 {
+        gps_ebb::combine::chernoff_theta_sup(&self.terms_for(c))
+    }
+
+    /// Class-aggregate backlog bound at a fixed `θ` (independent
+    /// members/classes; the Hölder variant follows Theorem 12 and is
+    /// omitted here for brevity — members of one class are typically
+    /// engineered homogeneous and independent).
+    pub fn class_backlog_at(&self, c: usize, theta: f64) -> Option<TailBound> {
+        chernoff_combine(&self.terms_for(c), theta, self.model)
+    }
+
+    /// Tightest class backlog bound at threshold `q`.
+    pub fn best_class_backlog(&self, c: usize, q: f64) -> Option<TailBound> {
+        optimize_tail(self.theta_sup(c), q, |t| self.class_backlog_at(c, t))
+    }
+
+    /// Per-member-session delay bound: with FCFS inside the class, a
+    /// session's traffic clears no later than the class backlog present
+    /// at its arrival does, at the class's guaranteed rate — so the class
+    /// backlog bound divided by the true class rate bounds every member's
+    /// delay.
+    pub fn best_member_delay(&self, c: usize, d: f64) -> Option<TailBound> {
+        let g = self.true_class_rate(c);
+        optimize_tail(self.theta_sup(c), d * g, |t| {
+            self.class_backlog_at(c, t).map(|b| b.delay_from_backlog(g))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Section-7 sketch: three classes at ρ/φ ≈ 1, 4/3, 2.
+    fn three_classes() -> ClassBasedGps {
+        let voice = EbbProcess::new(0.02, 1.0, 8.0);
+        let video_hi = EbbProcess::new(0.08, 1.0, 2.5);
+        let video_lo = EbbProcess::new(0.10, 1.1, 1.5);
+        let classes = vec![
+            // class 1: peak-rate allocated (ρ/φ = 1)
+            TrafficClass::new(vec![voice; 10], 0.2),
+            // class 2: 75% allocation (ρ/φ = 4/3)
+            TrafficClass::new(vec![video_hi; 3], 0.18),
+            // class 3: 50% allocation (ρ/φ = 2)
+            TrafficClass::new(vec![video_lo; 3], 0.15),
+        ];
+        ClassBasedGps::new(classes, 1.0, TimeModel::Discrete).expect("stable")
+    }
+
+    #[test]
+    fn layers_follow_rho_over_phi() {
+        let g = three_classes();
+        // Class ratios: 0.2/0.2 = 1, 0.24/0.18 = 1.33, 0.30/0.15 = 2.
+        // Level-1 threshold: 1/(0.53) ≈ 1.89: classes 0,1 in layer 0;
+        // class 2 fails (2 >= 1.89). Level 2: (1-0.44)/0.15 = 3.7 > 2 ✓.
+        assert_eq!(g.layer_of(0), 0);
+        assert_eq!(g.layer_of(1), 0);
+        assert_eq!(g.layer_of(2), 1);
+    }
+
+    #[test]
+    fn bounds_finite_and_decaying() {
+        let g = three_classes();
+        for c in 0..3 {
+            let b = g.best_class_backlog(c, 30.0).expect("feasible");
+            assert!(b.prefactor.is_finite());
+            assert!(b.tail(30.0) < 1.0, "class {c}: {}", b.tail(30.0));
+            let d = g.best_member_delay(c, 200.0).expect("feasible");
+            assert!(d.tail(200.0) < 1e-2, "class {c}: {}", d.tail(200.0));
+        }
+    }
+
+    #[test]
+    fn layer0_class_bound_independent_of_higher_layers() {
+        let mut g = three_classes();
+        let before = g.best_class_backlog(0, 10.0).unwrap();
+        // Blow up the layer-1 class's burstiness.
+        g.classes[2] = TrafficClass::new(vec![EbbProcess::new(0.10, 40.0, 1.5); 3], 0.15);
+        let after = g.best_class_backlog(0, 10.0).unwrap();
+        assert!((before.prefactor - after.prefactor).abs() < 1e-12);
+        assert_eq!(before.decay, after.decay);
+    }
+
+    #[test]
+    fn aggregation_pools_burstiness() {
+        // A class of 10 pooled voice sessions vs 10 singleton classes
+        // with proportionally split weight: the pooled class's per-member
+        // delay bound at moderate thresholds beats the strict per-session
+        // GPS bound because members share the class's guaranteed rate.
+        let voice = EbbProcess::new(0.02, 1.0, 8.0);
+        let pooled = ClassBasedGps::new(
+            vec![
+                TrafficClass::new(vec![voice; 10], 0.2),
+                TrafficClass::new(vec![EbbProcess::new(0.3, 1.0, 1.0)], 0.3),
+            ],
+            1.0,
+            TimeModel::Discrete,
+        )
+        .unwrap();
+        let split = ClassBasedGps::new(
+            (0..10)
+                .map(|_| TrafficClass::new(vec![voice], 0.02))
+                .chain(std::iter::once(TrafficClass::new(
+                    vec![EbbProcess::new(0.3, 1.0, 1.0)],
+                    0.3,
+                )))
+                .collect(),
+            1.0,
+            TimeModel::Discrete,
+        )
+        .unwrap();
+        let d_pooled = pooled.best_member_delay(0, 30.0).unwrap().tail(30.0);
+        let d_split = split.best_member_delay(0, 30.0).unwrap().tail(30.0);
+        // Pooled shares a 0.2-rate guarantee among the backlog of all 10;
+        // split gives each a 0.02-rate guarantee: pooling wins at this
+        // horizon.
+        assert!(
+            d_pooled < d_split,
+            "pooled {d_pooled} should beat split {d_split}"
+        );
+    }
+
+    #[test]
+    fn unstable_rejected() {
+        let c = TrafficClass::new(vec![EbbProcess::new(0.6, 1.0, 1.0)], 1.0);
+        let d = TrafficClass::new(vec![EbbProcess::new(0.5, 1.0, 1.0)], 1.0);
+        assert!(ClassBasedGps::new(vec![c, d], 1.0, TimeModel::Discrete).is_none());
+    }
+
+    #[test]
+    fn single_class_degenerates_to_aggregate_queue() {
+        // One class owning the whole server: class rate = rate, bound =
+        // Lemma 6 of the aggregate at the full rate.
+        let members = vec![
+            EbbProcess::new(0.2, 1.0, 1.74),
+            EbbProcess::new(0.25, 0.92, 1.76),
+        ];
+        let g = ClassBasedGps::new(
+            vec![TrafficClass::new(members.clone(), 1.0)],
+            1.0,
+            TimeModel::Discrete,
+        )
+        .unwrap();
+        assert_eq!(g.class_rate(0), 1.0);
+        let th = 0.9;
+        let got = g.class_backlog_at(0, th).unwrap();
+        let manual = gps_ebb::delta_mgf_log(
+            &AggregateArrival::new(members),
+            // own dedicated rate = ρ + (g-ρ)/1 = full rate
+            1.0,
+            th,
+            TimeModel::Discrete,
+        )
+        .exp();
+        assert!((got.prefactor - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the theorem machinery: bound validity
+//! structure, monotonicity, and cross-theorem consistency over
+//! randomized stable scenarios.
+
+use gps_analysis::partition_bounds::theorem10;
+use gps_analysis::{RppsNetworkBounds, Theorem11, Theorem7, Theorem8};
+use gps_core::{GpsAssignment, NetworkTopology, SessionSpec};
+use gps_ebb::{EbbProcess, TimeModel};
+use proptest::prelude::*;
+
+/// Strategy: 2..6 stable sessions with positive weights.
+fn scenario() -> impl Strategy<Value = (Vec<EbbProcess>, Vec<f64>)> {
+    (2usize..6, 0.2f64..0.9, 0u64..1000).prop_map(|(n, load, seed)| {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        let mut rnd = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let raw: Vec<f64> = (0..n).map(|_| 0.2 + rnd()).collect();
+        let tot: f64 = raw.iter().sum();
+        let sessions: Vec<EbbProcess> = raw
+            .iter()
+            .map(|r| EbbProcess::new(r / tot * load, 0.3 + rnd() * 3.0, 0.3 + rnd() * 3.0))
+            .collect();
+        let phis: Vec<f64> = (0..n).map(|_| 0.2 + rnd() * 3.0).collect();
+        (sessions, phis)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn theorem7_bounds_well_formed((sessions, phis) in scenario(), f in 0.1f64..0.9) {
+        let assignment = GpsAssignment::unit_rate(phis);
+        let t7 = Theorem7::new(sessions.clone(), assignment, TimeModel::Discrete)
+            .expect("stable scenario");
+        for i in 0..sessions.len() {
+            let theta = t7.theta_sup(i) * f;
+            if let Some(b) = t7.bounds_at(i, theta) {
+                prop_assert!(b.backlog.prefactor.is_finite() && b.backlog.prefactor > 0.0);
+                prop_assert_eq!(b.backlog.decay, theta);
+                prop_assert!(b.delay.decay > 0.0 && b.delay.decay <= theta);
+                prop_assert_eq!(b.output.rho, sessions[i].rho);
+                // Tail values are probabilities.
+                for q in [0.0, 1.0, 10.0, 100.0] {
+                    let t = b.backlog.tail(q);
+                    prop_assert!((0.0..=1.0).contains(&t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_backlog_monotone_in_threshold((sessions, phis) in scenario()) {
+        let assignment = GpsAssignment::unit_rate(phis);
+        let t7 = Theorem7::new(sessions.clone(), assignment, TimeModel::Discrete)
+            .expect("stable");
+        let i = sessions.len() - 1;
+        let mut prev = f64::INFINITY;
+        for q in [1.0, 3.0, 10.0, 30.0] {
+            if let Some(b) = t7.best_backlog(i, q) {
+                let v = b.log_tail(q);
+                prop_assert!(v <= prev + 1e-9, "optimized log-tail must decrease");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn theorem8_domain_within_theorem7((sessions, phis) in scenario()) {
+        let assignment = GpsAssignment::unit_rate(phis);
+        let t7 = Theorem7::new(sessions.clone(), assignment.clone(), TimeModel::Discrete)
+            .expect("stable");
+        let t8 = Theorem8::new(sessions.clone(), assignment, TimeModel::Discrete)
+            .expect("stable");
+        for i in 0..sessions.len() {
+            prop_assert!(t8.theta_sup(i) <= t7.theta_sup(i) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn theorem11_h1_sessions_beat_or_match_late_ordering((sessions, phis) in scenario()) {
+        let assignment = GpsAssignment::unit_rate(phis);
+        let t11 = Theorem11::new(sessions.clone(), assignment.clone(), TimeModel::Discrete)
+            .expect("stable");
+        // For H1 sessions, the Theorem-11 route (single term at rate g_i)
+        // must produce a valid bound for θ right below α_i.
+        for i in 0..sessions.len() {
+            if t11.partition().class_of(i) == 0 {
+                let theta = sessions[i].alpha * 0.999;
+                let b = t11.bounds_at(i, theta);
+                prop_assert!(b.is_some(), "H1 session {i} must admit θ≈α");
+                // And it must agree in decay with Theorem 10's α.
+                let g = assignment.guaranteed_rate(i);
+                let (q10, _) = theorem10(sessions[i], g, TimeModel::Discrete);
+                prop_assert_eq!(q10.decay, sessions[i].alpha);
+            }
+        }
+    }
+
+    #[test]
+    fn rpps_network_bound_tightest_at_bottleneck((sessions, _phis) in scenario()) {
+        // Two topologies sharing the sessions: single hop vs two hops with
+        // an *uncontended* second node — bounds must coincide.
+        let n = sessions.len();
+        let rhos: Vec<f64> = sessions.iter().map(|s| s.rho).collect();
+        let single = NetworkTopology::new(
+            vec![1.0],
+            (0..n).map(|i| SessionSpec::with_uniform_phi(vec![0], rhos[i])).collect(),
+        );
+        let double = NetworkTopology::new(
+            vec![1.0, 1.0],
+            (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        SessionSpec::with_uniform_phi(vec![0, 1], rhos[i])
+                    } else {
+                        SessionSpec::with_uniform_phi(vec![0], rhos[i])
+                    }
+                })
+                .collect(),
+        );
+        let b1 = RppsNetworkBounds::new(&single, sessions.clone()).expect("stable");
+        let b2 = RppsNetworkBounds::new(&double, sessions.clone()).expect("stable");
+        prop_assert!((b1.g_net(0) - b2.g_net(0)).abs() < 1e-12);
+        let (q1, d1) = b1.paper_fig3_bounds(0);
+        let (q2, d2) = b2.paper_fig3_bounds(0);
+        prop_assert!((q1.prefactor - q2.prefactor).abs() < 1e-9);
+        prop_assert!((d1.decay - d2.decay).abs() < 1e-12);
+    }
+}

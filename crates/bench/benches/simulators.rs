@@ -1,0 +1,108 @@
+//! Performance benches for the simulation substrate: slotted fluid GPS
+//! throughput, network-of-GPS throughput, event-driven fluid GPS, and
+//! packetized PGPS scheduling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gps_core::NetworkTopology;
+use gps_sim::{FluidGps, Packet, PgpsServer, SlottedGps, SlottedGpsNetwork};
+use gps_sources::{OnOffSource, SlotSource};
+use gps_stats::rng::SeedSequence;
+
+fn bench_slotted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slotted_gps");
+    group.sample_size(20);
+    let slots = 10_000u64;
+    group.throughput(Throughput::Elements(slots));
+    group.bench_function("4sessions_10kslots", |b| {
+        let seeds = SeedSequence::new(1);
+        b.iter(|| {
+            let mut server = SlottedGps::new(vec![0.2, 0.25, 0.2, 0.25], 1.0);
+            let mut sources = OnOffSource::paper_table1();
+            let mut rngs: Vec<_> = (0..4).map(|i| seeds.rng("s", i)).collect();
+            let mut arr = [0.0; 4];
+            for _ in 0..slots {
+                for i in 0..4 {
+                    arr[i] = sources[i].next_slot(&mut rngs[i]);
+                }
+                black_box(server.step(&arr));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_gps");
+    group.sample_size(20);
+    let slots = 5_000u64;
+    group.throughput(Throughput::Elements(slots));
+    group.bench_function("fig2_5kslots", |b| {
+        let seeds = SeedSequence::new(2);
+        let topo = NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]);
+        b.iter(|| {
+            let mut net = SlottedGpsNetwork::new(topo.clone());
+            let mut sources = OnOffSource::paper_table1();
+            let mut rngs: Vec<_> = (0..4).map(|i| seeds.rng("s", i)).collect();
+            let mut arr = [0.0; 4];
+            for _ in 0..slots {
+                for i in 0..4 {
+                    arr[i] = sources[i].next_slot(&mut rngs[i]);
+                }
+                black_box(net.step(&arr));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_fluid_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_event");
+    group.sample_size(20);
+    let impulses = 2_000usize;
+    group.throughput(Throughput::Elements(impulses as u64));
+    group.bench_function("2k_impulses_3sessions", |b| {
+        b.iter(|| {
+            let mut g = FluidGps::new(vec![1.0, 2.0, 0.5], 1.0);
+            let mut t = 0.0;
+            for k in 0..impulses {
+                t += 0.31;
+                g.arrive(t, k % 3, 0.2 + 0.1 * (k % 4) as f64);
+            }
+            g.advance_to(t + 1e4);
+            black_box(g.take_completions())
+        })
+    });
+    group.finish();
+}
+
+fn bench_pgps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pgps");
+    group.sample_size(20);
+    let n = 5_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    // Pre-generate packets once.
+    let mut packets = Vec::with_capacity(n);
+    let mut t = 0.0;
+    for k in 0..n {
+        t += 0.29 + 0.1 * ((k * 17 % 13) as f64 / 13.0);
+        packets.push(Packet {
+            session: k % 4,
+            size: 0.1 + 0.8 * ((k * 7 % 11) as f64 / 11.0),
+            arrival: t,
+        });
+    }
+    group.bench_function("wfq_5k_packets_4sessions", |b| {
+        let server = PgpsServer::new(vec![1.0, 2.0, 0.5, 1.5], 1.0);
+        b.iter(|| black_box(server.run(&packets)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slotted,
+    bench_network,
+    bench_fluid_event,
+    bench_pgps
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Shared scenario builders for the benchmark suite.
+//!
+//! The benches regenerate each paper artifact (Tables 1–2, Figures 3–4)
+//! inside Criterion so both the *values* and the *cost* of reproduction
+//! are tracked, plus raw performance benches for the simulators and
+//! bound computations. This crate holds the builders so benches and
+//! their smoke tests agree on the scenarios.
+
+use gps_core::NetworkTopology;
+use gps_ebb::EbbProcess;
+use gps_sources::{Lnt94Characterization, OnOffSource, PrefactorKind};
+
+/// The paper's Set-1 characterizations.
+pub fn set1_sessions() -> Vec<EbbProcess> {
+    let rhos = [0.2, 0.25, 0.2, 0.25];
+    let sources = OnOffSource::paper_table1();
+    (0..4)
+        .map(|i| {
+            Lnt94Characterization::characterize(
+                sources[i].as_markov(),
+                rhos[i],
+                PrefactorKind::Lnt94,
+            )
+            .expect("valid rho")
+            .ebb
+        })
+        .collect()
+}
+
+/// The paper's Figure-2 topology under Set-1 RPPS weights.
+pub fn set1_topology() -> NetworkTopology {
+    NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25])
+}
+
+/// A synthetic N-session single-node scenario for scaling benches:
+/// heterogeneous on-off-like E.B.B. parameters at ~70% total load.
+pub fn synthetic_sessions(n: usize) -> (Vec<EbbProcess>, Vec<f64>) {
+    assert!(n >= 1);
+    let rho_each = 0.7 / n as f64;
+    let sessions: Vec<EbbProcess> = (0..n)
+        .map(|i| {
+            let jitter = 1.0 + 0.3 * ((i * 2654435761) % 97) as f64 / 97.0;
+            EbbProcess::new(rho_each, 0.8 + 0.4 * ((i % 5) as f64 / 5.0), 1.2 * jitter)
+        })
+        .collect();
+    let phis = vec![1.0; n];
+    (sessions, phis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_are_consistent() {
+        let s = set1_sessions();
+        assert_eq!(s.len(), 4);
+        assert!((s[0].alpha - 1.74).abs() < 0.01);
+        let t = set1_topology();
+        assert!(t.is_stable_for(&[0.2, 0.25, 0.2, 0.25]));
+        let (sess, phis) = synthetic_sessions(32);
+        assert_eq!(sess.len(), 32);
+        assert_eq!(phis.len(), 32);
+        assert!(sess.iter().map(|s| s.rho).sum::<f64>() < 1.0);
+    }
+}

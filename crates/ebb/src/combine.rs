@@ -1,0 +1,288 @@
+//! Combination kernels: turning several decomposed backlogs into one tail
+//! bound (the computational core of Theorems 7, 8, 11, 12).
+//!
+//! The paper bounds the real GPS backlog of session `i` by a weighted sum of
+//! decomposed backlogs (Lemma 3):
+//!
+//! ```text
+//! Q_i(t) <= δ_i(t) + ψ_i Σ_{j<i} δ_j(t)
+//! ```
+//!
+//! so a Chernoff bound needs `E exp(θ [Σ_j w_j δ_j])`:
+//!
+//! * **independent** arrivals (Theorem 7): the expectation factorizes,
+//!   `Pr{Σ w_j δ_j >= q} <= e^{-θq} Π_j E e^{θ w_j δ_j}`, each factor
+//!   bounded by Lemma 6 at `θ' = w_j θ`;
+//! * **dependent** arrivals (Theorem 8): Hölder's inequality with exponents
+//!   `Σ 1/p_j = 1` gives `E e^{θ Σ w_j δ_j} <= Π_j (E e^{p_j w_j θ
+//!   δ_j})^{1/p_j}`.
+//!
+//! [`holder_combine`] evaluates the exact Hölder product; the paper's
+//! printed prefactor (Eq. 36) additionally weakens each denominator
+//! `(1-e^{-p_j w_j θ ε_j})^{1/p_j}` to `(1-e^{-p_j w_j θ ε_j})` — valid,
+//! since those denominators lie in (0,1) — and [`holder_combine_paper_form`]
+//! reproduces that exact printed form for the reproduction experiments.
+
+use crate::mgf::{delta_mgf_log, AggregateArrival, MgfArrival};
+use crate::process::TailBound;
+use crate::TimeModel;
+
+/// Prefactors beyond `e^700` overflow `f64`; such bounds are vacuous at
+/// any threshold of interest, so the combination kernels report them as
+/// infeasible (`None`) rather than panicking.
+const MAX_LOG_PREFACTOR: f64 = 700.0;
+
+/// One term `w · δ` in the weighted-sum backlog bound: the arrival feeding
+/// the fictitious queue, its dedicated rate, and the weight it enters the
+/// sum with (`1` for the session itself, `ψ_i` for its predecessors).
+#[derive(Debug, Clone)]
+pub struct WeightedDelta {
+    /// Arrival process of this fictitious queue (a single session or an
+    /// aggregated partition class).
+    pub arrival: AggregateArrival,
+    /// Dedicated service rate `r = ρ + ε` of the fictitious queue.
+    pub rate: f64,
+    /// Weight of this δ in the sum.
+    pub weight: f64,
+}
+
+impl WeightedDelta {
+    /// Convenience constructor.
+    pub fn new(arrival: AggregateArrival, rate: f64, weight: f64) -> Self {
+        assert!(weight > 0.0, "weight must be positive, got {weight}");
+        assert!(
+            rate > arrival.rho(),
+            "rate {rate} must exceed aggregate rho {}",
+            arrival.rho()
+        );
+        Self {
+            arrival,
+            rate,
+            weight,
+        }
+    }
+
+    /// Largest `θ` (exclusive) for which `E e^{θ w δ}` is bounded via
+    /// Lemma 6, i.e. `w θ < α_sup`.
+    pub fn theta_sup(&self) -> f64 {
+        self.arrival.theta_sup() / self.weight
+    }
+}
+
+/// Largest admissible `θ` (exclusive) for a Chernoff combination.
+pub fn chernoff_theta_sup(terms: &[WeightedDelta]) -> f64 {
+    terms
+        .iter()
+        .map(WeightedDelta::theta_sup)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Chernoff combination for **independent** terms: returns the bound
+/// `Pr{Σ w_j δ_j >= x} <= Λ(θ) e^{-θ x}` at the given `θ`.
+///
+/// Returns `None` when `θ` is outside `(0, chernoff_theta_sup)` — callers
+/// optimizing over `θ` treat that as "infeasible" rather than a bug.
+pub fn chernoff_combine(
+    terms: &[WeightedDelta],
+    theta: f64,
+    model: TimeModel,
+) -> Option<TailBound> {
+    assert!(!terms.is_empty(), "need at least one term");
+    if theta <= 0.0 || theta >= chernoff_theta_sup(terms) {
+        return None;
+    }
+    let mut log_prefactor = 0.0;
+    for t in terms {
+        log_prefactor += delta_mgf_log(&t.arrival, t.rate, t.weight * theta, model);
+    }
+    if !log_prefactor.is_finite() || log_prefactor > MAX_LOG_PREFACTOR {
+        return None;
+    }
+    Some(TailBound::new(log_prefactor.exp(), theta))
+}
+
+/// Largest admissible `θ` (exclusive) for a Hölder combination with the
+/// given exponents: `min_j α_j / (p_j w_j)`.
+pub fn holder_theta_sup(terms: &[WeightedDelta], p: &[f64]) -> f64 {
+    terms
+        .iter()
+        .zip(p)
+        .map(|(t, &pj)| t.arrival.theta_sup() / (pj * t.weight))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn check_holder_exponents(terms: &[WeightedDelta], p: &[f64]) {
+    assert_eq!(terms.len(), p.len(), "one exponent per term");
+    assert!(p.iter().all(|&x| x > 1.0), "Hölder exponents must exceed 1");
+    let s: f64 = p.iter().map(|x| 1.0 / x).sum();
+    assert!(
+        (s - 1.0).abs() < 1e-9,
+        "Hölder exponents must satisfy Σ 1/p_j = 1, got {s}"
+    );
+}
+
+/// Hölder combination for **dependent** terms (exact form): the bound
+/// `Pr{Σ w_j δ_j >= x} <= Π_j (E e^{p_j w_j θ δ_j})^{1/p_j} · e^{-θ x}`.
+///
+/// `p` must satisfy `p_j > 1` and `Σ 1/p_j = 1`. Returns `None` when `θ` is
+/// infeasible. A single term degenerates to Chernoff (pass `p = [1+ε]`…
+/// don't: use [`chernoff_combine`] — one term needs no inequality).
+pub fn holder_combine(
+    terms: &[WeightedDelta],
+    p: &[f64],
+    theta: f64,
+    model: TimeModel,
+) -> Option<TailBound> {
+    check_holder_exponents(terms, p);
+    if theta <= 0.0 || theta >= holder_theta_sup(terms, p) {
+        return None;
+    }
+    let mut log_prefactor = 0.0;
+    for (t, &pj) in terms.iter().zip(p) {
+        log_prefactor += delta_mgf_log(&t.arrival, t.rate, pj * t.weight * theta, model) / pj;
+    }
+    if !log_prefactor.is_finite() || log_prefactor > MAX_LOG_PREFACTOR {
+        return None;
+    }
+    Some(TailBound::new(log_prefactor.exp(), theta))
+}
+
+/// Hölder combination in the **paper's printed form** (Eq. 36 / Eq. 59):
+/// identical numerator, but each denominator factor is *not* tempered by
+/// `1/p_j`. Always ≥ the exact form of [`holder_combine`]; kept so the
+/// reproduction binaries can print exactly what the paper evaluates.
+pub fn holder_combine_paper_form(
+    terms: &[WeightedDelta],
+    p: &[f64],
+    theta: f64,
+    model: TimeModel,
+) -> Option<TailBound> {
+    check_holder_exponents(terms, p);
+    if theta <= 0.0 || theta >= holder_theta_sup(terms, p) {
+        return None;
+    }
+    let mut log_prefactor = 0.0;
+    for (t, &pj) in terms.iter().zip(p) {
+        let th = pj * t.weight * theta;
+        // Numerator of Lemma 6 tempered by 1/p_j …
+        let overshoot = if model.pays_overshoot() {
+            t.arrival.rho() * model.xi()
+        } else {
+            0.0
+        };
+        log_prefactor += th * (t.arrival.sigma_hat(th) + overshoot) / pj;
+        // … but the full (untempered) denominator, as printed in Eq. 36.
+        log_prefactor -=
+            crate::numeric::ln_1m_exp_neg(th * (t.rate - t.arrival.rho()) * model.xi());
+    }
+    if !log_prefactor.is_finite() || log_prefactor > MAX_LOG_PREFACTOR {
+        return None;
+    }
+    Some(TailBound::new(log_prefactor.exp(), theta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::EbbProcess;
+
+    fn terms() -> Vec<WeightedDelta> {
+        let e1 = EbbProcess::new(0.2, 1.0, 1.74);
+        let e2 = EbbProcess::new(0.25, 0.92, 1.76);
+        vec![
+            WeightedDelta::new(AggregateArrival::single(e1), 0.3, 1.0),
+            WeightedDelta::new(AggregateArrival::single(e2), 0.35, 0.4),
+        ]
+    }
+
+    #[test]
+    fn theta_sup_respects_weights() {
+        let ts = terms();
+        assert!((ts[0].theta_sup() - 1.74).abs() < 1e-12);
+        assert!((ts[1].theta_sup() - 1.76 / 0.4).abs() < 1e-12);
+        assert!((chernoff_theta_sup(&ts) - 1.74).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chernoff_factorizes() {
+        let ts = terms();
+        let th = 0.8;
+        let b = chernoff_combine(&ts, th, TimeModel::Discrete).unwrap();
+        let l0 = delta_mgf_log(&ts[0].arrival, ts[0].rate, th, TimeModel::Discrete);
+        let l1 = delta_mgf_log(&ts[1].arrival, ts[1].rate, 0.4 * th, TimeModel::Discrete);
+        assert!((b.prefactor.ln() - (l0 + l1)).abs() < 1e-12);
+        assert_eq!(b.decay, th);
+    }
+
+    #[test]
+    fn chernoff_infeasible_theta_is_none() {
+        let ts = terms();
+        assert!(chernoff_combine(&ts, 0.0, TimeModel::Discrete).is_none());
+        assert!(chernoff_combine(&ts, 1.74, TimeModel::Discrete).is_none());
+        assert!(chernoff_combine(&ts, -1.0, TimeModel::Discrete).is_none());
+    }
+
+    #[test]
+    fn holder_exact_tighter_than_paper_form() {
+        let ts = terms();
+        let p = vec![2.0, 2.0];
+        let th = 0.4;
+        let exact = holder_combine(&ts, &p, th, TimeModel::Discrete).unwrap();
+        let paper = holder_combine_paper_form(&ts, &p, th, TimeModel::Discrete).unwrap();
+        assert!(
+            exact.prefactor <= paper.prefactor + 1e-12,
+            "exact {} should not exceed paper form {}",
+            exact.prefactor,
+            paper.prefactor
+        );
+    }
+
+    #[test]
+    fn holder_is_tempered_product() {
+        // Numerical identity: ln Λ = Σ (1/p_j)·lemma6_log(p_j w_j θ).
+        let ts = terms();
+        let p = vec![2.0, 2.0];
+        let th = 0.4;
+        let h = holder_combine(&ts, &p, th, TimeModel::Discrete).unwrap();
+        let want: f64 = ts
+            .iter()
+            .zip(&p)
+            .map(|(t, &pj)| {
+                delta_mgf_log(&t.arrival, t.rate, pj * t.weight * th, TimeModel::Discrete) / pj
+            })
+            .sum();
+        assert!((h.prefactor.ln() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holder_theta_domain_shrinks() {
+        let ts = terms();
+        let p = vec![2.0, 2.0];
+        assert!(holder_theta_sup(&ts, &p) < chernoff_theta_sup(&ts));
+        assert!((holder_theta_sup(&ts, &p) - 1.74 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Σ 1/p_j = 1")]
+    fn holder_validates_exponents() {
+        let ts = terms();
+        let _ = holder_combine(&ts, &[2.0, 3.0], 0.2, TimeModel::Discrete);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn weighted_delta_validates() {
+        let e = EbbProcess::new(0.2, 1.0, 1.0);
+        let _ = WeightedDelta::new(AggregateArrival::single(e), 0.3, 0.0);
+    }
+
+    #[test]
+    fn single_term_chernoff_matches_lemma6_directly() {
+        let e = EbbProcess::new(0.2, 1.0, 1.74);
+        let t = vec![WeightedDelta::new(AggregateArrival::single(e), 0.3, 1.0)];
+        let th = 1.0;
+        let b = chernoff_combine(&t, th, TimeModel::PAPER_DEFAULT).unwrap();
+        let manual = delta_mgf_log(&t[0].arrival, 0.3, th, TimeModel::PAPER_DEFAULT).exp();
+        assert!((b.prefactor - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Hölder-exponent allocation for Theorem 8 / Theorem 12.
+//!
+//! The Hölder combination admits any exponents `p_j > 1` with
+//! `Σ 1/p_j = 1`; the choice trades decay rate against prefactor. The paper
+//! notes (after Theorem 8) that the admissible decay ceiling
+//! `min_j α_j/p_j` is maximized by *equalizing* `α_j/p_j`, yielding
+//! `θ_sup = (Σ_j 1/α_j)^{-1}`. With per-term weights `w_j` (the `ψ_i`
+//! factors of Lemma 3) the same argument equalizes `α_j/(p_j w_j)` and
+//! gives `θ_sup = (Σ_j w_j/α_j)^{-1}`.
+
+/// A validated set of Hölder exponents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HolderExponents {
+    p: Vec<f64>,
+}
+
+impl HolderExponents {
+    /// Uniform exponents `p_j = n` (the paper's parenthetical example
+    /// "e.g. `p_j = i`").
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 2` — a single dependent term needs no Hölder step.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n >= 2, "need at least two terms, got {n}");
+        Self {
+            p: vec![n as f64; n],
+        }
+    }
+
+    /// Decay-maximizing exponents for terms with tail decays `alphas` and
+    /// weights `weights`: equalizes `α_j/(p_j w_j)`, i.e.
+    /// `1/p_j = (w_j/α_j) / Σ_k (w_k/α_k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, are shorter than 2, or contain
+    /// non-positive entries.
+    pub fn equalizing(alphas: &[f64], weights: &[f64]) -> Self {
+        assert_eq!(alphas.len(), weights.len());
+        assert!(alphas.len() >= 2, "need at least two terms");
+        assert!(alphas.iter().all(|&a| a > 0.0) && weights.iter().all(|&w| w > 0.0));
+        let total: f64 = alphas.iter().zip(weights).map(|(&a, &w)| w / a).sum();
+        let p: Vec<f64> = alphas
+            .iter()
+            .zip(weights)
+            .map(|(&a, &w)| total / (w / a))
+            .collect();
+        Self { p }
+    }
+
+    /// The exponents.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// The resulting decay ceiling `min_j α_j/(p_j w_j)`.
+    pub fn theta_sup(&self, alphas: &[f64], weights: &[f64]) -> f64 {
+        self.p
+            .iter()
+            .zip(alphas.iter().zip(weights))
+            .map(|(&p, (&a, &w))| a / (p * w))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let h = HolderExponents::uniform(4);
+        let s: f64 = h.as_slice().iter().map(|p| 1.0 / p).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equalizing_sums_to_one() {
+        let h = HolderExponents::equalizing(&[1.74, 1.76, 2.13], &[1.0, 0.3, 0.3]);
+        let s: f64 = h.as_slice().iter().map(|p| 1.0 / p).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(h.as_slice().iter().all(|&p| p > 1.0));
+    }
+
+    #[test]
+    fn equalizing_achieves_harmonic_ceiling() {
+        // Unweighted case: θ_sup = (Σ 1/α_j)^{-1}, the paper's value.
+        let alphas = [1.74, 1.76, 2.13];
+        let weights = [1.0, 1.0, 1.0];
+        let h = HolderExponents::equalizing(&alphas, &weights);
+        let want = 1.0 / alphas.iter().map(|a| 1.0 / a).sum::<f64>();
+        assert!((h.theta_sup(&alphas, &weights) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equalizing_beats_uniform() {
+        let alphas = [0.5, 3.0];
+        let weights = [1.0, 1.0];
+        let eq = HolderExponents::equalizing(&alphas, &weights);
+        let un = HolderExponents::uniform(2);
+        assert!(eq.theta_sup(&alphas, &weights) >= un.theta_sup(&alphas, &weights));
+    }
+
+    #[test]
+    fn weights_shift_allocation() {
+        // A heavily weighted term needs a smaller p (more of the budget).
+        let alphas = [1.0, 1.0];
+        let h = HolderExponents::equalizing(&alphas, &[1.0, 0.1]);
+        assert!(h.as_slice()[0] < h.as_slice()[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two terms")]
+    fn rejects_single_term() {
+        let _ = HolderExponents::uniform(1);
+    }
+}

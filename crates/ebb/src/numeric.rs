@@ -1,0 +1,165 @@
+//! Small numerical utilities shared across the workspace: bracketed root
+//! finding, golden-section minimization, and overflow-safe log-space
+//! helpers.
+//!
+//! Bound optimization in this workspace is one-dimensional and smooth
+//! (prefactors are log-convex in `θ` on their domain), so robust bracketed
+//! methods beat anything fancier.
+
+/// Relative tolerance used by default in the solvers.
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// Finds a root of `f` on `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (a sign change is the
+/// caller's guarantee that a root is bracketed). Returns `None` if the
+/// bracket is invalid or either endpoint evaluates non-finite.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(lo < hi)` also rejects NaN
+pub fn bisect(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> Option<f64> {
+    if !(lo < hi) {
+        return None;
+    }
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if !flo.is_finite() || !fhi.is_finite() {
+        return None;
+    }
+    if flo == 0.0 {
+        return Some(lo);
+    }
+    if fhi == 0.0 {
+        return Some(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return None;
+    }
+    // 200 iterations halve the bracket far below f64 resolution for any
+    // sane input; the tolerance check exits earlier in practice.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if !fm.is_finite() {
+            return None;
+        }
+        if fm == 0.0 || (hi - lo) <= tol * (1.0 + mid.abs()) {
+            return Some(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Minimizes a unimodal `f` on `[lo, hi]` by golden-section search and
+/// returns `(argmin, min)`.
+///
+/// For non-unimodal `f` this still converges to *a* local minimum inside the
+/// bracket, which is acceptable for the bound-tightening uses here (the
+/// objectives are convex in log space on the feasible interval).
+pub fn golden_min(lo: f64, hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> (f64, f64) {
+    assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
+    const INVPHI: f64 = 0.618_033_988_749_894_8; // 1/φ
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - (b - a) * INVPHI;
+    let mut d = a + (b - a) * INVPHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..300 {
+        if (b - a).abs() <= tol * (1.0 + a.abs() + b.abs()) {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INVPHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INVPHI;
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+/// `ln(1 - e^{-y})` for `y > 0`, computed without catastrophic cancellation.
+///
+/// For small `y`, `1 - e^{-y} ≈ y`, and `ln_1m_exp` uses `ln(-expm1(-y))`
+/// which is exact in that regime.
+pub fn ln_1m_exp_neg(y: f64) -> f64 {
+    debug_assert!(y > 0.0, "ln(1-e^-y) needs y>0, got {y}");
+    if y > 0.693 {
+        // e^{-y} < 1/2: direct form is stable.
+        (1.0 - (-y).exp()).ln()
+    } else {
+        (-(-y).exp_m1()).ln()
+    }
+}
+
+/// `ln(1 + x)` convenience wrapper (`x > -1`).
+pub fn ln_1p(x: f64) -> f64 {
+    x.ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(0.0, 2.0, 1e-14, |x| x * x - 2.0).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(0.0, 1.0, 1e-12, |x| x), Some(0.0));
+        assert_eq!(bisect(-1.0, 0.0, 1e-12, |x| x), Some(0.0));
+    }
+
+    #[test]
+    fn bisect_rejects_bad_brackets() {
+        assert!(bisect(1.0, 0.0, 1e-12, |x| x).is_none()); // reversed
+        assert!(bisect(1.0, 2.0, 1e-12, |x| x).is_none()); // no sign change
+        assert!(bisect(0.0, 1.0, 1e-12, |_| f64::NAN).is_none());
+    }
+
+    #[test]
+    fn golden_min_quadratic() {
+        let (x, fx) = golden_min(-10.0, 10.0, 1e-12, |x| (x - 3.0).powi(2) + 1.0);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((fx - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_min_boundary() {
+        // Monotone decreasing on the bracket: minimum at the right edge.
+        let (x, _) = golden_min(0.0, 1.0, 1e-12, |x| -x);
+        assert!((x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ln_1m_exp_matches_naive_for_moderate_y() {
+        for y in [0.8, 1.0, 2.0, 10.0] {
+            let naive = (1.0 - (-y as f64).exp()).ln();
+            assert!((ln_1m_exp_neg(y) - naive).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_1m_exp_stable_for_tiny_y() {
+        let y = 1e-12;
+        // 1 - e^{-y} ≈ y, so ln ≈ ln y ≈ -27.63.
+        let v = ln_1m_exp_neg(y);
+        assert!((v - y.ln()).abs() < 1e-6, "got {v}, want ~{}", y.ln());
+    }
+}

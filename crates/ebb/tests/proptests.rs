@@ -1,0 +1,161 @@
+//! Property-based tests for the E.B.B. bound machinery.
+//!
+//! These check structural invariants of the bounds over randomized
+//! parameters: domains, monotonicity, clamping, and consistency between the
+//! tail- and MGF-space formulations.
+
+use gps_ebb::{
+    chernoff_combine, delta_mgf_log, sigma_hat, AggregateArrival, DeltaTailBound, EbbProcess,
+    HolderExponents, MgfArrival, TailBound, TimeModel, WeightedDelta,
+};
+use proptest::prelude::*;
+
+/// Strategy: a plausible E.B.B. process (rates in (0,1), Λ in (0.1, 20),
+/// α in (0.05, 5)).
+fn ebb() -> impl Strategy<Value = EbbProcess> {
+    (0.01f64..0.9, 0.1f64..20.0, 0.05f64..5.0)
+        .prop_map(|(rho, lambda, alpha)| EbbProcess::new(rho, lambda, alpha))
+}
+
+/// Strategy: spare-capacity fraction in (5%, 300%) of rho.
+fn spare() -> impl Strategy<Value = f64> {
+    0.05f64..3.0
+}
+
+proptest! {
+    #[test]
+    fn tail_bound_is_probability_and_monotone(
+        lambda in 0.01f64..50.0,
+        theta in 0.01f64..10.0,
+        x1 in 0.0f64..100.0,
+        dx in 0.0f64..100.0,
+    ) {
+        let b = TailBound::new(lambda, theta);
+        let t1 = b.tail(x1);
+        let t2 = b.tail(x1 + dx);
+        prop_assert!((0.0..=1.0).contains(&t1));
+        prop_assert!(t2 <= t1 + 1e-15);
+    }
+
+    #[test]
+    fn quantile_tail_roundtrip(
+        lambda in 0.5f64..50.0,
+        theta in 0.01f64..10.0,
+        p in 1e-12f64..0.5,
+    ) {
+        let b = TailBound::new(lambda, theta);
+        let x = b.quantile(p);
+        // At the bound-implied quantile, the unclamped bound equals p
+        // (up to float error), unless clamped at x=0.
+        if x > 0.0 {
+            let v = lambda * (-theta * x).exp();
+            prop_assert!((v - p).abs() <= 1e-9 * p.max(1e-12));
+        } else {
+            prop_assert!(lambda <= p + 1e-12 || b.tail(0.0) == 1.0);
+        }
+    }
+
+    #[test]
+    fn sigma_hat_positive_and_monotone_in_lambda(
+        alpha in 0.1f64..5.0,
+        frac in 0.01f64..0.99,
+        l1 in 0.1f64..10.0,
+        dl in 0.0f64..10.0,
+    ) {
+        let theta = alpha * frac;
+        let s1 = sigma_hat(l1, alpha, theta);
+        let s2 = sigma_hat(l1 + dl, alpha, theta);
+        prop_assert!(s1 > 0.0);
+        prop_assert!(s2 >= s1 - 1e-12);
+    }
+
+    #[test]
+    fn lemma5_bounds_well_formed(e in ebb(), s in spare()) {
+        let rate = e.rho * (1.0 + s) + 1e-6;
+        let d = DeltaTailBound::new(e, rate);
+        let disc = d.discrete();
+        let cont = d.continuous_optimal();
+        // Same decay rate α in both variants; prefactors can never fall
+        // below Λ (the geometric series has at least its first term and the
+        // overshoot factor is >= 1).
+        prop_assert_eq!(disc.decay, cont.decay);
+        prop_assert!(disc.prefactor >= e.lambda - 1e-12);
+        prop_assert!(cont.prefactor >= e.lambda - 1e-12);
+        // At the same discretization ξ = 1 (when admissible), the
+        // continuous bound pays the e^{αρ} overshoot and is weaker.
+        if d.xi_max() >= 1.0 {
+            prop_assert!(d.continuous_with_xi(1.0).prefactor >= disc.prefactor - 1e-12);
+        }
+    }
+
+    #[test]
+    fn lemma5_prefactor_decreasing_in_capacity(e in ebb(), s in spare()) {
+        let r1 = e.rho * (1.0 + s) + 1e-6;
+        let r2 = r1 * 1.5;
+        let p1 = DeltaTailBound::new(e, r1).discrete().prefactor;
+        let p2 = DeltaTailBound::new(e, r2).discrete().prefactor;
+        prop_assert!(p2 <= p1 + 1e-12);
+    }
+
+    #[test]
+    fn delta_mgf_log_nonnegative_and_finite(e in ebb(), s in spare(), f1 in 0.05f64..0.9) {
+        // The Lemma 6 bound is NOT monotone in θ (it diverges like
+        // -ln(θε) as θ -> 0 and like -ln(α-θ) as θ -> α), but it is always
+        // a bound on E e^{θδ} >= 1, so its log must be nonnegative; and it
+        // must be finite strictly inside the domain.
+        let rate = e.rho * (1.0 + s) + 1e-6;
+        let theta = e.alpha * f1;
+        let m = delta_mgf_log(&e, rate, theta, TimeModel::Discrete);
+        prop_assert!(m.is_finite());
+        prop_assert!(m >= -1e-12);
+        let mc = delta_mgf_log(&e, rate, theta, TimeModel::PAPER_DEFAULT);
+        prop_assert!(mc >= m - 1e-12, "continuous pays the overshoot at xi=1");
+    }
+
+    #[test]
+    fn chernoff_combine_prefactor_at_least_one_factor(
+        e1 in ebb(), e2 in ebb(), s in spare(), f in 0.05f64..0.9,
+    ) {
+        let r1 = e1.rho * (1.0 + s) + 1e-6;
+        let r2 = e2.rho * (1.0 + s) + 1e-6;
+        let terms = vec![
+            WeightedDelta::new(AggregateArrival::single(e1), r1, 1.0),
+            WeightedDelta::new(AggregateArrival::single(e2), r2, 0.5),
+        ];
+        let theta = f * e1.alpha.min(e2.alpha / 0.5);
+        if let Some(b) = chernoff_combine(&terms, theta, TimeModel::Discrete) {
+            // Each Lemma 6 factor is >= 1 (δ >= 0 so E e^{θδ} >= 1), hence
+            // the combined prefactor is >= each single factor.
+            let single = delta_mgf_log(&terms[0].arrival, r1, theta, TimeModel::Discrete).exp();
+            prop_assert!(b.prefactor >= single - 1e-9);
+        }
+    }
+
+    #[test]
+    fn holder_exponents_valid(n in 2usize..8, seed in 0u64..1000) {
+        // Deterministic pseudo-random alphas/weights from the seed.
+        let alphas: Vec<f64> = (0..n)
+            .map(|i| 0.1 + ((seed.wrapping_mul(31).wrapping_add(i as u64 * 17)) % 100) as f64 / 25.0)
+            .collect();
+        let weights: Vec<f64> = (0..n)
+            .map(|i| 0.1 + ((seed.wrapping_mul(7).wrapping_add(i as u64 * 13)) % 50) as f64 / 60.0)
+            .collect();
+        let h = HolderExponents::equalizing(&alphas, &weights);
+        let s: f64 = h.as_slice().iter().map(|p| 1.0 / p).sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(h.as_slice().iter().all(|&p| p > 1.0));
+        // Equalizing achieves the theoretical ceiling (Σ w/α)^{-1}.
+        let want = 1.0 / alphas.iter().zip(&weights).map(|(&a, &w)| w / a).sum::<f64>();
+        prop_assert!((h.theta_sup(&alphas, &weights) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_ebb_view_consistent(e1 in ebb(), e2 in ebb(), f in 0.05f64..0.95) {
+        let agg = AggregateArrival::new(vec![e1, e2]);
+        let theta = f * agg.theta_sup();
+        let view = agg.as_ebb_at(theta);
+        prop_assert!((view.rho - (e1.rho + e2.rho)).abs() < 1e-12);
+        prop_assert!(view.lambda >= 1.0); // e^{θσ̃} with σ̃ > 0
+        prop_assert_eq!(view.alpha, theta);
+    }
+}

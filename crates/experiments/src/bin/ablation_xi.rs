@@ -1,0 +1,73 @@
+//! **A3 — the discretization parameter ξ**: the continuous-time Lemma-5
+//! prefactor `Λe^{αρξ}/(1-e^{-αεξ})` depends on ξ; the paper uses ξ = 1
+//! "for simplicity" and gives the optimum in Remark 1. This ablation
+//! sweeps ξ for each Set-1 session at its RPPS guaranteed rate and
+//! reports the prefactor at ξ = 1 (clamped to the validity ceiling), at
+//! the Remark-1 optimum, and the discrete-time form, plus the resulting
+//! bound ratio.
+
+use gps_ebb::DeltaTailBound;
+use gps_experiments::csv::CsvWriter;
+use gps_experiments::paper::{characterize, ParamSet};
+
+fn main() {
+    let sessions = characterize(ParamSet::Set1);
+    let rhos = ParamSet::Set1.rhos();
+    let total: f64 = rhos.iter().sum();
+    let mut csv = CsvWriter::create(
+        "ablation_xi",
+        &[
+            "session",
+            "xi_max",
+            "xi_opt",
+            "prefactor_xi1",
+            "prefactor_opt",
+            "prefactor_discrete",
+        ],
+    )
+    .expect("csv");
+
+    println!("A3: ξ sweep (continuous Lemma 5), Set 1 at RPPS rates");
+    println!(
+        "{:<8} {:>8} {:>8} {:>12} {:>12} {:>12} {:>8}",
+        "session", "ξ_max", "ξ*", "Λ(ξ=1)", "Λ(ξ*)", "Λ(discrete)", "gain"
+    );
+    for i in 0..4 {
+        let g = rhos[i] / total;
+        let d = DeltaTailBound::new(sessions[i], g);
+        let xi_max = d.xi_max();
+        let xi_opt = d.optimal_xi();
+        let at_one = d.continuous_with_xi(1.0_f64.min(xi_max)).prefactor;
+        let at_opt = d.continuous_optimal().prefactor;
+        let disc = d.discrete().prefactor;
+        println!(
+            "{:<8} {:>8.3} {:>8.3} {:>12.4} {:>12.4} {:>12.4} {:>8.3}",
+            i + 1,
+            xi_max,
+            xi_opt,
+            at_one,
+            at_opt,
+            disc,
+            at_one / at_opt
+        );
+        csv.row(&[(i + 1) as f64, xi_max, xi_opt, at_one, at_opt, disc])
+            .expect("row");
+
+        // Fine sweep for the CSV consumers.
+        let mut sweep = CsvWriter::create(
+            &format!("ablation_xi_sweep_s{}", i + 1),
+            &["xi", "prefactor"],
+        )
+        .expect("csv");
+        let steps = 200;
+        for k in 1..=steps {
+            let xi = xi_max * k as f64 / steps as f64;
+            sweep
+                .row(&[xi, d.continuous_with_xi(xi).prefactor])
+                .expect("row");
+        }
+        sweep.finish().expect("finish");
+    }
+    let path = csv.finish().expect("finish");
+    println!("written: {}", path.display());
+}

@@ -1,0 +1,70 @@
+//! Reproduces **Figure 3(a)/(b)**: bounds on the end-to-end delay
+//! distributions (log scale) for the four sessions of the Figure-2 RPPS
+//! network, under parameter Sets 1 and 2 (paper Eqs. 66–67 via
+//! Theorem 15: `Pr{D_i >= d} <= [Λ_i/(1-e^{-α_i(g_i-ρ_i)})]·e^{-α_i g_i d}`).
+
+use gps_analysis::RppsNetworkBounds;
+use gps_experiments::csv::CsvWriter;
+use gps_experiments::paper::{characterize, figure2_network, ParamSet};
+use gps_experiments::plot::{ascii_log_plot, Curve};
+
+fn main() {
+    let mut csv = CsvWriter::create("fig3", &["set", "session", "d", "delay_bound"]).expect("csv");
+
+    for (set_idx, set) in [ParamSet::Set1, ParamSet::Set2].into_iter().enumerate() {
+        let sessions = characterize(set).to_vec();
+        let net = figure2_network(set);
+        let bounds = RppsNetworkBounds::new(&net, sessions).expect("stable");
+        // Plot range chosen to span ~1e0 .. 1e-12 like the paper's figures.
+        let d_max = match set {
+            ParamSet::Set1 => 80.0,
+            ParamSet::Set2 => 220.0,
+        };
+        let mut curves = Vec::new();
+        println!(
+            "Figure 3({}) — {}: end-to-end delay bounds",
+            ["a", "b"][set_idx],
+            set.label()
+        );
+        println!(
+            "{:<8} {:>10} {:>12} {:>14}",
+            "session", "g_net", "prefactor", "decay (α·g)"
+        );
+        for i in 0..4 {
+            let (_, delay) = bounds.paper_fig3_bounds(i);
+            println!(
+                "{:<8} {:>10.4} {:>12.4} {:>14.5}",
+                i + 1,
+                bounds.g_net(i),
+                delay.prefactor,
+                delay.decay
+            );
+            let mut points = Vec::new();
+            let steps = 120;
+            for k in 0..=steps {
+                let d = d_max * k as f64 / steps as f64;
+                let p = delay.tail(d);
+                points.push((d, p));
+                csv.row(&[(set_idx + 1) as f64, (i + 1) as f64, d, p])
+                    .expect("row");
+            }
+            curves.push(Curve {
+                label: format!("{}", i + 1),
+                points,
+            });
+        }
+        println!();
+        println!(
+            "{}",
+            ascii_log_plot(
+                &format!("Pr{{D^net >= d}} bounds, {} (x = delay d)", set.label()),
+                &curves,
+                96,
+                24,
+                1e-12
+            )
+        );
+    }
+    let path = csv.finish().expect("finish");
+    println!("written: {}", path.display());
+}

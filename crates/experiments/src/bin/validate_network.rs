@@ -1,0 +1,167 @@
+//! **V1 — network validation**: simulate the paper's Figure-2 RPPS
+//! network with the Table-1 sources and compare empirical per-session
+//! *network backlog* and *end-to-end clearing delay* CCDFs against the
+//! Theorem-15 bounds (Fig. 3 forms) and the improved LNT94 bounds
+//! (Fig. 4 forms) — the validation study the paper lists as future work.
+//!
+//! Replications run in parallel (crossbeam scoped threads), each with an
+//! independent derived seed; CCDFs are merged.
+//!
+//! Note on discretization: the slotted network forwards across a hop at
+//! slot boundaries, adding up to `K_i - 1 = 1` slot of pipeline latency
+//! versus the continuous fluid model; the comparison therefore allows
+//! the empirical delay to be shifted left by one slot.
+
+use gps_analysis::RppsNetworkBounds;
+use gps_experiments::csv::CsvWriter;
+use gps_experiments::paper::{characterize, figure2_network, table1_sources, ParamSet};
+use gps_experiments::plot::{ascii_log_plot, Curve};
+use gps_sim::runner::{run_network, NetworkRunConfig};
+use gps_sources::lnt94::queue_tail_bound;
+use gps_sources::SlotSource;
+use gps_stats::BinnedCcdf;
+
+fn main() {
+    let set = ParamSet::Set1;
+    let sessions = characterize(set).to_vec();
+    let net = figure2_network(set);
+    let bounds = RppsNetworkBounds::new(&net, sessions).expect("stable");
+    let markov = table1_sources();
+
+    let backlog_grid: Vec<f64> = (0..60).map(|i| i as f64 * 0.25).collect();
+    let delay_grid: Vec<f64> = (0..100).map(|i| i as f64).collect();
+
+    let replications = 8u64;
+    let slots_each = 1_000_000u64;
+    eprintln!("simulating {replications} x {slots_each} slots …");
+
+    // One merged CCDF pair per session.
+    let merged: Vec<(BinnedCcdf, BinnedCcdf)> = {
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..replications)
+                .map(|r| {
+                    let topo = net.clone();
+                    let bg = backlog_grid.clone();
+                    let dg = delay_grid.clone();
+                    scope.spawn(move |_| {
+                        let cfg = NetworkRunConfig {
+                            topology: topo,
+                            warmup: 50_000,
+                            measure: slots_each,
+                            seed: 0xF162 + r,
+                            backlog_grid: bg,
+                            delay_grid: dg,
+                        };
+                        let mut sources: Vec<Box<dyn SlotSource>> = table1_sources()
+                            .into_iter()
+                            .map(|s| Box::new(s) as Box<dyn SlotSource>)
+                            .collect();
+                        run_network(&mut sources, &cfg)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replication"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+
+        (0..4)
+            .map(|i| {
+                let mut q = BinnedCcdf::new(backlog_grid.clone());
+                let mut d = BinnedCcdf::new(delay_grid.clone());
+                for rep in &results {
+                    q.merge(&rep.backlog[i]);
+                    d.merge(&rep.delay[i]);
+                }
+                (q, d)
+            })
+            .collect()
+    };
+
+    let mut csv = CsvWriter::create(
+        "validate_network",
+        &[
+            "session",
+            "kind",
+            "x",
+            "empirical",
+            "thm15_bound",
+            "improved_bound",
+        ],
+    )
+    .expect("csv");
+
+    let total = replications * slots_each;
+    for i in 0..4 {
+        let (q15, d15) = bounds.paper_fig3_bounds(i);
+        let g = bounds.g_net(i);
+        let improved_q = queue_tail_bound(markov[i].as_markov(), g).expect("stable");
+        let improved_d = improved_q.delay_from_backlog(g);
+        let (ref q_emp, ref d_emp) = merged[i];
+
+        let mut viol_q = 0usize;
+        for (x, p) in q_emp.series() {
+            if p > q15.tail(x) + 3.0 * se(p, total) {
+                viol_q += 1;
+            }
+            csv.row(&[(i + 1) as f64, 0.0, x, p, q15.tail(x), improved_q.tail(x)])
+                .expect("row");
+        }
+        // Delay: shift the empirical one slot left to remove the
+        // store-and-forward pipeline slot before comparing.
+        let mut viol_d = 0usize;
+        let mut curves = vec![
+            Curve {
+                label: format!("e{}", i + 1),
+                points: vec![],
+            },
+            Curve {
+                label: "T (Thm 15)".into(),
+                points: vec![],
+            },
+            Curve {
+                label: "I (improved)".into(),
+                points: vec![],
+            },
+        ];
+        for (x, p) in d_emp.series() {
+            let x_adj = (x - 1.0).max(0.0);
+            let b = d15.tail(x_adj);
+            let imp = improved_d.tail(x_adj);
+            if p > b + 3.0 * se(p, total) {
+                viol_d += 1;
+            }
+            curves[0].points.push((x, p));
+            curves[1].points.push((x, b));
+            curves[2].points.push((x, imp));
+            csv.row(&[(i + 1) as f64, 1.0, x, p, b, imp]).expect("row");
+        }
+        println!(
+            "session {}: g_net {:.4}; violations: backlog {}, delay {} (expect 0, 0)",
+            i + 1,
+            g,
+            viol_q,
+            viol_d
+        );
+        if i == 0 {
+            println!(
+                "{}",
+                ascii_log_plot(
+                    "session 1 e2e delay: e=empirical, T=Thm 15 bound, I=improved",
+                    &curves,
+                    90,
+                    20,
+                    1e-8
+                )
+            );
+        }
+    }
+    let path = csv.finish().expect("finish");
+    println!("written: {}", path.display());
+}
+
+fn se(p: f64, n: u64) -> f64 {
+    (p * (1.0 - p) / n as f64).sqrt()
+}

@@ -1,0 +1,137 @@
+//! **V2 — single-node validation**: simulate the four Table-1 sources
+//! sharing one slotted RPPS GPS server and compare the empirical backlog
+//! and clearing-delay CCDFs against the analytical bounds (Theorem 10 /
+//! Eqs. 66–67 with Set-1 characterizations, and the LNT94-direct
+//! improved bound).
+//!
+//! Expected outcome (recorded in EXPERIMENTS.md): the bounds dominate
+//! the empirical tails everywhere; the E.B.B. bound is conservative by
+//! orders of magnitude in prefactor; the improved bound tracks the
+//! empirical decay rate closely.
+
+use gps_analysis::partition_bounds::theorem10;
+use gps_core::GpsAssignment;
+use gps_ebb::TimeModel;
+use gps_experiments::csv::CsvWriter;
+use gps_experiments::paper::{characterize, table1_sources, ParamSet};
+use gps_experiments::plot::{ascii_log_plot, Curve};
+use gps_sim::runner::{run_single_node, SingleNodeRunConfig};
+use gps_sources::lnt94::queue_tail_bound;
+use gps_sources::SlotSource;
+use gps_stats::ExponentialTailFit;
+
+fn main() {
+    let set = ParamSet::Set1;
+    let sessions = characterize(set);
+    let rhos = set.rhos();
+    let assignment = GpsAssignment::rpps(&rhos, 1.0);
+
+    let backlog_grid: Vec<f64> = (0..60).map(|i| i as f64 * 0.25).collect();
+    let delay_grid: Vec<f64> = (0..80).map(|i| i as f64).collect();
+    let cfg = SingleNodeRunConfig {
+        phis: rhos.to_vec(),
+        capacity: 1.0,
+        warmup: 50_000,
+        measure: 4_000_000,
+        seed: 20260704,
+        backlog_grid: backlog_grid.clone(),
+        delay_grid: delay_grid.clone(),
+    };
+    let mut sources: Vec<Box<dyn SlotSource>> = table1_sources()
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn SlotSource>)
+        .collect();
+    eprintln!("simulating {} slots …", cfg.measure);
+    let report = run_single_node(&mut sources, &cfg);
+
+    let mut csv = CsvWriter::create(
+        "validate_single",
+        &[
+            "session",
+            "kind",
+            "x",
+            "empirical",
+            "ebb_bound",
+            "improved_bound",
+        ],
+    )
+    .expect("csv");
+    let markov = table1_sources();
+
+    for i in 0..4 {
+        let g = assignment.guaranteed_rate(i);
+        let (q_bound, d_bound) = theorem10(sessions[i], g, TimeModel::Discrete);
+        let improved_q = queue_tail_bound(markov[i].as_markov(), g).expect("stable");
+        let improved_d = improved_q.delay_from_backlog(g);
+
+        println!("\nsession {} (g = {:.4}):", i + 1, g);
+        let mut viol_q = 0usize;
+        let mut curves_q = vec![
+            Curve {
+                label: format!("e{}", i + 1),
+                points: vec![],
+            },
+            Curve {
+                label: "B (EBB bound)".into(),
+                points: vec![],
+            },
+            Curve {
+                label: "I (improved)".into(),
+                points: vec![],
+            },
+        ];
+        for (x, p) in report.sessions[i].backlog.series() {
+            let b = q_bound.tail(x);
+            let imp = improved_q.tail(x);
+            if p > b + 3.0 * binom_se(p, report.measured_slots) {
+                viol_q += 1;
+            }
+            curves_q[0].points.push((x, p));
+            curves_q[1].points.push((x, b));
+            curves_q[2].points.push((x, imp));
+            csv.row(&[(i + 1) as f64, 0.0, x, p, b, imp]).expect("row");
+        }
+        let mut viol_d = 0usize;
+        for (x, p) in report.sessions[i].delay.series() {
+            let b = d_bound.tail(x);
+            let imp = improved_d.tail(x);
+            if p > b + 3.0 * binom_se(p, report.measured_slots) {
+                viol_d += 1;
+            }
+            csv.row(&[(i + 1) as f64, 1.0, x, p, b, imp]).expect("row");
+        }
+        println!("  bound violations: backlog {viol_q}, delay {viol_d} (expect 0, 0)");
+
+        // Empirical decay vs analytical.
+        let emp_series: Vec<(f64, f64)> = report.sessions[i]
+            .backlog
+            .series()
+            .into_iter()
+            .filter(|&(_, p)| p > 0.0 && p < 0.5)
+            .collect();
+        if let Some(fit) = ExponentialTailFit::fit(&emp_series) {
+            println!(
+                "  backlog decay: empirical {:.3}, EBB bound {:.3}, improved {:.3}",
+                fit.theta, q_bound.decay, improved_q.decay
+            );
+        }
+        if i == 0 {
+            println!(
+                "{}",
+                ascii_log_plot(
+                    "session 1 backlog: e=empirical, B=EBB bound, I=improved",
+                    &curves_q,
+                    90,
+                    20,
+                    1e-7
+                )
+            );
+        }
+    }
+    let path = csv.finish().expect("finish");
+    println!("\nwritten: {}", path.display());
+}
+
+fn binom_se(p: f64, n: u64) -> f64 {
+    (p * (1.0 - p) / n as f64).sqrt()
+}

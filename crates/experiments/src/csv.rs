@@ -1,0 +1,89 @@
+//! Minimal CSV output into the results directory.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// A CSV file being written under `results/`.
+#[derive(Debug)]
+pub struct CsvWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates `results/<name>.csv` with the given header.
+    pub fn create(name: &str, header: &[&str]) -> std::io::Result<CsvWriter> {
+        assert!(!header.is_empty());
+        let path = crate::results_dir().join(format!("{name}.csv"));
+        let mut out = BufWriter::new(File::create(&path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter {
+            path,
+            out,
+            columns: header.len(),
+        })
+    }
+
+    /// Writes one row of numeric cells.
+    pub fn row(&mut self, cells: &[f64]) -> std::io::Result<()> {
+        assert_eq!(cells.len(), self.columns, "cell count must match header");
+        let line: Vec<String> = cells.iter().map(|c| format!("{c:.10e}")).collect();
+        writeln!(self.out, "{}", line.join(","))
+    }
+
+    /// Writes a row with a leading string label.
+    pub fn labeled_row(&mut self, label: &str, cells: &[f64]) -> std::io::Result<()> {
+        assert_eq!(
+            cells.len() + 1,
+            self.columns,
+            "label plus cells must match header"
+        );
+        assert!(!label.contains(','), "labels must be comma-free");
+        let line: Vec<String> = cells.iter().map(|c| format!("{c:.10e}")).collect();
+        writeln!(self.out, "{label},{}", line.join(","))
+    }
+
+    /// Flushes and reports the file path.
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        self.out.flush()?;
+        Ok(self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_readable_csv() {
+        let mut w = CsvWriter::create("_test_csv", &["x", "y"]).unwrap();
+        w.row(&[1.0, 2.0]).unwrap();
+        w.row(&[3.0, 4.5]).unwrap();
+        let path = w.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "x,y");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1.0"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn labeled_rows() {
+        let mut w = CsvWriter::create("_test_csv2", &["session", "value"]).unwrap();
+        w.labeled_row("s1", &[0.5]).unwrap();
+        let path = w.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("s1,5.0"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn row_length_checked() {
+        let mut w = CsvWriter::create("_test_csv3", &["a", "b"]).unwrap();
+        let _ = w.row(&[1.0]);
+    }
+}

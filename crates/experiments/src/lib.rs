@@ -1,0 +1,39 @@
+//! Shared infrastructure for the reproduction experiments.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (or one of the additional validation/ablation studies listed in
+//! `DESIGN.md`). This library holds what they share:
+//!
+//! * [`paper`] — the paper's Section-6.3 scenario as constants: Table-1
+//!   source parameters, the two ρ sets, the printed Table-2 values, and
+//!   constructors for the Figure-2 network;
+//! * [`csv`] — a minimal CSV writer into `results/`;
+//! * [`plot`] — ASCII log-scale tail plots, so every figure is visible
+//!   directly in the terminal transcript.
+
+pub mod csv;
+pub mod paper;
+pub mod plot;
+
+/// Resolves the output directory (`results/` under the workspace root,
+/// overridable with `GPS_RESULTS_DIR`), creating it if needed.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::env::var("GPS_RESULTS_DIR").unwrap_or_else(|_| {
+        // The binaries run from anywhere in the workspace; walk up from
+        // the manifest dir to the workspace root.
+        let manifest = env!("CARGO_MANIFEST_DIR");
+        format!("{manifest}/../../results")
+    });
+    let path = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("create results dir");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = super::results_dir();
+        assert!(d.is_dir());
+    }
+}

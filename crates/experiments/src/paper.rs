@@ -1,0 +1,86 @@
+//! The paper's Section-6.3 numerical scenario, as data.
+
+use gps_core::NetworkTopology;
+use gps_ebb::EbbProcess;
+use gps_sources::{Lnt94Characterization, OnOffSource, PrefactorKind};
+
+/// Which of the paper's two E.B.B. parameter sets (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamSet {
+    /// ρ = (0.20, 0.25, 0.20, 0.25).
+    Set1,
+    /// ρ = (0.17, 0.22, 0.17, 0.22).
+    Set2,
+}
+
+impl ParamSet {
+    /// The envelope rates of this set.
+    pub fn rhos(&self) -> [f64; 4] {
+        match self {
+            ParamSet::Set1 => [0.20, 0.25, 0.20, 0.25],
+            ParamSet::Set2 => [0.17, 0.22, 0.17, 0.22],
+        }
+    }
+
+    /// The paper's printed `(Λ, α)` pairs (Table 2), for cross-checking.
+    pub fn printed_table2(&self) -> [(f64, f64); 4] {
+        match self {
+            ParamSet::Set1 => [(1.0, 1.74), (0.92, 1.76), (0.84, 2.13), (1.0, 1.62)],
+            ParamSet::Set2 => [(1.0, 0.729), (0.968, 0.672), (0.929, 0.775), (1.0, 0.655)],
+        }
+    }
+
+    /// Human label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParamSet::Set1 => "Set 1",
+            ParamSet::Set2 => "Set 2",
+        }
+    }
+}
+
+/// The four Table-1 sources.
+pub fn table1_sources() -> [OnOffSource; 4] {
+    OnOffSource::paper_table1()
+}
+
+/// Computes the Table-2 E.B.B. characterizations for a parameter set with
+/// the LNT94 prefactor (the paper's choice).
+pub fn characterize(set: ParamSet) -> [EbbProcess; 4] {
+    let sources = table1_sources();
+    let rhos = set.rhos();
+    core::array::from_fn(|i| {
+        Lnt94Characterization::characterize(sources[i].as_markov(), rhos[i], PrefactorKind::Lnt94)
+            .expect("rho within (mean, peak)")
+            .ebb
+    })
+}
+
+/// The Figure-2 network under the RPPS assignment for a parameter set.
+pub fn figure2_network(set: ParamSet) -> NetworkTopology {
+    NetworkTopology::paper_figure2(set.rhos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterizations_match_printed_table2() {
+        for set in [ParamSet::Set1, ParamSet::Set2] {
+            let got = characterize(set);
+            for (e, (lam, alpha)) in got.iter().zip(set.printed_table2()) {
+                assert!((e.lambda - lam).abs() < 0.005, "{set:?}: {e}");
+                assert!((e.alpha - alpha).abs() < 0.005, "{set:?}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn network_is_stable_for_both_sets() {
+        for set in [ParamSet::Set1, ParamSet::Set2] {
+            let rhos = set.rhos();
+            assert!(figure2_network(set).is_stable_for(&rhos));
+        }
+    }
+}

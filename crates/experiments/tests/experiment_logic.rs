@@ -1,0 +1,111 @@
+//! Integration tests over the experiment library: the core computations
+//! behind each binary, checked end-to-end without spawning processes.
+
+use gps_analysis::rho_selection::rho_tradeoff;
+use gps_analysis::RppsNetworkBounds;
+use gps_experiments::csv::CsvWriter;
+use gps_experiments::paper::{characterize, figure2_network, table1_sources, ParamSet};
+use gps_experiments::plot::{ascii_log_plot, Curve};
+use gps_sources::lnt94::queue_tail_bound;
+
+#[test]
+fn fig3_curves_are_straight_lines_in_log_space() {
+    // The Theorem-15 bound is pure-exponential: log-tail differences over
+    // equal steps are constant.
+    let sessions = characterize(ParamSet::Set1).to_vec();
+    let net = figure2_network(ParamSet::Set1);
+    let b = RppsNetworkBounds::new(&net, sessions).unwrap();
+    for i in 0..4 {
+        let (_, d) = b.paper_fig3_bounds(i);
+        let step = 7.0;
+        let mut diffs = Vec::new();
+        // Stay past the clamp region (tail < 1).
+        let start = d.quantile(0.99);
+        for k in 0..5 {
+            let x = start + k as f64 * step;
+            diffs.push(d.log_tail(x) - d.log_tail(x + step));
+        }
+        for w in diffs.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() < 1e-9,
+                "session {i}: nonlinear log-tail"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_dominates_fig3_everywhere_past_crossover() {
+    let sessions = characterize(ParamSet::Set2).to_vec();
+    let net = figure2_network(ParamSet::Set2);
+    let b = RppsNetworkBounds::new(&net, sessions).unwrap();
+    let sources = table1_sources();
+    for i in 0..4 {
+        let g = b.g_net(i);
+        let (_, ebb_d) = b.paper_fig3_bounds(i);
+        let delta = queue_tail_bound(sources[i].as_markov(), g).unwrap();
+        let (_, imp_d) = b.with_delta_bound(i, delta);
+        // The improved bound has both smaller prefactor and faster decay:
+        // it dominates at every threshold.
+        assert!(imp_d.prefactor <= ebb_d.prefactor);
+        assert!(imp_d.decay > ebb_d.decay);
+        for k in 0..40 {
+            let d = k as f64;
+            assert!(imp_d.tail(d) <= ebb_d.tail(d) + 1e-15, "session {i} at {d}");
+        }
+    }
+}
+
+#[test]
+fn both_sets_same_source_different_characterization() {
+    // Sets 1 and 2 describe the same four sources; only ρ differs. The
+    // lower-ρ set must have uniformly smaller α.
+    let s1 = characterize(ParamSet::Set1);
+    let s2 = characterize(ParamSet::Set2);
+    for i in 0..4 {
+        assert!(s2[i].rho < s1[i].rho);
+        assert!(s2[i].alpha < s1[i].alpha);
+    }
+}
+
+#[test]
+fn rho_tradeoff_interpolates_table2() {
+    // The sweep should pass (continuously) through the Table-2 points:
+    // find the sweep points bracketing ρ = 0.25 for session 2 and check
+    // α brackets 1.76.
+    let src = &table1_sources()[1];
+    let pts = rho_tradeoff(src.as_markov(), 200);
+    let below = pts.iter().filter(|p| p.rho < 0.25).last().unwrap();
+    let above = pts.iter().find(|p| p.rho > 0.25).unwrap();
+    assert!(below.alpha < 1.761 && above.alpha > 1.759);
+}
+
+#[test]
+fn csv_roundtrip_under_results_dir() {
+    let mut w = CsvWriter::create("_it_test", &["a", "b"]).unwrap();
+    w.row(&[1.5, -2.0]).unwrap();
+    let path = w.finish().unwrap();
+    let body = std::fs::read_to_string(&path).unwrap();
+    assert!(body.starts_with("a,b\n"));
+    assert!(body.contains("1.5"));
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn plots_render_bounded_output() {
+    let curves: Vec<Curve> = (0..4)
+        .map(|i| Curve {
+            label: format!("{}", i + 1),
+            points: (0..100)
+                .map(|k| (k as f64, 0.9f64 * (-0.1 * (i + 1) as f64 * k as f64).exp()))
+                .collect(),
+        })
+        .collect();
+    let s = ascii_log_plot("four curves", &curves, 80, 20, 1e-12);
+    // Fixed-size grid: exactly 20 grid rows plus title/axis/legend lines.
+    let lines: Vec<&str> = s.lines().collect();
+    assert_eq!(lines.len(), 1 + 20 + 2 + 4);
+    for g in ["1", "2", "3", "4"] {
+        assert!(s.contains(g));
+    }
+}

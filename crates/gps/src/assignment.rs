@@ -1,0 +1,171 @@
+//! GPS assignments and guaranteed rates.
+
+use std::fmt;
+
+/// A GPS assignment: positive weights `{φ_i}` for `N` sessions sharing a
+/// server of rate `r`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpsAssignment {
+    phis: Vec<f64>,
+    rate: f64,
+}
+
+impl GpsAssignment {
+    /// Creates an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phis` is empty, any weight is not finite-positive, or
+    /// `rate <= 0`.
+    pub fn new(phis: Vec<f64>, rate: f64) -> Self {
+        assert!(!phis.is_empty(), "need at least one session");
+        assert!(
+            phis.iter().all(|&p| p.is_finite() && p > 0.0),
+            "weights must be finite and positive"
+        );
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "server rate must be positive"
+        );
+        Self { phis, rate }
+    }
+
+    /// Unit-rate server convenience (the paper's `r = 1` convention).
+    pub fn unit_rate(phis: Vec<f64>) -> Self {
+        Self::new(phis, 1.0)
+    }
+
+    /// The **Rate Proportional Processor Sharing** assignment `φ_i = ρ_i`
+    /// (Section 5 / 6.2). Under RPPS the feasible partition collapses to a
+    /// single class and every session gets the simple Theorem 10/15 bounds.
+    pub fn rpps(rhos: &[f64], rate: f64) -> Self {
+        Self::new(rhos.to_vec(), rate)
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.phis.len()
+    }
+
+    /// True when there are no sessions (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.phis.is_empty()
+    }
+
+    /// Server rate `r`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The weights.
+    pub fn phis(&self) -> &[f64] {
+        &self.phis
+    }
+
+    /// Weight of session `i`.
+    pub fn phi(&self, i: usize) -> f64 {
+        self.phis[i]
+    }
+
+    /// Sum of all weights.
+    pub fn total_phi(&self) -> f64 {
+        self.phis.iter().sum()
+    }
+
+    /// Guaranteed backlog-clearing rate `g_i = φ_i r / Σφ_j`.
+    pub fn guaranteed_rate(&self, i: usize) -> f64 {
+        self.phis[i] / self.total_phi() * self.rate
+    }
+
+    /// All guaranteed rates.
+    pub fn guaranteed_rates(&self) -> Vec<f64> {
+        let total = self.total_phi();
+        self.phis.iter().map(|&p| p / total * self.rate).collect()
+    }
+
+    /// The normalized share `ψ` of session `i` **relative to a session
+    /// subset** `others ∪ {i}`: `φ_i / Σ_{j ∈ others ∪ {i}} φ_j`. This is
+    /// the `ψ_i = φ_i / Σ_{j >= i} φ_j` factor of Theorem 7 when `others`
+    /// is the tail of a feasible ordering, and the
+    /// `φ_i / Σ_{j ∉ H^{k-1}} φ_j` of Theorem 11 when it is the complement
+    /// of the lower partition classes.
+    pub fn share_within(&self, i: usize, others: &[usize]) -> f64 {
+        let mut denom = self.phis[i];
+        for &j in others {
+            if j != i {
+                denom += self.phis[j];
+            }
+        }
+        self.phis[i] / denom
+    }
+
+    /// Whether session rates `rhos` satisfy the stability condition
+    /// `Σ ρ_i < r`.
+    pub fn is_stable_for(&self, rhos: &[f64]) -> bool {
+        assert_eq!(rhos.len(), self.len());
+        rhos.iter().sum::<f64>() < self.rate
+    }
+}
+
+impl fmt::Display for GpsAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPS(r={}, φ={:?})", self.rate, self.phis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guaranteed_rates_sum_to_rate() {
+        let a = GpsAssignment::new(vec![1.0, 2.0, 3.0], 2.0);
+        let g = a.guaranteed_rates();
+        assert!((g.iter().sum::<f64>() - 2.0).abs() < 1e-12);
+        assert!((g[0] - 2.0 / 6.0).abs() < 1e-12);
+        assert!((g[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rpps_guarantees_exceed_rhos_when_stable() {
+        // Under RPPS with Σρ < r: g_i = ρ_i·r/Σρ > ρ_i.
+        let rhos = [0.2, 0.25, 0.2, 0.25];
+        let a = GpsAssignment::rpps(&rhos, 1.0);
+        assert!(a.is_stable_for(&rhos));
+        for (i, &rho) in rhos.iter().enumerate() {
+            assert!(a.guaranteed_rate(i) > rho);
+        }
+        // Paper's Fig. 3 numbers: g1 = 0.2/0.9 ≈ 0.2222.
+        assert!((a.guaranteed_rate(0) - 0.2 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_within_subsets() {
+        let a = GpsAssignment::unit_rate(vec![1.0, 2.0, 3.0, 4.0]);
+        // ψ of session 1 within {1,2,3}: 2/(2+3+4).
+        assert!((a.share_within(1, &[2, 3]) - 2.0 / 9.0).abs() < 1e-12);
+        // i included in others is deduplicated.
+        assert!((a.share_within(1, &[1, 2, 3]) - 2.0 / 9.0).abs() < 1e-12);
+        // Alone: share 1.
+        assert_eq!(a.share_within(0, &[]), 1.0);
+    }
+
+    #[test]
+    fn stability_check() {
+        let a = GpsAssignment::unit_rate(vec![1.0, 1.0]);
+        assert!(a.is_stable_for(&[0.4, 0.5]));
+        assert!(!a.is_stable_for(&[0.5, 0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite and positive")]
+    fn rejects_zero_weight() {
+        let _ = GpsAssignment::unit_rate(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one session")]
+    fn rejects_empty() {
+        let _ = GpsAssignment::unit_rate(vec![]);
+    }
+}

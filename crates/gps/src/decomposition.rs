@@ -1,0 +1,177 @@
+//! Strategies for choosing the fictitious dedicated rates `r_i = ρ_i + ε_i`
+//! of the paper's decomposition (Figure 1 / Eq. 5).
+//!
+//! The statistical bounds hold for *any* choice with `ε_i > 0` and
+//! `Σ r_i <= r`, but their tightness depends on how the slack
+//! `r - Σ ρ_i` is split. Three standard strategies:
+//!
+//! * [`RateAllocation::Uniform`] — equal `ε_i` (the natural default);
+//! * [`RateAllocation::Proportional`] — `ε_i ∝ ρ_i` (each session keeps
+//!   the same relative headroom, mirroring RPPS);
+//! * [`RateAllocation::WeightProportional`] — `ε_i ∝ φ_i` (headroom
+//!   follows the GPS weights).
+//!
+//! Theorem 11's proof uses a *session-targeted* split — concentrating the
+//! slack budget `g_i - ρ_i` of a target session across itself and the
+//! aggregated lower classes, `ε_i = ψ_i ε̃_1 = … = (g_i - ρ_i)/k` — which
+//! is provided by [`theorem11_epsilons`].
+
+/// How the capacity slack is divided among the sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateAllocation {
+    /// `ε_i = slack / N`.
+    Uniform,
+    /// `ε_i = slack · ρ_i / Σρ_j` (undefined when all ρ are zero; falls
+    /// back to uniform then).
+    Proportional,
+    /// `ε_i = slack · φ_i / Σφ_j`.
+    WeightProportional,
+}
+
+impl RateAllocation {
+    /// Computes dedicated rates `r_i = ρ_i + ε_i` consuming a fraction
+    /// `use_fraction ∈ (0, 1]` of the slack `capacity - Σρ` (using less
+    /// than all slack keeps the ε's interior, which some constructions
+    /// need).
+    ///
+    /// Returns `None` when `Σ ρ_i >= capacity` (no slack to allocate).
+    pub fn dedicated_rates(
+        &self,
+        rhos: &[f64],
+        phis: &[f64],
+        capacity: f64,
+        use_fraction: f64,
+    ) -> Option<Vec<f64>> {
+        assert_eq!(rhos.len(), phis.len());
+        assert!(!rhos.is_empty());
+        assert!(
+            use_fraction > 0.0 && use_fraction <= 1.0,
+            "use_fraction must be in (0,1], got {use_fraction}"
+        );
+        let total_rho: f64 = rhos.iter().sum();
+        let slack = capacity - total_rho;
+        if slack <= 0.0 {
+            return None;
+        }
+        let budget = slack * use_fraction;
+        let n = rhos.len();
+        let eps: Vec<f64> = match self {
+            RateAllocation::Uniform => vec![budget / n as f64; n],
+            RateAllocation::Proportional => {
+                if total_rho <= 0.0 {
+                    vec![budget / n as f64; n]
+                } else {
+                    rhos.iter().map(|&r| budget * r / total_rho).collect()
+                }
+            }
+            RateAllocation::WeightProportional => {
+                let total_phi: f64 = phis.iter().sum();
+                phis.iter().map(|&p| budget * p / total_phi).collect()
+            }
+        };
+        Some(rhos.iter().zip(&eps).map(|(&r, &e)| r + e).collect())
+    }
+}
+
+/// The Theorem-11 slack split for a target session in partition class
+/// `H_k` (1-based `k = class_index + 1`): the session's own ε and the
+/// *aggregate* ε̃ of each lower class all equal `(g_i - ρ_i)/k` after
+/// weighting — concretely `ε_i = (g−ρ)/k` and `ε̃_l = (g−ρ)/(k·ψ_i)` for
+/// each of the `k-1` lower classes, where `ψ_i` is the session's share
+/// among the non-lower sessions.
+///
+/// Returns `(eps_own, eps_aggregate_per_lower_class)`.
+///
+/// # Panics
+///
+/// Panics unless `g > rho`, `psi ∈ (0, 1]`, `k >= 1`.
+pub fn theorem11_epsilons(g: f64, rho: f64, psi: f64, k: usize) -> (f64, f64) {
+    assert!(g > rho, "guaranteed rate must exceed rho");
+    assert!(psi > 0.0 && psi <= 1.0, "psi must be in (0,1]");
+    assert!(k >= 1);
+    let share = (g - rho) / k as f64;
+    (share, share / psi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RHOS: [f64; 3] = [0.1, 0.2, 0.3];
+    const PHIS: [f64; 3] = [1.0, 2.0, 3.0];
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let rs = RateAllocation::Uniform
+            .dedicated_rates(&RHOS, &PHIS, 1.0, 1.0)
+            .unwrap();
+        let slack = 0.4;
+        for (i, &r) in rs.iter().enumerate() {
+            assert!((r - (RHOS[i] + slack / 3.0)).abs() < 1e-12);
+        }
+        assert!((rs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_preserves_ratios() {
+        let rs = RateAllocation::Proportional
+            .dedicated_rates(&RHOS, &PHIS, 1.0, 1.0)
+            .unwrap();
+        // r_i = ρ_i (1 + slack/Σρ): all sessions share the same relative
+        // headroom.
+        let scale = 1.0 / 0.6;
+        for (i, &r) in rs.iter().enumerate() {
+            assert!((r - RHOS[i] * scale).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weight_proportional_follows_phis() {
+        let rs = RateAllocation::WeightProportional
+            .dedicated_rates(&RHOS, &PHIS, 1.0, 1.0)
+            .unwrap();
+        let slack = 0.4;
+        for (i, &r) in rs.iter().enumerate() {
+            assert!((r - (RHOS[i] + slack * PHIS[i] / 6.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partial_slack_leaves_headroom() {
+        let rs = RateAllocation::Uniform
+            .dedicated_rates(&RHOS, &PHIS, 1.0, 0.5)
+            .unwrap();
+        let total: f64 = rs.iter().sum();
+        assert!((total - 0.8).abs() < 1e-12); // 0.6 + half of 0.4
+        assert!(rs.iter().zip(&RHOS).all(|(&r, &rho)| r > rho));
+    }
+
+    #[test]
+    fn no_slack_is_none() {
+        assert!(RateAllocation::Uniform
+            .dedicated_rates(&[0.5, 0.5], &[1.0, 1.0], 1.0, 1.0)
+            .is_none());
+    }
+
+    #[test]
+    fn theorem11_split_sums_to_budget() {
+        // k = 3 (class H3, two lower classes): own ε + ψ·(2 aggregate ε̃)
+        // must equal g - ρ (Eq. 55 with equality).
+        let (g, rho, psi) = (0.3, 0.2, 0.25);
+        let (own, agg) = theorem11_epsilons(g, rho, psi, 3);
+        let total = own + psi * agg * 2.0;
+        assert!((total - (g - rho)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem11_k1_degenerates() {
+        let (own, _) = theorem11_epsilons(0.3, 0.1, 1.0, 1);
+        assert!((own - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "guaranteed rate must exceed rho")]
+    fn theorem11_requires_headroom() {
+        let _ = theorem11_epsilons(0.2, 0.2, 0.5, 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Feasible orderings (paper Eqs. 4–5).
+//!
+//! Given dedicated rates `{r_i}` with `Σ r_i <= r`, a permutation
+//! `π(1), …, π(N)` is a **feasible ordering** when every session's rate
+//! fits within its weighted share of the capacity left over by its
+//! predecessors:
+//!
+//! ```text
+//! r_{π(k)} <= [φ_{π(k)} / Σ_{l>=k} φ_{π(l)}] · (r - Σ_{l<k} r_{π(l)})
+//! ```
+//!
+//! Parekh & Gallager showed such an ordering always exists when
+//! `Σ r_i <= r`; the constructive argument (used by
+//! [`find_feasible_ordering`]) is a greedy exchange: among the not-yet-
+//! placed sessions, the one minimizing `r_i/φ_i` always satisfies the
+//! constraint, because if *every* remaining session violated it, summing
+//! the violations would contradict `Σ_{remaining} r_i <= remaining
+//! capacity`.
+
+use crate::assignment::GpsAssignment;
+
+/// Verifies that `perm` is a feasible ordering of the sessions with
+/// dedicated rates `rs` under `assignment` (tolerance `1e-12` on the
+/// inequalities).
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..N` or lengths mismatch.
+pub fn is_feasible_ordering(perm: &[usize], rs: &[f64], assignment: &GpsAssignment) -> bool {
+    let n = assignment.len();
+    assert_eq!(rs.len(), n);
+    assert_eq!(perm.len(), n);
+    let mut seen = vec![false; n];
+    for &i in perm {
+        assert!(i < n && !seen[i], "perm must be a permutation of 0..N");
+        seen[i] = true;
+    }
+
+    let mut used = 0.0;
+    let mut tail_phi: f64 = perm.iter().map(|&i| assignment.phi(i)).sum();
+    for &i in perm {
+        let share = assignment.phi(i) / tail_phi;
+        let budget = share * (assignment.rate() - used);
+        if rs[i] > budget + 1e-12 {
+            return false;
+        }
+        used += rs[i];
+        tail_phi -= assignment.phi(i);
+    }
+    true
+}
+
+/// Constructs a feasible ordering for dedicated rates `rs` (requires
+/// `Σ r_i <= r`, within `1e-12`); returns the permutation, or `None` if the
+/// rates overcommit the server.
+///
+/// The construction greedily places the remaining session with the smallest
+/// `r_i/φ_i`; ties are broken by index, making the result deterministic.
+pub fn find_feasible_ordering(rs: &[f64], assignment: &GpsAssignment) -> Option<Vec<usize>> {
+    let n = assignment.len();
+    assert_eq!(rs.len(), n);
+    assert!(rs.iter().all(|&r| r >= 0.0), "rates must be nonnegative");
+    if rs.iter().sum::<f64>() > assignment.rate() + 1e-12 {
+        return None;
+    }
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Sort once by r_i/φ_i: the greedy invariant (smallest ratio first)
+    // is preserved because removing sessions only loosens the constraint
+    // for the rest.
+    remaining.sort_by(|&a, &b| {
+        let ra = rs[a] / assignment.phi(a);
+        let rb = rs[b] / assignment.phi(b);
+        ra.partial_cmp(&rb).expect("finite ratios").then(a.cmp(&b))
+    });
+    debug_assert!(is_feasible_ordering(&remaining, rs, assignment));
+    Some(remaining)
+}
+
+/// Enumerates *all* feasible orderings (for tests, ablations, and small
+/// N only — this is `O(N!)`).
+///
+/// # Panics
+///
+/// Panics for `N > 9` to protect callers from factorial blowup.
+pub fn enumerate_feasible_orderings(rs: &[f64], assignment: &GpsAssignment) -> Vec<Vec<usize>> {
+    let n = assignment.len();
+    assert!(n <= 9, "enumeration is factorial; N={n} is too large");
+    let mut out = Vec::new();
+    let mut perm: Vec<usize> = (0..n).collect();
+    permute(&mut perm, 0, &mut |p| {
+        if is_feasible_ordering(p, rs, assignment) {
+            out.push(p.to_vec());
+        }
+    });
+    out
+}
+
+fn permute(arr: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == arr.len() {
+        visit(arr);
+        return;
+    }
+    for i in k..arr.len() {
+        arr.swap(k, i);
+        permute(arr, k + 1, visit);
+        arr.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_ordering_is_feasible() {
+        let a = GpsAssignment::unit_rate(vec![1.0, 2.0, 1.0, 4.0]);
+        let rs = [0.3, 0.2, 0.25, 0.2];
+        let perm = find_feasible_ordering(&rs, &a).unwrap();
+        assert!(is_feasible_ordering(&perm, &rs, &a));
+    }
+
+    #[test]
+    fn overcommitted_rates_rejected() {
+        let a = GpsAssignment::unit_rate(vec![1.0, 1.0]);
+        assert!(find_feasible_ordering(&[0.6, 0.6], &a).is_none());
+    }
+
+    #[test]
+    fn exact_fill_is_accepted() {
+        let a = GpsAssignment::unit_rate(vec![1.0, 1.0]);
+        let perm = find_feasible_ordering(&[0.5, 0.5], &a).unwrap();
+        assert!(is_feasible_ordering(&perm, &rs_copy(&[0.5, 0.5]), &a));
+    }
+
+    fn rs_copy(rs: &[f64]) -> Vec<f64> {
+        rs.to_vec()
+    }
+
+    #[test]
+    fn ordering_not_unique_but_checker_discriminates() {
+        // Highly asymmetric: big-rate/low-weight session must come last.
+        let a = GpsAssignment::unit_rate(vec![10.0, 1.0]);
+        let rs = [0.05, 0.9];
+        // Session 1 (r=0.9, φ=1) first: budget = (1/11)*1 = 0.09 < 0.9 ✗.
+        assert!(!is_feasible_ordering(&[1, 0], &rs, &a));
+        // Session 0 first: budget = (10/11) > 0.05 ✓; then 1 gets all
+        // remaining 0.95 >= 0.9 ✓.
+        assert!(is_feasible_ordering(&[0, 1], &rs, &a));
+        assert_eq!(find_feasible_ordering(&rs, &a).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn enumeration_matches_checker() {
+        let a = GpsAssignment::unit_rate(vec![1.0, 2.0, 3.0]);
+        let rs = [0.2, 0.3, 0.4];
+        let all = enumerate_feasible_orderings(&rs, &a);
+        assert!(!all.is_empty());
+        for p in &all {
+            assert!(is_feasible_ordering(p, &rs, &a));
+        }
+        // The greedy one is among them.
+        let greedy = find_feasible_ordering(&rs, &a).unwrap();
+        assert!(all.contains(&greedy));
+        // And there are non-feasible permutations (sanity that the
+        // constraint bites): total permutations 6.
+        assert!(all.len() < 6, "expected some infeasible orderings");
+    }
+
+    #[test]
+    fn equal_everything_all_orderings_feasible() {
+        let a = GpsAssignment::unit_rate(vec![1.0, 1.0, 1.0]);
+        let rs = [0.2, 0.2, 0.2];
+        let all = enumerate_feasible_orderings(&rs, &a);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn paper_eq5_structure() {
+        // Verify the budget recursion against a hand computation.
+        // φ = (1,1), r = (0.4, 0.5), server 1.
+        // Order (0,1): session 0 budget = 0.5 >= 0.4 ✓; session 1 budget =
+        // 1·(1-0.4) = 0.6 >= 0.5 ✓.
+        let a = GpsAssignment::unit_rate(vec![1.0, 1.0]);
+        assert!(is_feasible_ordering(&[0, 1], &[0.4, 0.5], &a));
+        // Order (1,0): session 1 budget = 0.5 >= 0.5 ✓ (boundary);
+        // session 0 budget = 0.5 >= 0.4 ✓.
+        assert!(is_feasible_ordering(&[1, 0], &[0.4, 0.5], &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "perm must be a permutation")]
+    fn checker_rejects_bad_perm() {
+        let a = GpsAssignment::unit_rate(vec![1.0, 1.0]);
+        let _ = is_feasible_ordering(&[0, 0], &[0.1, 0.1], &a);
+    }
+}

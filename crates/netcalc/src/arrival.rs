@@ -1,0 +1,113 @@
+//! Affine `(σ, ρ)` arrival curves (Cruz's LBAP model).
+//!
+//! `A(τ,t] <= σ + ρ (t-τ)` for all windows. Closed under addition
+//! (`σ` and `ρ` add) and under passage through a latency-rate server
+//! (`σ` inflates by `ρ·T`).
+
+/// An affine arrival curve `α(t) = σ + ρ t` (for `t > 0`; `α(0) = 0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineCurve {
+    /// Burst parameter `σ >= 0`.
+    pub sigma: f64,
+    /// Sustained rate `ρ >= 0`.
+    pub rho: f64,
+}
+
+impl AffineCurve {
+    /// Creates a curve; panics on negative parameters.
+    pub fn new(sigma: f64, rho: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be nonnegative");
+        assert!(rho >= 0.0, "rho must be nonnegative");
+        Self { sigma, rho }
+    }
+
+    /// Evaluates `α(t)`.
+    pub fn eval(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.sigma + self.rho * t
+        }
+    }
+
+    /// The curve of the aggregate of two flows.
+    pub fn add(&self, other: &AffineCurve) -> AffineCurve {
+        AffineCurve::new(self.sigma + other.sigma, self.rho + other.rho)
+    }
+
+    /// Aggregate of many flows.
+    pub fn sum(curves: &[AffineCurve]) -> AffineCurve {
+        curves
+            .iter()
+            .fold(AffineCurve::new(0.0, 0.0), |acc, c| acc.add(c))
+    }
+
+    /// Checks whether a slotted trace conforms to this curve
+    /// (O(n), Lindley recursion on the excess).
+    pub fn conforms(&self, trace: &[f64]) -> bool {
+        let mut excess = 0.0_f64;
+        for &a in trace {
+            excess = (excess + a - self.rho).max(0.0);
+            if excess > self.sigma + 1e-12 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The output arrival curve after a latency-rate server `(R, T)` with
+    /// `R >= ρ`: bursts inflate by `ρ·T` (the classic output-propagation
+    /// rule `α* = α ⊘ β`).
+    pub fn after_latency_rate(&self, rate: f64, latency: f64) -> AffineCurve {
+        assert!(
+            rate >= self.rho,
+            "server rate {rate} below sustained rate {}",
+            self.rho
+        );
+        AffineCurve::new(self.sigma + self.rho * latency, self.rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_origin() {
+        let c = AffineCurve::new(2.0, 0.5);
+        assert_eq!(c.eval(0.0), 0.0);
+        assert_eq!(c.eval(-1.0), 0.0);
+        assert_eq!(c.eval(4.0), 4.0);
+    }
+
+    #[test]
+    fn addition() {
+        let a = AffineCurve::new(1.0, 0.2);
+        let b = AffineCurve::new(2.0, 0.3);
+        let s = a.add(&b);
+        assert_eq!(s.sigma, 3.0);
+        assert_eq!(s.rho, 0.5);
+        assert_eq!(AffineCurve::sum(&[a, b, a]).sigma, 4.0);
+    }
+
+    #[test]
+    fn conformance() {
+        let c = AffineCurve::new(1.0, 0.5);
+        assert!(c.conforms(&[1.0, 0.5, 0.5, 1.0, 0.0, 0.5]));
+        assert!(!c.conforms(&[1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn output_propagation_inflates_burst() {
+        let c = AffineCurve::new(1.0, 0.4);
+        let out = c.after_latency_rate(0.6, 2.5);
+        assert_eq!(out.rho, 0.4);
+        assert!((out.sigma - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "server rate")]
+    fn output_requires_capacity() {
+        let _ = AffineCurve::new(1.0, 0.8).after_latency_rate(0.5, 1.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Piecewise-linear concave arrival curves (multi-leaky-bucket
+//! envelopes).
+//!
+//! A single `(σ, ρ)` pair is often loose for real traffic: a source may
+//! be constrained by *several* buckets at once — e.g. a peak-rate bucket
+//! `(0, P)` plus a sustained-rate bucket `(σ, ρ)` (the classic dual
+//! token bucket of ATM/IntServ). The tight envelope is the pointwise
+//! minimum of affine curves, which is concave and piecewise linear.
+//! This module implements that family with the min-plus performance
+//! bounds against latency-rate service curves — rounding out the
+//! deterministic baseline.
+
+use crate::arrival::AffineCurve;
+use crate::service::LatencyRate;
+
+/// A concave piecewise-linear arrival curve: the pointwise minimum of
+/// affine pieces `min_j (σ_j + ρ_j t)` (with `α(0) = 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcaveCurve {
+    /// The affine pieces; kept sorted by descending rate after
+    /// normalization (steepest piece binds earliest).
+    pieces: Vec<AffineCurve>,
+}
+
+impl ConcaveCurve {
+    /// Builds a curve from pieces, dropping dominated ones (a piece that
+    /// is nowhere the minimum).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty piece list.
+    pub fn new(mut pieces: Vec<AffineCurve>) -> Self {
+        assert!(!pieces.is_empty(), "need at least one piece");
+        // Lower envelope of lines (convex-hull trick): sort by rate
+        // descending (σ ascending on ties), drop same-rate duplicates,
+        // then pop any middle line whose region is empty — i.e. when the
+        // new line overtakes the first line of the last pair no later
+        // than the last pair's own crossover.
+        pieces.sort_by(|a, b| {
+            b.rho
+                .partial_cmp(&a.rho)
+                .expect("finite")
+                .then(a.sigma.partial_cmp(&b.sigma).expect("finite"))
+        });
+        let mut kept: Vec<AffineCurve> = Vec::new();
+        for p in pieces {
+            if let Some(last) = kept.last() {
+                if (p.rho - last.rho).abs() < 1e-15 {
+                    continue; // same rate, larger σ: dominated
+                }
+                if p.sigma <= last.sigma {
+                    // Flatter with no larger burst: last is dominated
+                    // beyond t = 0 everywhere p is.
+                    while let Some(last) = kept.last() {
+                        if p.sigma <= last.sigma {
+                            kept.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Envelope condition: while the previous line never wins.
+            while kept.len() >= 2 {
+                let a = kept[kept.len() - 2];
+                let b = kept[kept.len() - 1];
+                let x_ab = (b.sigma - a.sigma) / (a.rho - b.rho);
+                let x_ap = (p.sigma - a.sigma) / (a.rho - p.rho);
+                if x_ap <= x_ab + 1e-15 {
+                    kept.pop();
+                } else {
+                    break;
+                }
+            }
+            kept.push(p);
+        }
+        Self { pieces: kept }
+    }
+
+    /// Dual token bucket: `min(P·t, σ + ρ·t)` (peak rate `P`, sustained
+    /// `(σ, ρ)`).
+    pub fn dual_token_bucket(peak: f64, sigma: f64, rho: f64) -> Self {
+        assert!(peak >= rho, "peak rate below sustained rate");
+        Self::new(vec![
+            AffineCurve::new(0.0, peak),
+            AffineCurve::new(sigma, rho),
+        ])
+    }
+
+    /// The (non-dominated) pieces.
+    pub fn pieces(&self) -> &[AffineCurve] {
+        &self.pieces
+    }
+
+    /// Evaluates `α(t) = min_j α_j(t)` (0 at the origin).
+    pub fn eval(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.pieces
+            .iter()
+            .map(|p| p.eval(t))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Long-term rate: the smallest piece rate.
+    pub fn sustained_rate(&self) -> f64 {
+        self.pieces
+            .iter()
+            .map(|p| p.rho)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `α(t⁺)` — the right limit, which differs from `eval` only at the
+    /// origin, where the curve jumps to the smallest burst term.
+    fn eval_right(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            self.pieces
+                .iter()
+                .map(|p| p.sigma)
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            self.eval(t)
+        }
+    }
+
+    /// Worst-case backlog against a latency-rate server: the vertical
+    /// deviation `sup_{t>0} α(t) - β(t)`. For concave α and convex β the
+    /// supremum is attained at `0⁺`, at a breakpoint of α, or at the
+    /// latency point of β; we evaluate all candidates with right limits.
+    pub fn backlog_bound(&self, beta: &LatencyRate) -> Option<f64> {
+        if self.sustained_rate() > beta.rate {
+            return None;
+        }
+        let mut candidates = self.breakpoints();
+        candidates.push(0.0);
+        candidates.push(beta.latency);
+        let mut best = 0.0_f64;
+        for t in candidates {
+            best = best.max(self.eval_right(t) - beta.eval(t));
+        }
+        Some(best)
+    }
+
+    /// Worst-case delay: the horizontal deviation. For traffic arriving
+    /// at `t`, the candidate is `T + α(t⁺)/R - t`; by concavity the
+    /// maximum is at `0⁺` or a breakpoint.
+    pub fn delay_bound(&self, beta: &LatencyRate) -> Option<f64> {
+        if self.sustained_rate() > beta.rate {
+            return None;
+        }
+        let mut worst = beta.latency; // even zero traffic waits T at most
+        let mut candidates = self.breakpoints();
+        candidates.push(0.0);
+        for t in candidates {
+            let a = self.eval_right(t);
+            // Time at which β catches up with α(t⁺): T + α/R; the
+            // traffic arriving at t waits that minus t.
+            let d = beta.latency + a / beta.rate - t;
+            worst = worst.max(d);
+        }
+        Some(worst.max(0.0))
+    }
+
+    /// Abscissae where the binding piece changes (intersections of
+    /// consecutive kept pieces), plus `0`.
+    fn breakpoints(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for w in self.pieces.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            // a has the larger rate and smaller σ: they intersect at
+            // t = (σ_b - σ_a)/(ρ_a - ρ_b) > 0.
+            let t = (b.sigma - a.sigma) / (a.rho - b.rho);
+            if t.is_finite() && t > 0.0 {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_bucket_eval() {
+        let c = ConcaveCurve::dual_token_bucket(1.0, 2.0, 0.25);
+        assert_eq!(c.eval(0.0), 0.0);
+        assert!((c.eval(1.0) - 1.0).abs() < 1e-12); // peak binds
+                                                    // Crossover at t where t = 2 + 0.25t -> t = 8/3.
+        assert!((c.eval(8.0 / 3.0) - 8.0 / 3.0).abs() < 1e-12);
+        assert!((c.eval(10.0) - 4.5).abs() < 1e-12); // sustained binds
+        assert_eq!(c.sustained_rate(), 0.25);
+    }
+
+    #[test]
+    fn dominated_pieces_dropped() {
+        let c = ConcaveCurve::new(vec![
+            AffineCurve::new(0.0, 1.0),
+            AffineCurve::new(5.0, 1.0), // same rate, bigger σ: dominated
+            AffineCurve::new(2.0, 0.25),
+        ]);
+        assert_eq!(c.pieces().len(), 2);
+    }
+
+    #[test]
+    fn tighter_than_single_bucket() {
+        // Dual bucket's backlog bound against a rate-R server beats the
+        // single sustained bucket's σ whenever the peak constrains the
+        // burst drain.
+        let dual = ConcaveCurve::dual_token_bucket(0.6, 2.0, 0.2);
+        let single = AffineCurve::new(2.0, 0.2);
+        let beta = LatencyRate::guaranteed_rate(0.5);
+        let qb_dual = dual.backlog_bound(&beta).unwrap();
+        let qb_single = beta.backlog_bound(&single).unwrap();
+        assert!(
+            qb_dual < qb_single,
+            "dual {qb_dual} should beat single {qb_single}"
+        );
+        // And the bound is exactly the deviation at the crossover point:
+        // t* = 2/(0.6-0.2) = 5; α(5) = 3.0; β(5) = 2.5 -> 0.5.
+        assert!((qb_dual - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_bound_dual_bucket() {
+        let dual = ConcaveCurve::dual_token_bucket(0.6, 2.0, 0.2);
+        let beta = LatencyRate::guaranteed_rate(0.5);
+        let d = dual.delay_bound(&beta).unwrap();
+        // Max horizontal deviation also at the crossover: traffic at t*=5
+        // has α = 3.0, served by time 6 -> delay 1.0.
+        assert!((d - 1.0).abs() < 1e-12);
+        // Single bucket would give σ/R = 4.
+        assert!(d < 4.0);
+    }
+
+    #[test]
+    fn single_piece_matches_affine_bounds() {
+        let c = ConcaveCurve::new(vec![AffineCurve::new(1.5, 0.3)]);
+        let beta = LatencyRate::new(0.5, 2.0);
+        assert!(
+            (c.backlog_bound(&beta).unwrap()
+                - beta.backlog_bound(&AffineCurve::new(1.5, 0.3)).unwrap())
+            .abs()
+                < 1e-9
+        );
+        assert!(
+            (c.delay_bound(&beta).unwrap()
+                - beta.delay_bound(&AffineCurve::new(1.5, 0.3)).unwrap())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn unstable_is_none() {
+        let c = ConcaveCurve::dual_token_bucket(1.0, 1.0, 0.6);
+        let beta = LatencyRate::guaranteed_rate(0.5);
+        assert!(c.backlog_bound(&beta).is_none());
+        assert!(c.delay_bound(&beta).is_none());
+    }
+
+    #[test]
+    fn latency_point_counts_for_backlog() {
+        // With latency T, the burst accumulated by T is a candidate.
+        let c = ConcaveCurve::dual_token_bucket(2.0, 0.5, 0.1);
+        let beta = LatencyRate::new(0.2, 3.0);
+        let qb = c.backlog_bound(&beta).unwrap();
+        assert!(qb >= c.eval(3.0) - 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic network-calculus baseline (Cruz / Parekh–Gallager).
+//!
+//! The paper positions its statistical bounds against the *worst-case
+//! deterministic* analysis of Parekh & Gallager, in which each session is
+//! leaky-bucket constrained — `A(τ,t) <= σ_i + ρ_i (t-τ)` (Cruz's LBAP) —
+//! and every bound is a hard guarantee. This crate rebuilds that baseline:
+//!
+//! * [`arrival::AffineCurve`] — `(σ, ρ)` arrival curves with the usual
+//!   algebra (sum, conformance, output propagation);
+//! * [`service::LatencyRate`] — `β(t) = R·max(0, t - T)` service curves
+//!   and the min-plus backlog/delay/output bounds;
+//! * [`pg`] — GPS-specific results: the guaranteed-rate service curve
+//!   `g_i`, worst-case single-node bounds, and the RPPS network bounds
+//!   (`D_i <= σ_i/g_i^{net}`, independent of route length — the
+//!   deterministic twin of Theorem 15);
+//! * [`pg::rpps_admission`] — deterministic admission counts, used by the
+//!   experiments to quantify the utilization gain of statistical
+//!   admission (the paper's Section 1 motivation).
+//!
+//! Two facts from the paper worth keeping in mind when comparing: the
+//! deterministic bounds are *attainable* (tight in the worst case) but
+//! "usually very conservative" in behavior; and on-off Markov sources are
+//! **not** LBAP-constrained at all (any σ is eventually exceeded), so
+//! deterministic analysis simply does not apply to the paper's Section 6.3
+//! example — the experiments show this by reporting the minimum σ needed
+//! to police a finite trace, which grows with the trace length.
+
+pub mod arrival;
+pub mod curves;
+pub mod pg;
+pub mod service;
+
+pub use arrival::AffineCurve;
+pub use curves::ConcaveCurve;
+pub use pg::{rpps_network_bounds, DeterministicBounds};
+pub use service::LatencyRate;

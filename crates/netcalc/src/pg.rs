@@ -1,0 +1,212 @@
+//! Parekh–Gallager worst-case bounds for GPS with leaky-bucket sessions.
+//!
+//! Single node: a fluid GPS server guarantees session `i` the rate-`g_i`
+//! zero-latency service curve whenever backlogged, so for `ρ_i <= g_i`
+//! (the "locally stable"/H₁ case):
+//!
+//! ```text
+//! Q_i* <= σ_i,      D_i* <= σ_i / g_i
+//! ```
+//!
+//! For sessions with `ρ_i > g_i` (feasible under global stability), the
+//! class-relative machinery applies deterministically: with the lower
+//! feasible-partition classes aggregated, session `i` is guaranteed the
+//! latency-rate curve `(ĝ_i, T_i)` with `ĝ_i = ψ_i (r - Σ_{lower} ρ_j)`
+//! and `T_i = Σ_{lower} σ_j / ĝ_i` — the deterministic twin of our
+//! Theorem-11 reading.
+//!
+//! RPPS network (PG's multiple-node paper): the bottleneck rate
+//! `g_i^{net}` yields route-independent bounds `Q_i^{net} <= σ_i`,
+//! `D_i^{net} <= σ_i/g_i^{net}` — the deterministic twin of Theorem 15.
+
+use crate::arrival::AffineCurve;
+use crate::service::LatencyRate;
+use gps_core::{FeasiblePartition, GpsAssignment, NetworkTopology};
+
+/// Worst-case (deterministic) per-session results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeterministicBounds {
+    /// Worst-case backlog.
+    pub backlog: f64,
+    /// Worst-case delay.
+    pub delay: f64,
+}
+
+/// Single-node PG bounds for all sessions. Returns `None` when
+/// `Σ ρ_i >= r` (no feasible partition exists / unstable).
+pub fn single_node_bounds(
+    curves: &[AffineCurve],
+    assignment: &GpsAssignment,
+) -> Option<Vec<DeterministicBounds>> {
+    assert_eq!(curves.len(), assignment.len());
+    let rhos: Vec<f64> = curves.iter().map(|c| c.rho).collect();
+    let partition = FeasiblePartition::compute(&rhos, assignment)?;
+    let mut out = Vec::with_capacity(curves.len());
+    for i in 0..curves.len() {
+        let k = partition.class_of(i);
+        let lower = partition.lower_classes(k);
+        let lower_rho: f64 = lower.iter().map(|&j| rhos[j]).sum();
+        let lower_sigma: f64 = lower.iter().map(|&j| curves[j].sigma).sum();
+        let not_lower: Vec<usize> = (0..curves.len()).filter(|j| !lower.contains(j)).collect();
+        let g_hat = assignment.share_within(i, &not_lower) * (assignment.rate() - lower_rho);
+        debug_assert!(g_hat > rhos[i], "feasible partition guarantees headroom");
+        let latency = if lower.is_empty() {
+            0.0
+        } else {
+            lower_sigma / g_hat
+        };
+        let beta = LatencyRate::new(g_hat, latency);
+        out.push(DeterministicBounds {
+            backlog: beta.backlog_bound(&curves[i])?,
+            delay: beta.delay_bound(&curves[i])?,
+        });
+    }
+    Some(out)
+}
+
+/// RPPS network bounds: `Q_i <= σ_i`, `D_i <= σ_i/g_i^{net}` with the
+/// bottleneck guaranteed rate. Returns `None` when some node is unstable.
+pub fn rpps_network_bounds(
+    topology: &NetworkTopology,
+    curves: &[AffineCurve],
+) -> Option<Vec<DeterministicBounds>> {
+    assert_eq!(curves.len(), topology.num_sessions());
+    let rhos: Vec<f64> = curves.iter().map(|c| c.rho).collect();
+    if !topology.is_stable_for(&rhos) {
+        return None;
+    }
+    let mut g_net = vec![f64::INFINITY; curves.len()];
+    for m in 0..topology.num_nodes() {
+        let ids = topology.sessions_at(m);
+        if ids.is_empty() {
+            continue;
+        }
+        let load: f64 = ids.iter().map(|&i| rhos[i]).sum();
+        for &i in &ids {
+            g_net[i] = g_net[i].min(rhos[i] / load * topology.node_rate(m));
+        }
+    }
+    Some(
+        curves
+            .iter()
+            .zip(&g_net)
+            .map(|(c, &g)| DeterministicBounds {
+                backlog: c.sigma,
+                delay: c.sigma / g,
+            })
+            .collect(),
+    )
+}
+
+/// Deterministic RPPS admission: the largest number of homogeneous
+/// `(σ, ρ)` sessions on a rate-`rate` GPS server such that every session's
+/// worst-case delay `σ/g = nσ/rate` stays at or below `delay_target`
+/// (and `nρ < rate`).
+pub fn rpps_admission(curve: AffineCurve, rate: f64, delay_target: f64) -> usize {
+    assert!(delay_target > 0.0);
+    if curve.sigma == 0.0 {
+        // Zero burst: only the stability constraint binds.
+        if curve.rho == 0.0 {
+            return usize::MAX;
+        }
+        let n = (rate / curve.rho).ceil() as usize;
+        return n.saturating_sub(1).max(if (n as f64) * curve.rho < rate {
+            n
+        } else {
+            n - 1
+        });
+    }
+    // n <= rate·d/σ and n·ρ < rate.
+    let by_delay = (rate * delay_target / curve.sigma).floor() as usize;
+    let by_stability = if curve.rho > 0.0 {
+        let n = (rate / curve.rho).floor() as usize;
+        if n as f64 * curve.rho >= rate {
+            n.saturating_sub(1)
+        } else {
+            n
+        }
+    } else {
+        usize::MAX
+    };
+    by_delay.min(by_stability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_core::SessionSpec;
+
+    #[test]
+    fn h1_sessions_get_sigma_over_g() {
+        let curves = vec![AffineCurve::new(2.0, 0.2), AffineCurve::new(1.0, 0.25)];
+        let a = GpsAssignment::rpps(&[0.2, 0.25], 1.0);
+        let b = single_node_bounds(&curves, &a).unwrap();
+        let g0 = 0.2 / 0.45;
+        assert!((b[0].backlog - 2.0).abs() < 1e-12);
+        assert!((b[0].delay - 2.0 / g0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_class_pays_lower_class_bursts() {
+        // Session 1 in H2: latency σ_0/ĝ and backlog σ_1 + ρ_1 T.
+        let curves = vec![AffineCurve::new(1.0, 0.1), AffineCurve::new(2.0, 0.55)];
+        let a = GpsAssignment::unit_rate(vec![3.0, 1.0]);
+        let b = single_node_bounds(&curves, &a).unwrap();
+        let g_hat = 1.0 * (1.0 - 0.1); // ψ = 1, lower load .1
+        let latency = 1.0 / g_hat;
+        assert!((b[1].delay - (latency + 2.0 / g_hat)).abs() < 1e-12);
+        assert!((b[1].backlog - (2.0 + 0.55 * latency)).abs() < 1e-12);
+        // The H1 session is unaffected by session 1's burst.
+        assert!((b[0].backlog - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_none() {
+        let curves = vec![AffineCurve::new(1.0, 0.6), AffineCurve::new(1.0, 0.5)];
+        let a = GpsAssignment::unit_rate(vec![1.0, 1.0]);
+        assert!(single_node_bounds(&curves, &a).is_none());
+    }
+
+    #[test]
+    fn rpps_network_route_independent() {
+        let curves = vec![
+            AffineCurve::new(1.0, 0.2),
+            AffineCurve::new(1.5, 0.25),
+            AffineCurve::new(1.0, 0.2),
+            AffineCurve::new(1.5, 0.25),
+        ];
+        let net = NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]);
+        let b = rpps_network_bounds(&net, &curves).unwrap();
+        // Bottleneck node 2: g0 = .2/.9.
+        assert!((b[0].delay - 1.0 / (0.2 / 0.9)).abs() < 1e-12);
+        assert!((b[0].backlog - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_bound_matches_single_node_when_one_hop() {
+        let curves = vec![AffineCurve::new(2.0, 0.2), AffineCurve::new(1.0, 0.25)];
+        let topo = NetworkTopology::new(
+            vec![1.0],
+            vec![
+                SessionSpec::with_uniform_phi(vec![0], 0.2),
+                SessionSpec::with_uniform_phi(vec![0], 0.25),
+            ],
+        );
+        let net_b = rpps_network_bounds(&topo, &curves).unwrap();
+        let a = GpsAssignment::rpps(&[0.2, 0.25], 1.0);
+        let node_b = single_node_bounds(&curves, &a).unwrap();
+        for (x, y) in net_b.iter().zip(&node_b) {
+            assert!((x.delay - y.delay).abs() < 1e-12);
+            assert!((x.backlog - y.backlog).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn admission_counts() {
+        let c = AffineCurve::new(0.5, 0.02);
+        // Delay target 10: n <= 1·10/0.5 = 20; stability: n <= 49.
+        assert_eq!(rpps_admission(c, 1.0, 10.0), 20);
+        // Lax delay: stability binds.
+        assert_eq!(rpps_admission(c, 1.0, 1e6), 49);
+    }
+}

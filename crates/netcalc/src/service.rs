@@ -1,0 +1,127 @@
+//! Latency-rate service curves and the min-plus performance bounds.
+//!
+//! A server offers a flow the service curve `β(t) = R·max(0, t-T)` when in
+//! any backlogged period of length `t` the flow receives at least `β(t)`
+//! service. For an affine arrival curve `α = (σ, ρ)` with `ρ <= R`:
+//!
+//! * backlog bound: `sup_t α(t) - β(t) = σ + ρT` (vertical deviation);
+//! * delay bound: `T + σ/R` (horizontal deviation);
+//!
+//! both tight for greedy sources. A fluid GPS server offers each session
+//! the zero-latency curve `β(t) = g_i t`.
+
+use crate::arrival::AffineCurve;
+
+/// A latency-rate service curve `β(t) = R·max(0, t - T)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyRate {
+    /// Service rate `R > 0`.
+    pub rate: f64,
+    /// Latency `T >= 0`.
+    pub latency: f64,
+}
+
+impl LatencyRate {
+    /// Creates a service curve; panics on invalid parameters.
+    pub fn new(rate: f64, latency: f64) -> Self {
+        assert!(rate > 0.0, "service rate must be positive");
+        assert!(latency >= 0.0, "latency must be nonnegative");
+        Self { rate, latency }
+    }
+
+    /// Fluid GPS's guaranteed-rate curve: `β(t) = g t`.
+    pub fn guaranteed_rate(g: f64) -> Self {
+        Self::new(g, 0.0)
+    }
+
+    /// Evaluates `β(t)`.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.rate * (t - self.latency).max(0.0)
+    }
+
+    /// Worst-case backlog for an `α`-constrained flow (vertical
+    /// deviation); `None` if `α.rho > rate` (unstable).
+    pub fn backlog_bound(&self, alpha: &AffineCurve) -> Option<f64> {
+        if alpha.rho > self.rate {
+            return None;
+        }
+        Some(alpha.sigma + alpha.rho * self.latency)
+    }
+
+    /// Worst-case delay (horizontal deviation); `None` if unstable.
+    pub fn delay_bound(&self, alpha: &AffineCurve) -> Option<f64> {
+        if alpha.rho > self.rate {
+            return None;
+        }
+        Some(self.latency + alpha.sigma / self.rate)
+    }
+
+    /// Concatenation of two latency-rate servers traversed in sequence:
+    /// `(min(R1,R2), T1+T2)` (min-plus convolution of the curves).
+    pub fn then(&self, next: &LatencyRate) -> LatencyRate {
+        LatencyRate::new(self.rate.min(next.rate), self.latency + next.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_shape() {
+        let b = LatencyRate::new(2.0, 1.5);
+        assert_eq!(b.eval(1.0), 0.0);
+        assert_eq!(b.eval(1.5), 0.0);
+        assert_eq!(b.eval(2.5), 2.0);
+    }
+
+    #[test]
+    fn gps_zero_latency_bounds() {
+        let beta = LatencyRate::guaranteed_rate(0.25);
+        let alpha = AffineCurve::new(3.0, 0.2);
+        assert_eq!(beta.backlog_bound(&alpha), Some(3.0)); // σ
+        assert_eq!(beta.delay_bound(&alpha), Some(12.0)); // σ/g
+    }
+
+    #[test]
+    fn latency_inflates_bounds() {
+        let beta = LatencyRate::new(0.5, 4.0);
+        let alpha = AffineCurve::new(1.0, 0.25);
+        assert_eq!(beta.backlog_bound(&alpha), Some(2.0)); // σ + ρT
+        assert_eq!(beta.delay_bound(&alpha), Some(6.0)); // T + σ/R
+    }
+
+    #[test]
+    fn unstable_is_none() {
+        let beta = LatencyRate::new(0.2, 0.0);
+        let alpha = AffineCurve::new(1.0, 0.3);
+        assert!(beta.backlog_bound(&alpha).is_none());
+        assert!(beta.delay_bound(&alpha).is_none());
+    }
+
+    #[test]
+    fn concatenation() {
+        let a = LatencyRate::new(1.0, 1.0);
+        let b = LatencyRate::new(0.5, 2.0);
+        let c = a.then(&b);
+        assert_eq!(c.rate, 0.5);
+        assert_eq!(c.latency, 3.0);
+    }
+
+    #[test]
+    fn bounds_dominate_any_sample_path() {
+        // A greedy source against a slotted rate-R server: simulated
+        // backlog never exceeds the bound.
+        let alpha = AffineCurve::new(2.0, 0.4);
+        let beta = LatencyRate::guaranteed_rate(0.5);
+        // Greedy: burst σ at t=0 then rate ρ.
+        let mut q: f64 = 0.0;
+        let mut worst: f64 = 0.0;
+        for t in 0..200 {
+            let a = if t == 0 { 2.0 + 0.4 } else { 0.4 };
+            q = (q + a - 0.5).max(0.0);
+            worst = worst.max(q);
+        }
+        assert!(worst <= beta.backlog_bound(&alpha).unwrap() + 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the deterministic network-calculus baseline.
+
+use gps_netcalc::{AffineCurve, ConcaveCurve, LatencyRate};
+use proptest::prelude::*;
+
+/// Strategy: a small set of affine pieces with positive parameters.
+fn pieces() -> impl Strategy<Value = Vec<AffineCurve>> {
+    prop::collection::vec((0.0f64..5.0, 0.05f64..3.0), 1..5)
+        .prop_map(|v| v.into_iter().map(|(s, r)| AffineCurve::new(s, r)).collect())
+}
+
+proptest! {
+    #[test]
+    fn concave_eval_is_min_of_pieces(ps in pieces(), t in 0.0f64..50.0) {
+        let curve = ConcaveCurve::new(ps.clone());
+        let direct = if t <= 0.0 {
+            0.0
+        } else {
+            ps.iter().map(|p| p.eval(t)).fold(f64::INFINITY, f64::min)
+        };
+        prop_assert!((curve.eval(t) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concave_curve_is_nondecreasing(ps in pieces(), t in 0.0f64..40.0, dt in 0.0f64..10.0) {
+        let curve = ConcaveCurve::new(ps);
+        prop_assert!(curve.eval(t + dt) >= curve.eval(t) - 1e-12);
+    }
+
+    #[test]
+    fn backlog_bound_dominates_sampled_deviation(
+        ps in pieces(),
+        rate_mult in 1.05f64..4.0,
+        latency in 0.0f64..5.0,
+    ) {
+        let curve = ConcaveCurve::new(ps);
+        let beta = LatencyRate::new(curve.sustained_rate() * rate_mult, latency);
+        let qb = curve.backlog_bound(&beta).expect("stable");
+        // Sample the deviation densely; the analytic bound must dominate.
+        for k in 1..=400 {
+            let t = k as f64 * 0.1;
+            let dev = curve.eval(t) - beta.eval(t);
+            prop_assert!(dev <= qb + 1e-9, "deviation {dev} at {t} exceeds bound {qb}");
+        }
+    }
+
+    #[test]
+    fn delay_bound_dominates_sampled_horizontal_deviation(
+        ps in pieces(),
+        rate_mult in 1.05f64..4.0,
+        latency in 0.0f64..5.0,
+    ) {
+        let curve = ConcaveCurve::new(ps);
+        let beta = LatencyRate::new(curve.sustained_rate() * rate_mult, latency);
+        let db = curve.delay_bound(&beta).expect("stable");
+        // For sampled t, the catch-up time T + α(t)/R − t must be <= db.
+        for k in 1..=400 {
+            let t = k as f64 * 0.1;
+            let d = beta.latency + curve.eval(t) / beta.rate - t;
+            prop_assert!(d <= db + 1e-9, "horizontal deviation {d} at {t} exceeds {db}");
+        }
+    }
+
+    #[test]
+    fn affine_output_propagation_preserves_conformance(
+        sigma in 0.0f64..3.0,
+        rho in 0.05f64..1.0,
+        rate_mult in 1.0f64..3.0,
+        latency in 0.0f64..4.0,
+    ) {
+        // The output curve after a latency-rate server must dominate the
+        // input curve shifted by the latency (a simple necessary check).
+        let input = AffineCurve::new(sigma, rho);
+        let out = input.after_latency_rate(rho * rate_mult, latency);
+        prop_assert_eq!(out.rho, input.rho);
+        prop_assert!(out.sigma >= input.sigma - 1e-12);
+        for k in 0..50 {
+            let t = k as f64 * 0.3;
+            prop_assert!(out.eval(t) + 1e-9 >= input.eval(t));
+        }
+    }
+
+    #[test]
+    fn dual_bucket_tighter_than_each_component(
+        peak_mult in 1.0f64..5.0,
+        sigma in 0.1f64..4.0,
+        rho in 0.05f64..1.0,
+    ) {
+        let peak = rho * peak_mult;
+        let dual = ConcaveCurve::dual_token_bucket(peak, sigma, rho);
+        let beta = LatencyRate::guaranteed_rate(rho * 1.2);
+        if let Some(qb) = dual.backlog_bound(&beta) {
+            // Never worse than the single sustained bucket's bound.
+            let single = beta.backlog_bound(&AffineCurve::new(sigma, rho)).unwrap();
+            prop_assert!(qb <= single + 1e-9);
+        }
+    }
+}

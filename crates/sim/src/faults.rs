@@ -1,0 +1,173 @@
+//! Fault injection for traffic sources.
+//!
+//! In the spirit of smoltcp's example fault options (`--drop-chance`,
+//! rate limits, …): wrap any [`SlotSource`] and perturb its output to
+//! study what happens to the bounds when the E.B.B. contract is bent —
+//! dropped slots (lighter than declared), duplicated bursts and rate
+//! scaling (heavier than declared). The experiments use this to show
+//! which violations the analytical bounds survive and which they do not.
+
+use gps_sources::SlotSource;
+use rand::RngCore;
+
+/// Fault configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a slot's traffic is dropped entirely.
+    pub drop_chance: f64,
+    /// Probability that a slot's traffic is duplicated (burst injection).
+    pub duplicate_chance: f64,
+    /// Multiplier applied to every slot (1.0 = none).
+    pub rate_scale: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop_chance: 0.0,
+            duplicate_chance: 0.0,
+            rate_scale: 1.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.drop_chance));
+        assert!((0.0..=1.0).contains(&self.duplicate_chance));
+        assert!(self.rate_scale >= 0.0 && self.rate_scale.is_finite());
+    }
+}
+
+/// A [`SlotSource`] wrapper injecting faults.
+#[derive(Debug, Clone)]
+pub struct FaultySource<S> {
+    inner: S,
+    config: FaultConfig,
+}
+
+impl<S: SlotSource> FaultySource<S> {
+    /// Wraps `inner` with the given fault configuration.
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        config.validate();
+        Self { inner, config }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn coin(rng: &mut dyn RngCore, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<S: SlotSource> SlotSource for FaultySource<S> {
+    fn next_slot(&mut self, rng: &mut dyn RngCore) -> f64 {
+        let mut x = self.inner.next_slot(rng) * self.config.rate_scale;
+        if Self::coin(rng, self.config.drop_chance) {
+            x = 0.0;
+        } else if Self::coin(rng, self.config.duplicate_chance) {
+            x *= 2.0;
+        }
+        x
+    }
+
+    fn mean_rate(&self) -> f64 {
+        // Expected multiplier: scale · (1-drop) · (1 + dup) — the
+        // duplicate branch only triggers when not dropped.
+        self.inner.mean_rate()
+            * self.config.rate_scale
+            * (1.0 - self.config.drop_chance)
+            * (1.0 + self.config.duplicate_chance)
+    }
+
+    fn peak_rate(&self) -> Option<f64> {
+        self.inner
+            .peak_rate()
+            .map(|p| p * self.config.rate_scale * 2.0)
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        self.inner.reset(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_sources::CbrSource;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_faults_is_identity() {
+        let mut f = FaultySource::new(CbrSource::new(0.5), FaultConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(f.next_slot(&mut rng), 0.5);
+        }
+    }
+
+    #[test]
+    fn drop_chance_thins_traffic() {
+        let mut f = FaultySource::new(
+            CbrSource::new(1.0),
+            FaultConfig {
+                drop_chance: 0.3,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| f.next_slot(&mut rng)).sum();
+        let frac = total / n as f64;
+        assert!((frac - 0.7).abs() < 0.01, "kept fraction {frac}");
+        assert!((f.mean_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_adds_bursts() {
+        let mut f = FaultySource::new(
+            CbrSource::new(1.0),
+            FaultConfig {
+                duplicate_chance: 0.25,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| f.next_slot(&mut rng)).sum();
+        assert!((total / n as f64 - 1.25).abs() < 0.01);
+        assert_eq!(f.peak_rate(), Some(2.0));
+    }
+
+    #[test]
+    fn rate_scale() {
+        let mut f = FaultySource::new(
+            CbrSource::new(0.4),
+            FaultConfig {
+                rate_scale: 1.5,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((f.next_slot(&mut rng) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_probability() {
+        let _ = FaultySource::new(
+            CbrSource::new(1.0),
+            FaultConfig {
+                drop_chance: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

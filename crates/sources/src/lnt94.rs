@@ -1,0 +1,273 @@
+//! E.B.B. characterizations of Markov-modulated sources à la
+//! Liu–Nain–Towsley ([LNT94]) and Buffet–Duffield ([BD94]) — the results
+//! the paper cites to populate Table 2 and to draw the "improved bounds" of
+//! Figure 4.
+//!
+//! # E.B.B. characterization (Table 2)
+//!
+//! Given a target envelope rate `ρ` strictly between the source's mean and
+//! peak rates, the decay rate is the effective-bandwidth inverse
+//! `α = eb^{-1}(ρ)` (i.e. `sp(M(α)) = e^{αρ}`). For the prefactor `Λ` two
+//! variants are offered ([`PrefactorKind`]):
+//!
+//! * [`PrefactorKind::Lnt94`]: `Λ = π·h`, the stationary average of the
+//!   max-normalized Perron right eigenvector `h` of `M(α)`. **This
+//!   reproduces all eight (Λ, α) pairs of the paper's Table 2 exactly** to
+//!   printed precision (e.g. session 3/set 1: Λ = π·h = 0.84, α = 2.13).
+//!   For sources with i.i.d. slots (`p + q = 1`) the eigenvector is
+//!   constant and `Λ = 1`, matching sessions 1 and 4.
+//! * [`PrefactorKind::Chernoff`]: `Λ = sup_{n>=1} e^{-αρn} E e^{αA(0,n)}`,
+//!   evaluated numerically to convergence. This is provable from first
+//!   principles in a few lines (Markov's inequality per interval length)
+//!   and is the conservative choice; it exceeds the LNT94 value by a small
+//!   factor (the overshoot correction LNT94's martingale argument wins
+//!   back).
+//!
+//! # Direct queue bound (Figure 4)
+//!
+//! For a queue served at constant rate `c` (here: the GPS guaranteed rate
+//! `g_i`), the Kingman-type martingale bound gives
+//!
+//! ```text
+//! Pr{δ(t) >= x} <= C e^{-θ* x},   θ* = eb^{-1}(c),
+//! C = (π·h(θ*)) / min_s h_s(θ*)
+//! ```
+//!
+//! (optional stopping on the martingale `h(J_n) e^{θ*(A(0,n)-cn)}`). The
+//! decay `θ*` is governed by the *service rate*, not by the envelope rate
+//! `ρ`, which is why Figure 4's improved bounds decay so much faster than
+//! the E.B.B.-based Figure 3 bounds when `ρ` is chosen close to the mean.
+
+use crate::markov::MarkovSource;
+use crate::spectral::{mgf_matrix, perron, solve_decay_rate};
+use gps_ebb::{EbbProcess, TailBound};
+
+/// Which prefactor to attach to the effective-bandwidth decay rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefactorKind {
+    /// `Λ = π·h` — the LNT94 value the paper prints in Table 2.
+    Lnt94,
+    /// `Λ = sup_{n>=1} e^{-αρn} E e^{αA(0,n)}` — self-contained Chernoff
+    /// prefactor, slightly more conservative.
+    Chernoff,
+}
+
+/// An E.B.B. characterization of a Markov-modulated source, carrying the
+/// spectral data it was derived from.
+#[derive(Debug, Clone)]
+pub struct Lnt94Characterization {
+    /// The resulting `(ρ, Λ, α)` triple.
+    pub ebb: EbbProcess,
+    /// Stationary distribution `π` of the modulating chain.
+    pub stationary: Vec<f64>,
+    /// Max-normalized Perron right eigenvector `h` of `M(α)`.
+    pub eigenvector: Vec<f64>,
+}
+
+impl Lnt94Characterization {
+    /// Characterizes `src` at envelope rate `rho` (must satisfy
+    /// `mean < rho < peak`; returns `None` otherwise).
+    pub fn characterize(
+        src: &MarkovSource,
+        rho: f64,
+        kind: PrefactorKind,
+    ) -> Option<Lnt94Characterization> {
+        let alpha = solve_decay_rate(src, rho)?;
+        let (_, h) = perron(&mgf_matrix(src, alpha));
+        let pi = src.stationary().to_vec();
+        let lambda = match kind {
+            PrefactorKind::Lnt94 => dot(&pi, &h),
+            PrefactorKind::Chernoff => chernoff_prefactor(src, rho, alpha),
+        };
+        Some(Lnt94Characterization {
+            ebb: EbbProcess::new(rho, lambda, alpha),
+            stationary: pi,
+            eigenvector: h,
+        })
+    }
+}
+
+/// Direct queue-tail bound for `src` served at constant rate `c`
+/// (Figure 4's machinery): `Pr{δ >= x} <= C e^{-θ* x}` with
+/// `θ* = eb^{-1}(c)` and the martingale prefactor `C = π·h / min h`.
+///
+/// Returns `None` unless `mean < c < peak` (at `c >= peak` the queue is
+/// always empty; at `c <= mean` it is unstable).
+pub fn queue_tail_bound(src: &MarkovSource, c: f64) -> Option<TailBound> {
+    let theta_star = solve_decay_rate(src, c)?;
+    let (_, h) = perron(&mgf_matrix(src, theta_star));
+    let pi = src.stationary();
+    let h_min = h.iter().cloned().fold(f64::INFINITY, f64::min);
+    debug_assert!(
+        h_min > 0.0,
+        "Perron vector of a primitive matrix is positive"
+    );
+    let c_pref = dot(pi, &h) / h_min;
+    Some(TailBound::new(c_pref, theta_star))
+}
+
+/// `sup_{n >= 1} e^{-αρn} E e^{αA(0,n)}` with `E e^{αA(0,n)} = π M(α)^n 1`,
+/// iterated until the per-step ratio stabilizes (it converges geometrically
+/// to the Perron limit, and the supremum is attained at small `n`).
+fn chernoff_prefactor(src: &MarkovSource, rho: f64, alpha: f64) -> f64 {
+    let m = mgf_matrix(src, alpha);
+    let pi = src.stationary();
+    let n_states = m.len();
+    // v = M^n · 1, iterated with the e^{-αρ} discount folded in each step
+    // so the vector stays O(1).
+    let discount = (-alpha * rho).exp();
+    let mut v = vec![1.0; n_states];
+    let mut best: f64 = 0.0;
+    let mut prev: f64 = 0.0;
+    for _ in 0..100_000 {
+        let mut next = vec![0.0; n_states];
+        for i in 0..n_states {
+            for j in 0..n_states {
+                next[i] += m[i][j] * v[j];
+            }
+            next[i] *= discount;
+        }
+        v = next;
+        let cur = dot(pi, &v);
+        if cur > best {
+            best = cur;
+        }
+        if (cur - prev).abs() < 1e-14 * cur.max(1.0) {
+            break;
+        }
+        prev = cur;
+    }
+    best
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onoff::OnOffSource;
+
+    fn characterize_paper(i: usize, rho: f64) -> Lnt94Characterization {
+        let sources = OnOffSource::paper_table1();
+        Lnt94Characterization::characterize(sources[i].as_markov(), rho, PrefactorKind::Lnt94)
+            .unwrap()
+    }
+
+    /// The headline test: all eight (Λ, α) pairs of Table 2.
+    #[test]
+    fn reproduces_table2_exactly() {
+        // (session idx, rho, lambda, alpha) for both sets.
+        let cases = [
+            (0, 0.20, 1.000, 1.74),
+            (1, 0.25, 0.920, 1.76),
+            (2, 0.20, 0.840, 2.13),
+            (3, 0.25, 1.000, 1.62),
+            (0, 0.17, 1.000, 0.729),
+            (1, 0.22, 0.968, 0.672),
+            (2, 0.17, 0.929, 0.775),
+            (3, 0.22, 1.000, 0.655),
+        ];
+        for &(i, rho, lambda, alpha) in &cases {
+            let c = characterize_paper(i, rho);
+            assert!(
+                (c.ebb.alpha - alpha).abs() < 0.005,
+                "session {} rho {rho}: alpha {} vs paper {alpha}",
+                i + 1,
+                c.ebb.alpha
+            );
+            assert!(
+                (c.ebb.lambda - lambda).abs() < 0.005,
+                "session {} rho {rho}: lambda {} vs paper {lambda}",
+                i + 1,
+                c.ebb.lambda
+            );
+        }
+    }
+
+    #[test]
+    fn iid_sources_have_unit_prefactor() {
+        // Sessions 1 and 4 have p+q=1 (i.i.d. slots): h is constant, Λ = 1.
+        for (i, rho) in [(0usize, 0.3), (3usize, 0.3)] {
+            let c = characterize_paper(i, rho);
+            assert!((c.ebb.lambda - 1.0).abs() < 1e-9);
+            assert!((c.eigenvector[0] - c.eigenvector[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chernoff_prefactor_at_least_lnt94() {
+        let sources = OnOffSource::paper_table1();
+        for (i, rho) in [(1usize, 0.25), (2usize, 0.2)] {
+            let l = Lnt94Characterization::characterize(
+                sources[i].as_markov(),
+                rho,
+                PrefactorKind::Lnt94,
+            )
+            .unwrap();
+            let c = Lnt94Characterization::characterize(
+                sources[i].as_markov(),
+                rho,
+                PrefactorKind::Chernoff,
+            )
+            .unwrap();
+            assert!(
+                c.ebb.lambda >= l.ebb.lambda - 1e-9,
+                "session {}: chernoff {} vs lnt94 {}",
+                i + 1,
+                c.ebb.lambda,
+                l.ebb.lambda
+            );
+            assert_eq!(c.ebb.alpha, l.ebb.alpha);
+            // And it stays within a sane factor.
+            assert!(c.ebb.lambda <= 2.0 * l.ebb.lambda);
+        }
+    }
+
+    #[test]
+    fn characterize_rejects_out_of_range_rho() {
+        let s = OnOffSource::new(0.3, 0.7, 0.5);
+        assert!(
+            Lnt94Characterization::characterize(s.as_markov(), 0.1, PrefactorKind::Lnt94).is_none()
+        );
+        assert!(
+            Lnt94Characterization::characterize(s.as_markov(), 0.6, PrefactorKind::Lnt94).is_none()
+        );
+    }
+
+    #[test]
+    fn queue_bound_decay_exceeds_ebb_decay_for_nearby_rho() {
+        // Set 2 scenario: rho close to the mean gives a small α, but the
+        // direct queue bound at service rate g >> rho decays much faster —
+        // the whole point of Figure 4.
+        let s = OnOffSource::new(0.3, 0.7, 0.5); // mean .15
+        let rho = 0.17;
+        let g = 0.218; // ≈ paper's g_1 under Set 2
+        let ebb =
+            Lnt94Characterization::characterize(s.as_markov(), rho, PrefactorKind::Lnt94).unwrap();
+        let direct = queue_tail_bound(s.as_markov(), g).unwrap();
+        assert!(
+            direct.decay > ebb.ebb.alpha * 1.5,
+            "direct decay {} should well exceed E.B.B. alpha {}",
+            direct.decay,
+            ebb.ebb.alpha
+        );
+        assert!(direct.prefactor >= 1.0);
+    }
+
+    #[test]
+    fn queue_bound_rejects_unstable_or_trivial() {
+        let s = OnOffSource::new(0.3, 0.7, 0.5);
+        assert!(queue_tail_bound(s.as_markov(), 0.1).is_none()); // < mean
+        assert!(queue_tail_bound(s.as_markov(), 0.7).is_none()); // > peak
+    }
+
+    #[test]
+    fn queue_bound_monotone_in_service_rate() {
+        let s = OnOffSource::new(0.4, 0.4, 0.4); // mean 0.2, peak 0.4
+        let b1 = queue_tail_bound(s.as_markov(), 0.25).unwrap();
+        let b2 = queue_tail_bound(s.as_markov(), 0.35).unwrap();
+        assert!(b2.decay > b1.decay, "faster service, faster decay");
+    }
+}

@@ -1,0 +1,252 @@
+//! Leaky-bucket (token-bucket) machinery and the paper's Section-3 *marked
+//! traffic* interpretation.
+//!
+//! Parekh–Gallager's deterministic analysis assumes each session is policed
+//! by a `(σ, ρ)` leaky bucket, so its arrivals satisfy Cruz's LBAP
+//! constraint `A(τ,t) <= σ + ρ(t-τ)`. The paper replaces that hard
+//! constraint with the E.B.B. tail bound, and offers (end of Section 3) a
+//! second reading of its δ/η decomposition:
+//!
+//! > tokens are generated at constant rate `r` into a bucket of size zero;
+//! > arriving traffic in excess of the available tokens is *marked* and
+//! > admitted anyway. Then `δ_i(t)` is the amount of marked session-i
+//! > traffic and `η_i(t) = Q_i(t) - δ_i(t)` the backlog of unmarked
+//! > traffic.
+//!
+//! In discrete time, `δ(t) = sup_{s<=t}{A(s,t) - r(t-s)}` obeys the Lindley
+//! recursion `δ_t = max(0, δ_{t-1} + a_t - r)`, which is exactly what
+//! [`MarkedTrafficMeter`] tracks. [`LeakyBucket`] is the classical
+//! `(σ, ρ)` regulator used for the deterministic baseline: it can *police*
+//! (report conformance), *shape* (delay excess), or *mark*.
+
+/// Classical `(σ, ρ)` token bucket.
+///
+/// Tokens accrue at rate `rho` up to a ceiling of `sigma`; a packet/fluid
+/// amount conforms when enough tokens are available.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakyBucket {
+    sigma: f64,
+    rho: f64,
+    tokens: f64,
+}
+
+impl LeakyBucket {
+    /// Creates a bucket with burst capacity `sigma >= 0` and token rate
+    /// `rho >= 0`, starting full (the PG convention).
+    pub fn new(sigma: f64, rho: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be nonnegative");
+        assert!(rho >= 0.0, "rho must be nonnegative");
+        Self {
+            sigma,
+            rho,
+            tokens: sigma,
+        }
+    }
+
+    /// Burst parameter `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Token rate `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Current token level.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Advances one slot: accrue tokens, then offer `amount` of traffic.
+    /// Returns the *conforming* portion; the remainder is the caller's to
+    /// drop, delay, or mark.
+    pub fn offer(&mut self, amount: f64) -> f64 {
+        assert!(amount >= 0.0);
+        self.tokens = (self.tokens + self.rho).min(self.sigma + self.rho);
+        // Tokens above sigma exist only transiently within the slot: the
+        // bucket ceiling applies to what carries over.
+        let conforming = amount.min(self.tokens);
+        self.tokens -= conforming;
+        if self.tokens > self.sigma {
+            self.tokens = self.sigma;
+        }
+        conforming
+    }
+
+    /// Checks whether an entire arrival trace conforms to `(σ, ρ)` — i.e.
+    /// satisfies Cruz's LBAP bound `A(s,t] <= σ + ρ(t-s)` for all windows.
+    /// O(n) via the Lindley recursion on the excess.
+    pub fn conforms(sigma: f64, rho: f64, trace: &[f64]) -> bool {
+        let mut excess = 0.0_f64;
+        for &a in trace {
+            excess = (excess + a - rho).max(0.0);
+            if excess > sigma + 1e-12 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The smallest `σ` such that `trace` conforms to `(σ, rho)`:
+    /// `max_t sup_{s<=t} {A(s,t] - ρ(t-s)}`.
+    pub fn min_sigma(rho: f64, trace: &[f64]) -> f64 {
+        let mut excess = 0.0_f64;
+        let mut worst = 0.0_f64;
+        for &a in trace {
+            excess = (excess + a - rho).max(0.0);
+            worst = worst.max(excess);
+        }
+        worst
+    }
+}
+
+/// The Section-3 marked-traffic meter: a zero-size bucket refilled at rate
+/// `r`; per-slot it reports how much of the arriving traffic is *marked*
+/// (in excess of tokens) and tracks the running marked backlog
+/// `δ_t = max(0, δ_{t-1} + a_t - r)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkedTrafficMeter {
+    rate: f64,
+    delta: f64,
+}
+
+impl MarkedTrafficMeter {
+    /// Creates a meter with token rate `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "token rate must be positive");
+        Self { rate, delta: 0.0 }
+    }
+
+    /// Token generation rate `r`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Current marked backlog `δ(t)`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Processes one slot of arrivals; returns the *newly marked* amount in
+    /// this slot, `max(0, min(a_t, δ_{t-1} + a_t - r))`.
+    ///
+    /// All tokens are consumed by arriving traffic first (earlier excess
+    /// `δ` cannot retroactively claim tokens — δ is the supremum form and
+    /// never decreases below the Lindley recursion).
+    pub fn offer(&mut self, amount: f64) -> f64 {
+        assert!(amount >= 0.0);
+        let next = (self.delta + amount - self.rate).max(0.0);
+        let newly_marked = (next - self.delta).max(0.0).min(amount);
+        self.delta = next;
+        newly_marked
+    }
+
+    /// Runs a whole trace, returning the per-slot `δ(t)` series.
+    pub fn delta_trace(rate: f64, trace: &[f64]) -> Vec<f64> {
+        let mut m = MarkedTrafficMeter::new(rate);
+        trace
+            .iter()
+            .map(|&a| {
+                m.offer(a);
+                m.delta()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_basic_conformance() {
+        let mut b = LeakyBucket::new(2.0, 1.0);
+        // Starts full (2 tokens) + 1 accrued = 3 available.
+        assert_eq!(b.offer(3.0), 3.0);
+        // Bucket empty; next slot has 1 token.
+        assert_eq!(b.offer(2.0), 1.0);
+    }
+
+    #[test]
+    fn bucket_caps_at_sigma() {
+        let mut b = LeakyBucket::new(1.0, 0.5);
+        for _ in 0..10 {
+            b.offer(0.0);
+        }
+        // Long idle: tokens capped at sigma; one slot's accrual on top.
+        assert_eq!(b.offer(2.0), 1.5);
+    }
+
+    #[test]
+    fn conforms_detects_violation() {
+        assert!(LeakyBucket::conforms(1.0, 0.5, &[1.0, 0.5, 0.5, 0.5]));
+        assert!(!LeakyBucket::conforms(1.0, 0.5, &[1.0, 1.0, 1.0, 1.0]));
+        assert!(LeakyBucket::conforms(0.0, 1.0, &[1.0; 100]));
+    }
+
+    #[test]
+    fn min_sigma_is_tight() {
+        let trace = [2.0, 0.0, 2.0, 0.0, 3.0];
+        let rho = 1.0;
+        let s = LeakyBucket::min_sigma(rho, &trace);
+        assert!(LeakyBucket::conforms(s, rho, &trace));
+        assert!(!LeakyBucket::conforms(s - 0.01, rho, &trace));
+    }
+
+    #[test]
+    fn meter_matches_sup_formula() {
+        // δ(t) = max over window starts of A(s,t] - r(t-s): brute force.
+        let trace = [0.5, 2.0, 0.0, 1.5, 1.5, 0.0, 0.0, 3.0];
+        let r = 1.0;
+        let deltas = MarkedTrafficMeter::delta_trace(r, &trace);
+        for t in 0..trace.len() {
+            let mut sup = 0.0_f64;
+            for s in 0..=t {
+                let a: f64 = trace[s..=t].iter().sum();
+                sup = sup.max(a - r * (t - s + 1) as f64);
+            }
+            assert!(
+                (deltas[t] - sup).abs() < 1e-12,
+                "slot {t}: lindley {} vs sup {sup}",
+                deltas[t]
+            );
+        }
+    }
+
+    #[test]
+    fn meter_marks_only_excess() {
+        let mut m = MarkedTrafficMeter::new(1.0);
+        assert_eq!(m.offer(0.5), 0.0); // under rate: nothing marked
+        assert_eq!(m.offer(2.5), 1.5); // 1 token, 1.5 excess marked
+        assert!((m.delta() - 1.5).abs() < 1e-12);
+        // Idle slot drains the marked backlog at the token rate.
+        assert_eq!(m.offer(0.0), 0.0);
+        assert!((m.delta() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marked_fraction_increases_with_load() {
+        // Marking at token rate r: heavier traffic -> larger marked share.
+        let light: Vec<f64> = (0..100)
+            .map(|i| if i % 4 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let heavy: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.5 } else { 0.0 })
+            .collect();
+        let total = |tr: &[f64]| tr.iter().sum::<f64>();
+        let marked = |tr: &[f64]| {
+            let mut m = MarkedTrafficMeter::new(0.5);
+            tr.iter().map(|&a| m.offer(a)).sum::<f64>()
+        };
+        let f_light = marked(&light) / total(&light);
+        let f_heavy = marked(&heavy) / total(&heavy);
+        assert!(f_heavy > f_light);
+    }
+
+    #[test]
+    #[should_panic(expected = "token rate must be positive")]
+    fn meter_rejects_zero_rate() {
+        let _ = MarkedTrafficMeter::new(0.0);
+    }
+}

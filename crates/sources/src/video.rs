@@ -1,0 +1,169 @@
+//! Multi-level Markov fluid video model (Maglaris et al. style).
+//!
+//! A classical VBR-video source model: `M` i.i.d. two-state
+//! *minisources*, each contributing `step` units while on; the
+//! superposition is a birth–death Markov chain on `0..=M` active
+//! minisources with binomial stationary distribution. This exercises the
+//! general [`MarkovSource`] machinery on larger chains than the paper's
+//! two-state example and provides a realistic workload for the
+//! experiments (the paper's Section 7 repeatedly gestures at video
+//! classes).
+//!
+//! Discrete-time dynamics: each minisource independently turns on with
+//! probability `p` (if off) and off with probability `q` (if on) per
+//! slot. The aggregate state transition matrix is the `M`-fold
+//! convolution; we build it exactly.
+
+use crate::markov::MarkovSource;
+
+/// Builds the aggregate `M`-minisource video model as a [`MarkovSource`]
+/// over states `0..=M` (number of active minisources), emitting
+/// `level · step` per slot.
+///
+/// # Panics
+///
+/// Panics for `M = 0` or out-of-range probabilities.
+pub fn video_source(minisources: usize, p: f64, q: f64, step: f64) -> MarkovSource {
+    assert!(minisources >= 1, "need at least one minisource");
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+    assert!(q > 0.0 && q < 1.0, "q must be in (0,1)");
+    assert!(step > 0.0, "step must be positive");
+    let m = minisources;
+
+    // Transition probability from `a` active to `b` active:
+    // sum over k = number of the `a` on-sources that stay on
+    // (Binomial(a, 1-q)) while `b - k` of the `m - a` off-sources turn on
+    // (Binomial(m-a, p)).
+    let mut transition = vec![vec![0.0; m + 1]; m + 1];
+    for (a, row) in transition.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
+            let mut prob = 0.0;
+            let k_lo = b.saturating_sub(m - a);
+            let k_hi = a.min(b);
+            for k in k_lo..=k_hi {
+                prob += binom_pmf(a, k, 1.0 - q) * binom_pmf(m - a, b - k, p);
+            }
+            *cell = prob;
+        }
+    }
+    let rates: Vec<f64> = (0..=m).map(|lvl| lvl as f64 * step).collect();
+    MarkovSource::new(transition, rates)
+}
+
+/// Binomial pmf `C(n,k) p^k (1-p)^{n-k}` computed stably in log space for
+/// the modest `n` used here.
+fn binom_pmf(n: usize, k: usize, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let mut log = 0.0;
+    for i in 0..k {
+        log += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    log += k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    log.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lnt94::{Lnt94Characterization, PrefactorKind};
+    use crate::spectral::effective_bandwidth;
+    use crate::SlotSource;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binom_pmf_sums_to_one() {
+        for n in [0usize, 1, 5, 12] {
+            for p in [0.1, 0.5, 0.9] {
+                let s: f64 = (0..=n).map(|k| binom_pmf(n, k, p)).sum();
+                assert!((s - 1.0).abs() < 1e-12, "n={n} p={p}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_minisource_matches_onoff() {
+        let v = video_source(1, 0.3, 0.7, 0.5);
+        let o = crate::onoff::OnOffSource::new(0.3, 0.7, 0.5);
+        assert!((v.mean() - o.mean()).abs() < 1e-12);
+        // Transition matrices agree.
+        assert!((v.transition()[0][1] - 0.3).abs() < 1e-12);
+        assert!((v.transition()[1][0] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_is_binomial() {
+        let m = 6;
+        let (p, q) = (0.2, 0.3);
+        let v = video_source(m, p, q, 1.0);
+        let on = p / (p + q);
+        for (lvl, &pi) in v.stationary().iter().enumerate() {
+            let want = binom_pmf(m, lvl, on);
+            assert!(
+                (pi - want).abs() < 1e-9,
+                "level {lvl}: {pi} vs binomial {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_and_peak() {
+        let v = video_source(8, 0.25, 0.5, 0.05);
+        let on = 0.25 / 0.75;
+        assert!((v.mean() - 8.0 * on * 0.05).abs() < 1e-9);
+        assert!((v.peak() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_bandwidth_is_m_times_minisource() {
+        // EBs of independent sources add: the aggregate eb equals M times
+        // the single-minisource eb.
+        let m = 5;
+        let (p, q, step) = (0.3, 0.4, 0.1);
+        let agg = video_source(m, p, q, step);
+        let single = video_source(1, p, q, step);
+        for theta in [0.5, 1.5, 4.0] {
+            let ea = effective_bandwidth(&agg, theta);
+            let es = effective_bandwidth(&single, theta);
+            assert!(
+                (ea - m as f64 * es).abs() < 1e-8,
+                "theta {theta}: {ea} vs {}",
+                m as f64 * es
+            );
+        }
+    }
+
+    #[test]
+    fn characterization_and_simulation() {
+        let mut v = video_source(4, 0.3, 0.5, 0.08);
+        let mean = v.mean();
+        let rho = mean * 1.4;
+        let c = Lnt94Characterization::characterize(&v, rho, PrefactorKind::Lnt94)
+            .expect("rho in range");
+        assert!(c.ebb.alpha > 0.0);
+        assert!(c.ebb.lambda > 0.0 && c.ebb.lambda <= 1.0 + 1e-9);
+        // Simulated mean matches.
+        let mut rng = StdRng::seed_from_u64(5);
+        v.reset(&mut rng);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| v.next_slot(&mut rng)).sum();
+        assert!((total / n as f64 - mean).abs() < 0.01);
+    }
+
+    #[test]
+    fn rows_are_stochastic_for_larger_m() {
+        let v = video_source(12, 0.15, 0.35, 0.02);
+        for row in v.transition() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the traffic-source substrate: spectral
+//! quantities, characterizations, token buckets, and traces.
+
+use gps_sources::spectral::{effective_bandwidth, perron, solve_decay_rate};
+use gps_sources::token_bucket::{LeakyBucket, MarkedTrafficMeter};
+use gps_sources::{ArrivalTrace, Lnt94Characterization, MarkovSource, OnOffSource, PrefactorKind};
+use proptest::prelude::*;
+
+/// Strategy: valid on-off parameters.
+fn onoff() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.05f64..0.95, 0.05f64..0.95, 0.1f64..2.0)
+}
+
+proptest! {
+    #[test]
+    fn effective_bandwidth_monotone_between_mean_and_peak((p, q, lam) in onoff()) {
+        let src = OnOffSource::new(p, q, lam);
+        let m = src.as_markov();
+        let mut prev = src.mean();
+        for k in 1..=20 {
+            let eb = effective_bandwidth(m, k as f64 * 0.5);
+            prop_assert!(eb >= prev - 1e-9, "eb must be nondecreasing");
+            prop_assert!(eb <= lam + 1e-9, "eb must stay below the peak");
+            prev = eb;
+        }
+    }
+
+    #[test]
+    fn decay_rate_roundtrip((p, q, lam) in onoff(), f in 0.1f64..0.9) {
+        let src = OnOffSource::new(p, q, lam);
+        let mean = src.mean();
+        let rho = mean + f * (lam - mean);
+        // Guard against rho numerically at an endpoint.
+        prop_assume!(rho > mean * 1.0001 && rho < lam * 0.9999);
+        if let Some(alpha) = solve_decay_rate(src.as_markov(), rho) {
+            let back = effective_bandwidth(src.as_markov(), alpha);
+            prop_assert!((back - rho).abs() < 1e-6, "eb({alpha}) = {back} != {rho}");
+        }
+    }
+
+    #[test]
+    fn lnt94_prefactor_in_unit_range_and_chernoff_dominates(
+        (p, q, lam) in onoff(),
+        f in 0.2f64..0.8,
+    ) {
+        let src = OnOffSource::new(p, q, lam);
+        let mean = src.mean();
+        let rho = mean + f * (lam - mean);
+        prop_assume!(rho > mean * 1.0001 && rho < lam * 0.9999);
+        let l = Lnt94Characterization::characterize(src.as_markov(), rho, PrefactorKind::Lnt94);
+        let c = Lnt94Characterization::characterize(src.as_markov(), rho, PrefactorKind::Chernoff);
+        if let (Some(l), Some(c)) = (l, c) {
+            // π·h with max-normalized h lies in (0, 1].
+            prop_assert!(l.ebb.lambda > 0.0 && l.ebb.lambda <= 1.0 + 1e-9);
+            // Chernoff prefactor dominates the LNT94 one.
+            prop_assert!(c.ebb.lambda >= l.ebb.lambda - 1e-9);
+            prop_assert_eq!(l.ebb.alpha, c.ebb.alpha);
+            // Eigenvector is positive, max-normalized.
+            let h = &l.eigenvector;
+            prop_assert!(h.iter().all(|&x| x > 0.0));
+            prop_assert!((h.iter().cloned().fold(0.0f64, f64::max) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perron_root_brackets_row_sums(seed in 0u64..400) {
+        // Random positive 3x3 matrix: Perron root lies between the min and
+        // max row sums.
+        let mut vals = [[0.0; 3]; 3];
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for row in vals.iter_mut() {
+            for v in row.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = 0.05 + ((s >> 11) as f64 / (1u64 << 53) as f64);
+            }
+        }
+        let m: Vec<Vec<f64>> = vals.iter().map(|r| r.to_vec()).collect();
+        let (z, h) = perron(&m);
+        let row_sums: Vec<f64> = m.iter().map(|r| r.iter().sum()).collect();
+        let lo = row_sums.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = row_sums.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(z >= lo - 1e-9 && z <= hi + 1e-9, "z={z} not in [{lo},{hi}]");
+        prop_assert!(h.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn min_sigma_makes_trace_conform(seed in 0u64..200, rho in 0.2f64..1.5) {
+        let mut s = seed.wrapping_mul(0x12345).wrapping_add(99);
+        let trace: Vec<f64> = (0..200)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0
+            })
+            .collect();
+        let sigma = LeakyBucket::min_sigma(rho, &trace);
+        prop_assert!(LeakyBucket::conforms(sigma, rho, &trace));
+        if sigma > 0.01 {
+            prop_assert!(!LeakyBucket::conforms(sigma * 0.95 - 1e-9, rho, &trace));
+        }
+    }
+
+    #[test]
+    fn marked_meter_equals_excess_trace(seed in 0u64..200, rate in 0.2f64..1.5) {
+        let mut s = seed.wrapping_mul(77).wrapping_add(5);
+        let slots: Vec<f64> = (0..150)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 1.8
+            })
+            .collect();
+        let trace = ArrivalTrace::new(slots.clone());
+        let from_trace = trace.excess_trace(rate);
+        let from_meter = MarkedTrafficMeter::delta_trace(rate, &slots);
+        for (a, b) in from_trace.iter().zip(&from_meter) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn markov_stationary_is_fixed_point(seed in 0u64..300) {
+        // Random 4-state chain.
+        let mut s = seed.wrapping_mul(31).wrapping_add(17);
+        let mut rows = Vec::new();
+        for _ in 0..4 {
+            let mut r: Vec<f64> = (0..4)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    0.05 + ((s >> 11) as f64 / (1u64 << 53) as f64)
+                })
+                .collect();
+            let t: f64 = r.iter().sum();
+            for x in &mut r {
+                *x /= t;
+            }
+            rows.push(r);
+        }
+        let src = MarkovSource::new(rows.clone(), vec![0.0, 0.3, 0.7, 1.0]);
+        let pi = src.stationary();
+        for j in 0..4 {
+            let v: f64 = (0..4).map(|i| pi[i] * rows[i][j]).sum();
+            prop_assert!((v - pi[j]).abs() < 1e-8);
+        }
+        prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

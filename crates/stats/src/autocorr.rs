@@ -1,0 +1,134 @@
+//! Autocorrelation estimation for arrival traces.
+//!
+//! The burstiness that drives the paper's bounds shows up in the traffic
+//! as positive autocorrelation (the on-off chain's lag-`k`
+//! autocorrelation is `(1-p-q)^k`). The experiments use this estimator to
+//! connect measured traffic structure to the analytical burstiness
+//! parameter.
+
+/// Estimates the autocorrelation function of `xs` at lags `0..=max_lag`
+/// (biased estimator, the standard choice for its positive-definiteness).
+///
+/// Returns `None` when the series is shorter than `max_lag + 2` or has
+/// (numerically) zero variance.
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Option<Vec<f64>> {
+    let n = xs.len();
+    if n < max_lag + 2 {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var < 1e-300 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let cov: f64 = xs[..n - lag]
+            .iter()
+            .zip(&xs[lag..])
+            .map(|(a, b)| (a - mean) * (b - mean))
+            .sum::<f64>()
+            / n as f64;
+        out.push(cov / var);
+    }
+    Some(out)
+}
+
+/// Fits a geometric decay `r(k) ≈ φ^k` to an autocorrelation function by
+/// log-linear regression over the positive prefix; returns `φ̂`.
+///
+/// Returns `None` if fewer than two leading lags are positive.
+pub fn geometric_decay(acf: &[f64]) -> Option<f64> {
+    let prefix: Vec<(f64, f64)> = acf
+        .iter()
+        .enumerate()
+        .take_while(|&(_, &r)| r > 0.0)
+        .map(|(k, &r)| (k as f64, r.ln()))
+        .collect();
+    if prefix.len() < 2 {
+        return None;
+    }
+    let n = prefix.len() as f64;
+    let sx: f64 = prefix.iter().map(|p| p.0).sum();
+    let sy: f64 = prefix.iter().map(|p| p.1).sum();
+    let sxx: f64 = prefix.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = prefix.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return None;
+    }
+    Some(((n * sxy - sx * sy) / denom).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_noise_acf_near_delta() {
+        let mut s = 0x5EEDu64;
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let acf = autocorrelation(&xs, 5).unwrap();
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        for &r in &acf[1..] {
+            assert!(r.abs() < 0.02, "white noise lag corr {r}");
+        }
+    }
+
+    #[test]
+    fn ar1_decay_recovered() {
+        // AR(1): x_{t+1} = φ x_t + noise; ACF = φ^k.
+        let phi = 0.7;
+        let mut s = 0xA1u64;
+        let mut x = 0.0_f64;
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                x = phi * x + u;
+                x
+            })
+            .collect();
+        let acf = autocorrelation(&xs, 10).unwrap();
+        let fitted = geometric_decay(&acf).unwrap();
+        assert!((fitted - phi).abs() < 0.05, "fitted {fitted}");
+    }
+
+    #[test]
+    fn onoff_acf_matches_one_minus_p_minus_q() {
+        // On-off chain with p=0.2, q=0.3: state ACF = 0.5^k.
+        let (p, q) = (0.2, 0.3);
+        let mut s = 0xB2u64;
+        let mut on = false;
+        let xs: Vec<f64> = (0..400_000)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+                on = if on { u >= q } else { u < p };
+                if on {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let acf = autocorrelation(&xs, 8).unwrap();
+        for (k, &r) in acf.iter().enumerate().take(5) {
+            let want = (1.0 - p - q).powi(k as i32);
+            assert!((r - want).abs() < 0.02, "lag {k}: {r} vs {want}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_none());
+        assert!(autocorrelation(&[3.0; 100], 5).is_none()); // zero variance
+        assert!(geometric_decay(&[1.0]).is_none());
+        assert!(geometric_decay(&[1.0, -0.5]).is_none());
+    }
+}

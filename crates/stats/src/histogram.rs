@@ -1,0 +1,143 @@
+//! Fixed-width histograms with under/overflow buckets.
+
+/// A histogram over `[lo, hi)` with equal-width bins plus explicit
+/// underflow/overflow counters, so no observation is ever silently dropped.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of buckets.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The half-open range `[left, right)` covered by bucket `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// `(bin_midpoint, density)` pairs; density integrates to the in-range
+    /// fraction of mass.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let total = self.total();
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let (l, r) = self.bin_range(i);
+                let mid = 0.5 * (l + r);
+                let d = if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / (total as f64 * w)
+                };
+                (mid, d)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-1.0);
+        h.push(0.0);
+        h.push(0.999);
+        h.push(5.0);
+        h.push(9.999);
+        h.push(10.0);
+        h.push(42.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn bin_ranges_cover_domain() {
+        let h = Histogram::new(2.0, 4.0, 4);
+        assert_eq!(h.bin_range(0), (2.0, 2.5));
+        assert_eq!(h.bin_range(3), (3.5, 4.0));
+    }
+
+    #[test]
+    fn density_integrates_to_in_range_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 20);
+        for i in 0..1000 {
+            h.push((i as f64) / 1000.0);
+        }
+        let w = 1.0 / 20.0;
+        let integral: f64 = h.density().iter().map(|&(_, d)| d * w).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi must exceed lo")]
+    fn rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,231 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator of
+//! Jain & Chlamtac (1985).
+//!
+//! Tracks a single quantile of a stream in O(1) memory using five markers
+//! whose heights are adjusted with parabolic interpolation. Used by the
+//! simulators to report delay percentiles from very long runs without
+//! retaining samples.
+
+/// Streaming estimator of one `p`-quantile.
+///
+/// # Examples
+///
+/// ```
+/// use gps_stats::P2Quantile;
+/// let mut q = P2Quantile::new(0.5);
+/// for i in 1..=1001 {
+///     q.push(i as f64);
+/// }
+/// let med = q.estimate().unwrap();
+/// assert!((med - 501.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights q[0..5].
+    q: [f64; 5],
+    /// Marker positions (1-based sample ranks), n[0..5].
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired-position increments per observation.
+    dn: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile, `0 < p < 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly inside `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1), got {p}");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                self.initial
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for i in 0..5 {
+                    self.q[i] = self.initial[i];
+                }
+            }
+            return;
+        }
+
+        // Find cell k such that q[k] <= x < q[k+1], adjusting extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let right_gap = self.n[i + 1] - self.n[i];
+            let left_gap = self.n[i - 1] - self.n[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// The current quantile estimate.
+    ///
+    /// For fewer than five observations, falls back to the exact
+    /// nearest-rank quantile over what has been seen; returns `None` when
+    /// empty.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut v = self.initial.clone();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let rank = ((self.p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            return Some(v[rank - 1]);
+        }
+        Some(self.q[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream (splitmix-style) for tests.
+    fn stream(n: usize) -> Vec<f64> {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn exact_quantile(xs: &[f64], p: f64) -> f64 {
+        let mut v = xs.to_vec();
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        v[rank - 1]
+    }
+
+    #[test]
+    fn uniform_median_close() {
+        let xs = stream(20000);
+        let mut est = P2Quantile::new(0.5);
+        for &x in &xs {
+            est.push(x);
+        }
+        let e = est.estimate().unwrap();
+        assert!((e - 0.5).abs() < 0.02, "median estimate {e}");
+    }
+
+    #[test]
+    fn uniform_p99_close() {
+        let xs = stream(50000);
+        let mut est = P2Quantile::new(0.99);
+        for &x in &xs {
+            est.push(x);
+        }
+        let e = est.estimate().unwrap();
+        let exact = exact_quantile(&xs, 0.99);
+        assert!((e - exact).abs() < 0.01, "p99 est {e} vs exact {exact}");
+    }
+
+    #[test]
+    fn small_counts_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert!(est.estimate().is_none());
+        est.push(3.0);
+        assert_eq!(est.estimate(), Some(3.0));
+        est.push(1.0);
+        est.push(2.0);
+        // nearest rank for p=.5 of {1,2,3}: rank 2 -> 2.0
+        assert_eq!(est.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn monotone_transform_sanity() {
+        // Exponential-ish data via inverse transform; p90 of Exp(1) ≈ 2.3026.
+        let xs: Vec<f64> = stream(50000).iter().map(|u| -(1.0 - u).ln()).collect();
+        let mut est = P2Quantile::new(0.9);
+        for &x in &xs {
+            est.push(x);
+        }
+        let e = est.estimate().unwrap();
+        assert!((e - 2.3026).abs() < 0.1, "p90 of Exp(1) estimate {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn rejects_bad_p() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic RNG stream derivation.
+//!
+//! Every stochastic component in an experiment (each traffic source, each
+//! replication, each fault injector) must get an *independent* and
+//! *reproducible* random stream, so that (a) experiments are exactly
+//! replayable from a single master seed, and (b) adding a source to a
+//! scenario does not perturb the streams of the others.
+//!
+//! We derive child seeds from `(master_seed, label, index)` with SplitMix64
+//! finalization — the same construction `rand` itself uses for seeding — and
+//! hand back [`rand::rngs::StdRng`] instances.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives reproducible child RNGs from a master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence rooted at `master`.
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The master seed.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derives the 64-bit child seed for `(label, index)`.
+    ///
+    /// `label` namespaces component kinds ("source", "fault", ...); `index`
+    /// distinguishes instances. The mapping is stationary: the same triple
+    /// always yields the same seed.
+    pub fn child_seed(&self, label: &str, index: u64) -> u64 {
+        let mut h = self.master ^ 0x51_7C_C1_B7_27_22_0A_95;
+        for &b in label.as_bytes() {
+            h = splitmix64(h ^ b as u64);
+        }
+        splitmix64(h ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Derives a ready-to-use RNG for `(label, index)`.
+    pub fn rng(&self, label: &str, index: u64) -> StdRng {
+        StdRng::seed_from_u64(self.child_seed(label, index))
+    }
+
+    /// A sub-sequence rooted at the child seed — lets a component derive its
+    /// own internal streams without colliding with siblings.
+    pub fn subsequence(&self, label: &str, index: u64) -> SeedSequence {
+        SeedSequence::new(self.child_seed(label, index))
+    }
+}
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit permutation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic() {
+        let s = SeedSequence::new(42);
+        assert_eq!(s.child_seed("source", 3), s.child_seed("source", 3));
+        let mut a = s.rng("source", 3);
+        let mut b = s.rng("source", 3);
+        let xa: [u64; 4] = [a.gen(), a.gen(), a.gen(), a.gen()];
+        let xb: [u64; 4] = [b.gen(), b.gen(), b.gen(), b.gen()];
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn distinct_labels_and_indices() {
+        let s = SeedSequence::new(42);
+        let a = s.child_seed("source", 0);
+        let b = s.child_seed("source", 1);
+        let c = s.child_seed("fault", 0);
+        let d = SeedSequence::new(43).child_seed("source", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn subsequence_namespacing() {
+        let s = SeedSequence::new(7);
+        let sub = s.subsequence("replication", 2);
+        // A subsequence child differs from a same-labeled direct child.
+        assert_ne!(sub.child_seed("source", 0), s.child_seed("source", 0));
+        // And is itself deterministic.
+        assert_eq!(
+            sub.child_seed("source", 0),
+            s.subsequence("replication", 2).child_seed("source", 0)
+        );
+    }
+
+    #[test]
+    fn streams_look_independent() {
+        // Crude check: correlation of two derived uniform streams is small.
+        let s = SeedSequence::new(1234);
+        let mut a = s.rng("x", 0);
+        let mut b = s.rng("x", 1);
+        let n = 10_000;
+        let (mut sa, mut sb, mut sab) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let xa: f64 = a.gen();
+            let xb: f64 = b.gen();
+            sa += xa;
+            sb += xb;
+            sab += xa * xb;
+        }
+        let corr_proxy = sab / n as f64 - (sa / n as f64) * (sb / n as f64);
+        assert!(corr_proxy.abs() < 0.01, "cov proxy {corr_proxy}");
+    }
+}

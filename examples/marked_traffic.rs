@@ -1,0 +1,106 @@
+//! The Section-3 *marked traffic* interpretation of the decomposition.
+//!
+//! ```sh
+//! cargo run --example marked_traffic
+//! ```
+//!
+//! The paper reinterprets its δ/η decomposition as a marking scheme:
+//! tokens are generated at a constant rate `r` into a zero-size bucket;
+//! arriving traffic beyond the available tokens is *marked* but admitted.
+//! Then `δ(t)` is exactly the outstanding marked volume, and Lemma 5
+//! bounds its distribution. This example runs the scheme on a live
+//! on-off source and checks the marked-backlog bound empirically — a
+//! direct, single-queue illustration of the machinery inside every
+//! theorem.
+
+use gps_qos::prelude::*;
+
+fn main() {
+    // Table-1 session 2: p = q = 0.4, peak 0.4, mean 0.2.
+    let mut source = OnOffSource::new(0.4, 0.4, 0.4);
+    let token_rate = 0.25; // ρ of the characterization = marking rate here
+    let ebb =
+        Lnt94Characterization::characterize(source.as_markov(), token_rate, PrefactorKind::Lnt94)
+            .unwrap()
+            .ebb;
+    println!("source characterized as {ebb}");
+    println!("marking meter: zero-size bucket, token rate {token_rate}");
+
+    // δ(t) is the backlog of a fictitious rate-`token_rate` queue; the
+    // discrete Lemma-5 bound (paper Eq. 66 form) applies with ε = 0 …
+    // careful: for the *meter itself* the service rate IS the token rate,
+    // so the bound needs a rate above ρ. Use the bound at the meter rate
+    // against the E.B.B. at a slightly smaller envelope rate instead:
+    let envelope = 0.22;
+    let ebb_tight =
+        Lnt94Characterization::characterize(source.as_markov(), envelope, PrefactorKind::Lnt94)
+            .unwrap()
+            .ebb;
+    let bound = DeltaTailBound::new(ebb_tight, token_rate).discrete();
+    println!(
+        "analytical (Lemma 5 via E.B.B.): Pr{{marked backlog >= x}} <= {:.4}·exp(-{:.4}·x)",
+        bound.prefactor, bound.decay
+    );
+    // The sharp alternative (Remark 3): bound δ directly with the LNT94
+    // martingale at the token rate.
+    let sharp = queue_tail_bound(source.as_markov(), token_rate).expect("stable meter");
+    println!(
+        "analytical (LNT94 direct):       Pr{{marked backlog >= x}} <= {:.4}·exp(-{:.4}·x)",
+        sharp.prefactor, sharp.decay
+    );
+
+    // Run the meter over a long trace.
+    let seeds = SeedSequence::new(0x3A2);
+    let mut rng = seeds.rng("marked", 0);
+    source.reset(&mut rng);
+    let mut meter = MarkedTrafficMeter::new(token_rate);
+    let slots = 2_000_000u64;
+    let mut ccdf = BinnedCcdf::new((0..50).map(|i| i as f64 * 0.2).collect());
+    let mut marked_total = 0.0;
+    let mut volume_total = 0.0;
+    for _ in 0..slots {
+        let a = source.next_slot(&mut rng);
+        marked_total += meter.offer(a);
+        volume_total += a;
+        ccdf.push(meter.delta());
+    }
+    println!(
+        "\nsimulated {slots} slots: {:.2}% of volume marked",
+        100.0 * marked_total / volume_total
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "x", "empirical", "Lemma5", "LNT94"
+    );
+    let mut violations = 0;
+    for (x, p) in ccdf.series().into_iter().step_by(5) {
+        let b = bound.tail(x);
+        let s2 = sharp.tail(x);
+        println!("{x:>6.1} {p:>14.6e} {b:>14.6e} {s2:>14.6e}");
+        let se = (p * (1.0 - p) / slots as f64).sqrt();
+        if p > b + 3.0 * se || p > s2 + 3.0 * se {
+            violations += 1;
+        }
+    }
+    println!("\nbound violations: {violations} (expect 0)");
+
+    // The classical leaky bucket, for contrast: same token rate with a
+    // finite bucket polices instead of marking.
+    let mut bucket = LeakyBucket::new(2.0, token_rate);
+    let mut rng2 = seeds.rng("police", 0);
+    let mut src2 = OnOffSource::new(0.4, 0.4, 0.4);
+    src2.reset(&mut rng2);
+    let mut dropped = 0.0;
+    let mut offered = 0.0;
+    for _ in 0..slots {
+        let a = src2.next_slot(&mut rng2);
+        let conforming = bucket.offer(a);
+        offered += a;
+        dropped += a - conforming;
+    }
+    println!(
+        "classical (σ=2.0, ρ={token_rate}) policer on the same source: {:.2}% dropped \
+         — marking admits everything and the analysis still bounds the excess",
+        100.0 * dropped / offered
+    );
+}

@@ -1,0 +1,129 @@
+//! A realistic admission-control scenario: a campus link carrying video
+//! conferences, voice calls, and bulk data.
+//!
+//! ```sh
+//! cargo run --example video_conferencing
+//! ```
+//!
+//! The motivating workload of the paper's introduction: multimedia
+//! sessions tolerate rare violations, so statistical guarantees admit
+//! far more of them than worst-case ones. This example:
+//!
+//! 1. defines three traffic classes and their E.B.B. characterizations;
+//! 2. builds a *non-RPPS* GPS assignment where bulk data is deliberately
+//!    under-weighted (it lands in partition class H2 — the Theorem-11
+//!    machinery in action);
+//! 3. prints per-class statistical delay guarantees;
+//! 4. answers "how many more video calls can we admit?" for a QoS target.
+
+use gps_qos::prelude::*;
+
+fn main() {
+    // Per-slot capacities normalized to the link rate.
+    // Video: on-off, mean 4% of link, peak 10%.
+    let video_src = OnOffSource::new(0.4, 0.6, 0.10);
+    // Voice: on-off (talk spurts), mean 0.5%, peak 1.25%.
+    let voice_src = OnOffSource::new(0.4, 0.6, 0.0125);
+    // Bulk data: heavy on-off, mean 12%, peak 30%.
+    let bulk_src = OnOffSource::new(0.3, 0.45, 0.30);
+
+    let video =
+        Lnt94Characterization::characterize(video_src.as_markov(), 0.05, PrefactorKind::Lnt94)
+            .unwrap()
+            .ebb;
+    let voice =
+        Lnt94Characterization::characterize(voice_src.as_markov(), 0.00625, PrefactorKind::Lnt94)
+            .unwrap()
+            .ebb;
+    let bulk =
+        Lnt94Characterization::characterize(bulk_src.as_markov(), 0.16, PrefactorKind::Lnt94)
+            .unwrap()
+            .ebb;
+
+    // 6 video calls + 20 voice calls + 1 bulk session.
+    let mut sessions = Vec::new();
+    let mut phis = Vec::new();
+    for _ in 0..6 {
+        sessions.push(video);
+        phis.push(0.05); // weight = envelope rate: generous
+    }
+    for _ in 0..20 {
+        sessions.push(voice);
+        phis.push(0.00625);
+    }
+    sessions.push(bulk);
+    phis.push(0.04); // bulk under-weighted: ρ/φ = 4 >> 1
+
+    let assignment = GpsAssignment::unit_rate(phis);
+    let total_rho: f64 = sessions.iter().map(|s| s.rho).sum();
+    println!(
+        "{} sessions, Σρ = {:.3} (< 1: stable)",
+        sessions.len(),
+        total_rho
+    );
+
+    let t11 =
+        Theorem11::new(sessions.clone(), assignment.clone(), TimeModel::Discrete).expect("stable");
+    println!(
+        "feasible partition: {} classes; bulk session is in class {}",
+        t11.partition().num_classes(),
+        t11.partition().class_of(sessions.len() - 1) + 1
+    );
+
+    println!("\nper-class delay guarantees (Theorem 10/11, Pr{{D >= d}}):");
+    for (label, idx, d) in [
+        ("video", 0usize, 150.0),
+        ("voice", 6usize, 400.0),
+        ("bulk", sessions.len() - 1, 2000.0),
+    ] {
+        let bound = t11.best_delay(idx, d).expect("feasible");
+        println!(
+            "  {label:<6} (class H{}): Pr{{D >= {d}}} <= {:.3e}; 1e-6-quantile = {:.0} slots",
+            t11.partition().class_of(idx) + 1,
+            bound.tail(d),
+            bound.quantile(1e-6)
+        );
+    }
+
+    // Admission: with the remaining capacity, how many more video calls
+    // meet Pr{D > 150 slots} <= 1e-6 if the *whole* link were RPPS video?
+    let target = QosTarget::new(12.0, 1e-6);
+    let max_stat = max_rpps_sessions(video, 1.0, target, TimeModel::Discrete);
+    // Deterministic comparison: police a long trace for the minimal burst.
+    let seeds = SeedSequence::new(77);
+    let mut src = video_src.clone();
+    let mut rng = seeds.rng("police", 0);
+    let mut s = src.clone();
+    s.reset(&mut rng);
+    let trace = ArrivalTrace::record(&mut s, 500_000, &mut rng);
+    let sigma = LeakyBucket::min_sigma(0.05, trace.slots());
+    let max_det =
+        gps_qos::netcalc::pg::rpps_admission(AffineCurve::new(sigma, 0.05), 1.0, target.delay);
+    let _ = &mut src;
+    // Improved statistical admission: LNT94-direct δ bound (Remark 3),
+    // whose decay tracks the service rate instead of the E.B.B. α.
+    let mut max_improved = 0usize;
+    for n in 1..=30 {
+        let g = 1.0 / n as f64;
+        let ok = queue_tail_bound(video_src.as_markov(), g)
+            .map(|b| b.delay_from_backlog(g).tail(target.delay) <= target.epsilon)
+            .unwrap_or(false);
+        if ok {
+            max_improved = n;
+        }
+    }
+    println!("\nvideo-only admission, target Pr{{D > 12}} <= 1e-6:");
+    println!("  deterministic (PG, σ={sigma:.2} from a 500k trace): {max_det} calls");
+    println!("  statistical, E.B.B. (Theorem 10):            {max_stat} calls");
+    println!("  statistical, LNT94-direct (Remark 3):        {max_improved} calls");
+    println!(
+        "  note: the deterministic σ is trace-derived and NOT a true\n\
+         \x20 guarantee — an on-off Markov source exceeds any σ eventually\n\
+         \x20 (it grew from 0.56 to 0.72 per extra decade of trace in the\n\
+         \x20 A4 experiment); the statistical numbers are real guarantees."
+    );
+    println!(
+        "  LNT94-direct gain over deterministic: {:.1}x",
+        max_improved as f64 / max_det.max(1) as f64
+    );
+}

@@ -1,0 +1,190 @@
+//! Integration: analytical bounds must dominate simulated tails.
+//!
+//! Medium-length runs (kept CI-friendly); the full-length studies live in
+//! the `validate_single` / `validate_network` experiment binaries.
+
+use gps_qos::prelude::*;
+
+fn se(p: f64, n: u64) -> f64 {
+    (p * (1.0 - p) / n as f64).sqrt()
+}
+
+#[test]
+fn single_node_rpps_bounds_dominate() {
+    let sources = OnOffSource::paper_table1();
+    let rhos = [0.2, 0.25, 0.2, 0.25];
+    let sessions: Vec<EbbProcess> = (0..4)
+        .map(|i| {
+            Lnt94Characterization::characterize(
+                sources[i].as_markov(),
+                rhos[i],
+                PrefactorKind::Lnt94,
+            )
+            .unwrap()
+            .ebb
+        })
+        .collect();
+    let assignment = GpsAssignment::rpps(&rhos, 1.0);
+
+    let cfg = SingleNodeRunConfig {
+        phis: rhos.to_vec(),
+        capacity: 1.0,
+        warmup: 20_000,
+        measure: 400_000,
+        seed: 7,
+        backlog_grid: (0..40).map(|i| i as f64 * 0.5).collect(),
+        delay_grid: (0..60).map(|i| i as f64).collect(),
+    };
+    let mut boxed: Vec<Box<dyn SlotSource>> = sources
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn SlotSource>)
+        .collect();
+    let rep = run_single_node(&mut boxed, &cfg);
+
+    for i in 0..4 {
+        let g = assignment.guaranteed_rate(i);
+        let (qb, db) = theorem10(sessions[i], g, TimeModel::Discrete);
+        for (x, p) in rep.sessions[i].backlog.series() {
+            assert!(
+                p <= qb.tail(x) + 3.0 * se(p, cfg.measure) + 1e-9,
+                "backlog session {i} at {x}: emp {p} bound {}",
+                qb.tail(x)
+            );
+        }
+        for (x, p) in rep.sessions[i].delay.series() {
+            assert!(
+                p <= db.tail(x) + 3.0 * se(p, cfg.measure) + 1e-9,
+                "delay session {i} at {x}: emp {p} bound {}",
+                db.tail(x)
+            );
+        }
+    }
+}
+
+#[test]
+fn single_node_improved_bounds_dominate() {
+    // The sharper LNT94-direct bounds must also hold (tighter margin).
+    let sources = OnOffSource::paper_table1();
+    let rhos = [0.2, 0.25, 0.2, 0.25];
+    let assignment = GpsAssignment::rpps(&rhos, 1.0);
+    let cfg = SingleNodeRunConfig {
+        phis: rhos.to_vec(),
+        capacity: 1.0,
+        warmup: 20_000,
+        measure: 400_000,
+        seed: 11,
+        backlog_grid: (0..40).map(|i| i as f64 * 0.5).collect(),
+        delay_grid: (0..60).map(|i| i as f64).collect(),
+    };
+    let markov = sources.clone();
+    let mut boxed: Vec<Box<dyn SlotSource>> = sources
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn SlotSource>)
+        .collect();
+    let rep = run_single_node(&mut boxed, &cfg);
+    for i in 0..4 {
+        let g = assignment.guaranteed_rate(i);
+        let qb = queue_tail_bound(markov[i].as_markov(), g).unwrap();
+        for (x, p) in rep.sessions[i].backlog.series() {
+            assert!(
+                p <= qb.tail(x) + 3.0 * se(p, cfg.measure) + 1e-9,
+                "improved backlog session {i} at {x}: emp {p} bound {}",
+                qb.tail(x)
+            );
+        }
+    }
+}
+
+#[test]
+fn network_theorem15_dominates() {
+    let sources = OnOffSource::paper_table1();
+    let rhos = [0.2, 0.25, 0.2, 0.25];
+    let sessions: Vec<EbbProcess> = (0..4)
+        .map(|i| {
+            Lnt94Characterization::characterize(
+                sources[i].as_markov(),
+                rhos[i],
+                PrefactorKind::Lnt94,
+            )
+            .unwrap()
+            .ebb
+        })
+        .collect();
+    let topo = NetworkTopology::paper_figure2(rhos);
+    let bounds = RppsNetworkBounds::new(&topo, sessions).unwrap();
+    let cfg = NetworkRunConfig {
+        topology: topo,
+        warmup: 20_000,
+        measure: 400_000,
+        seed: 13,
+        backlog_grid: (0..40).map(|i| i as f64 * 0.5).collect(),
+        delay_grid: (0..80).map(|i| i as f64).collect(),
+    };
+    let mut boxed: Vec<Box<dyn SlotSource>> = sources
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn SlotSource>)
+        .collect();
+    let rep = run_network(&mut boxed, &cfg);
+    for i in 0..4 {
+        let (qb, db) = bounds.paper_fig3_bounds(i);
+        for (x, p) in rep.backlog[i].series() {
+            assert!(
+                p <= qb.tail(x) + 3.0 * se(p, cfg.measure) + 1e-9,
+                "net backlog session {i} at {x}"
+            );
+        }
+        for (x, p) in rep.delay[i].series() {
+            // One slot of store-and-forward pipeline subtracted.
+            let x_adj = (x - 1.0).max(0.0);
+            assert!(
+                p <= db.tail(x_adj) + 3.0 * se(p, cfg.measure) + 1e-9,
+                "net delay session {i} at {x}: emp {p} bound {}",
+                db.tail(x_adj)
+            );
+        }
+    }
+}
+
+#[test]
+fn overload_breaks_the_premise_not_the_simulator() {
+    // A faulty (rate-scaled) source pushes utilization past 1: the
+    // simulator keeps conserving work while backlog grows linearly — and
+    // the analysis correctly refuses to produce bounds.
+    let rhos = [0.5, 0.5];
+    let cfg = SingleNodeRunConfig {
+        phis: rhos.to_vec(),
+        capacity: 1.0,
+        warmup: 0,
+        measure: 20_000,
+        seed: 3,
+        backlog_grid: vec![0.0, 100.0, 1000.0],
+        delay_grid: vec![0.0, 100.0],
+    };
+    let base0 = OnOffSource::new(0.5, 0.5, 1.2);
+    let base1 = OnOffSource::new(0.5, 0.5, 1.2);
+    let mut boxed: Vec<Box<dyn SlotSource>> = vec![
+        Box::new(FaultySource::new(
+            base0,
+            gps_qos::sim::faults::FaultConfig {
+                rate_scale: 1.5,
+                ..Default::default()
+            },
+        )),
+        Box::new(base1),
+    ];
+    let rep = run_single_node(&mut boxed, &cfg);
+    // Session 0 (scaled mean 0.9) + session 1 (0.6) overload the server:
+    // someone's backlog reaches far thresholds often.
+    let heavy = rep.sessions[0].backlog.tail_at(2) + rep.sessions[1].backlog.tail_at(2);
+    assert!(heavy > 0.0, "overload must build large backlogs");
+    // And the analysis refuses: Σρ >= 1.
+    assert!(Theorem7::new(
+        vec![
+            EbbProcess::new(0.9, 1.0, 1.0),
+            EbbProcess::new(0.6, 1.0, 1.0)
+        ],
+        GpsAssignment::rpps(&rhos, 1.0),
+        TimeModel::Discrete,
+    )
+    .is_none());
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration: pipelines that touch several subsystems at
+//! once (trace fitting → bounds; packetized vs fluid; deterministic vs
+//! statistical; CRST errors; admission consistency).
+
+use gps_qos::prelude::*;
+
+#[test]
+fn trace_fitting_pipeline_yields_valid_bounds() {
+    // Record a trace from an on-off source, fit an empirical E.B.B.,
+    // then drive Theorem 10 with the *fitted* characterization and check
+    // the resulting bound against a fresh simulation of the same source.
+    let seeds = SeedSequence::new(101);
+    let mut src = OnOffSource::new(0.4, 0.4, 0.4);
+    let mut rng = seeds.rng("fit", 0);
+    src.reset(&mut rng);
+    let trace = ArrivalTrace::record(&mut src, 300_000, &mut rng);
+    let fitted = trace.fit_ebb(0.25, 25).expect("excess exists");
+    assert_eq!(fitted.rho, 0.25);
+    assert!(fitted.alpha > 0.5 && fitted.alpha < 10.0);
+
+    // Single queue at the RPPS guaranteed rate for 3 identical sessions.
+    let g = 1.0 / 3.0;
+    let (qb, _) = theorem10(fitted, g, TimeModel::Discrete);
+
+    // Fresh realization, dedicated-rate queue = the δ process itself.
+    let mut rng2 = seeds.rng("fresh", 0);
+    let mut src2 = OnOffSource::new(0.4, 0.4, 0.4);
+    src2.reset(&mut rng2);
+    let mut delta = 0.0_f64;
+    let mut exceed_2 = 0u64;
+    let n = 300_000u64;
+    for _ in 0..n {
+        delta = (delta + src2.next_slot(&mut rng2) - g).max(0.0);
+        if delta >= 2.0 {
+            exceed_2 += 1;
+        }
+    }
+    let emp = exceed_2 as f64 / n as f64;
+    assert!(
+        emp <= qb.tail(2.0) * 1.5 + 1e-4,
+        "fitted bound {} must (roughly) dominate fresh measurement {emp}",
+        qb.tail(2.0)
+    );
+}
+
+#[test]
+fn pgps_vs_fluid_on_shared_scenario() {
+    // Run identical packet arrivals through the packetized PGPS server
+    // and the fluid GPS; PG's theorem ties them together.
+    let phis = vec![1.0, 1.0];
+    let mut packets = Vec::new();
+    let mut t = 0.0;
+    for k in 0..200 {
+        t += 0.3 + 0.2 * ((k * 37 % 11) as f64 / 11.0);
+        packets.push(Packet {
+            session: k % 2,
+            size: 0.25 + 0.5 * ((k * 13 % 7) as f64 / 7.0),
+            arrival: t,
+        });
+    }
+    let l_max: f64 = packets.iter().map(|p| p.size).fold(0.0, f64::max);
+    let deps = PgpsServer::new(phis.clone(), 1.0).run(&packets);
+
+    let mut fluid = FluidGps::new(phis, 1.0);
+    for p in &packets {
+        fluid.arrive(p.arrival, p.session, p.size);
+    }
+    fluid.advance_to(t + 1e4);
+    let comps = fluid.take_completions();
+    let mut fluid_by_session: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+    for c in comps {
+        fluid_by_session[c.session].push(c.completion);
+    }
+    let mut idx = [0usize; 2];
+    for (i, p) in packets.iter().enumerate() {
+        let fc = fluid_by_session[p.session][idx[p.session]];
+        idx[p.session] += 1;
+        assert!(
+            deps[i].finish <= fc + l_max + 1e-6,
+            "packet {i}: PGPS {} vs fluid {fc} + {l_max}",
+            deps[i].finish
+        );
+    }
+}
+
+#[test]
+fn deterministic_and_statistical_agree_on_structure() {
+    // For LBAP-style traffic the deterministic PG bound and the
+    // statistical bound built from the from_lbap embedding must order
+    // consistently: the statistical tail at the deterministic worst case
+    // should be small-ish but positive (the embedding is not vacuous
+    // beyond σ).
+    let sigma = 2.0;
+    let rho = 0.2;
+    let alpha = 1.5;
+    let curve = AffineCurve::new(sigma, rho);
+    let ebb = EbbProcess::from_lbap(sigma, rho, alpha);
+    let assignment = GpsAssignment::rpps(&[rho, rho, rho], 1.0);
+    let g = assignment.guaranteed_rate(0);
+
+    let det =
+        gps_qos::netcalc::pg::single_node_bounds(&[curve, curve, curve], &assignment).unwrap();
+    let (qb, db) = theorem10(ebb, g, TimeModel::Discrete);
+    // Deterministic worst case: Q <= σ, D <= σ/g.
+    assert_eq!(det[0].backlog, sigma);
+    assert!((det[0].delay - sigma / g).abs() < 1e-12);
+    // The statistical bound at twice the deterministic backlog is well
+    // below 1 (informative) and decreasing.
+    assert!(qb.tail(2.0 * sigma) < 0.5);
+    assert!(db.tail(2.0 * sigma / g) < 0.5);
+}
+
+#[test]
+fn crst_error_paths() {
+    // Unstable node.
+    let topo = NetworkTopology::paper_figure2([0.3, 0.3, 0.3, 0.3]);
+    let sessions: Vec<NetworkSession> = (0..4)
+        .map(|_| NetworkSession {
+            source: EbbProcess::new(0.3, 1.0, 1.0),
+        })
+        .collect();
+    assert!(matches!(
+        CrstAnalysis::new(topo, sessions, TimeModel::Discrete),
+        Err(CrstError::Unstable { node: 2 })
+    ));
+}
+
+#[test]
+fn admission_consistent_with_direct_bound_check() {
+    let s = EbbProcess::new(0.05, 1.0, 3.0);
+    let target = QosTarget::new(10.0, 1e-6);
+    let n = max_rpps_sessions(s, 1.0, target, TimeModel::Discrete);
+    assert!(n >= 1);
+    // Check the boundary decisions directly with Theorem 10.
+    let g_ok = 1.0 / n as f64;
+    let (_, d_ok) = theorem10(s, g_ok, TimeModel::Discrete);
+    assert!(d_ok.tail(target.delay) <= target.epsilon);
+    let g_bad = 1.0 / (n + 1) as f64;
+    if g_bad > s.rho {
+        let (_, d_bad) = theorem10(s, g_bad, TimeModel::Discrete);
+        assert!(d_bad.tail(target.delay) > target.epsilon);
+    }
+}
+
+#[test]
+fn e2e_convolution_consistent_with_per_node_bounds() {
+    // Combining k identical per-node bounds must be weaker than one node
+    // but still exponentially decaying.
+    let per_node = TailBound::new(2.0, 0.8);
+    let one = e2e_delay(&[per_node], 30.0);
+    let three = e2e_delay(&[per_node, per_node, per_node], 30.0);
+    assert!(one <= three);
+    assert!(three < 1e-2);
+}

@@ -1,0 +1,147 @@
+//! End-to-end reproduction checks against the paper's printed numbers:
+//! Table 1, Table 2, the Figure-3 bound parameters, and the Figure-4
+//! shape claims. These pin the whole pipeline (sources → spectral →
+//! characterization → network bounds) to the paper.
+
+use gps_qos::prelude::*;
+
+fn characterize_set(rhos: [f64; 4]) -> Vec<EbbProcess> {
+    let sources = OnOffSource::paper_table1();
+    (0..4)
+        .map(|i| {
+            Lnt94Characterization::characterize(
+                sources[i].as_markov(),
+                rhos[i],
+                PrefactorKind::Lnt94,
+            )
+            .unwrap()
+            .ebb
+        })
+        .collect()
+}
+
+#[test]
+fn table1_means() {
+    let want = [0.15, 0.2, 0.15, 0.2];
+    for (s, w) in OnOffSource::paper_table1().iter().zip(want) {
+        assert!((s.mean() - w).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn table2_full_reproduction() {
+    let cases: [([f64; 4], [(f64, f64); 4]); 2] = [
+        (
+            [0.20, 0.25, 0.20, 0.25],
+            [(1.0, 1.74), (0.92, 1.76), (0.84, 2.13), (1.0, 1.62)],
+        ),
+        (
+            [0.17, 0.22, 0.17, 0.22],
+            [(1.0, 0.729), (0.968, 0.672), (0.929, 0.775), (1.0, 0.655)],
+        ),
+    ];
+    for (rhos, printed) in cases {
+        let got = characterize_set(rhos);
+        for (e, (lam, alpha)) in got.iter().zip(printed) {
+            assert!(
+                (e.lambda - lam).abs() < 0.005,
+                "Λ mismatch: got {} want {lam}",
+                e.lambda
+            );
+            assert!(
+                (e.alpha - alpha).abs() < 0.005,
+                "α mismatch: got {} want {alpha}",
+                e.alpha
+            );
+        }
+    }
+}
+
+#[test]
+fn figure3_bound_parameters() {
+    // Set 1 on the Figure-2 network: bottleneck rates and the Eq. 66/67
+    // closed forms.
+    let rhos = [0.20, 0.25, 0.20, 0.25];
+    let sessions = characterize_set(rhos);
+    let net = NetworkTopology::paper_figure2(rhos);
+    let b = RppsNetworkBounds::new(&net, sessions.clone()).unwrap();
+    // Paper: g1 ≈ 0.22 under Set 1 (0.2/0.9).
+    assert!((b.g_net(0) - 0.2 / 0.9).abs() < 1e-12);
+    for i in 0..4 {
+        let (q, d) = b.paper_fig3_bounds(i);
+        let s = &sessions[i];
+        let g = b.g_net(i);
+        let want_pref = s.lambda / (1.0 - (-s.alpha * (g - s.rho)).exp());
+        assert!((q.prefactor - want_pref).abs() < 1e-9);
+        assert!((d.decay - s.alpha * g).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn figure3_set2_vs_set1_shape() {
+    // The Section-6.3 discussion: Set 2's bounds decay much slower, and
+    // the guaranteed rates barely move (g1: .222 -> .218; g2: .278 ->
+    // .282).
+    let s1 = characterize_set([0.20, 0.25, 0.20, 0.25]);
+    let s2 = characterize_set([0.17, 0.22, 0.17, 0.22]);
+    let n1 = NetworkTopology::paper_figure2([0.20, 0.25, 0.20, 0.25]);
+    let n2 = NetworkTopology::paper_figure2([0.17, 0.22, 0.17, 0.22]);
+    let b1 = RppsNetworkBounds::new(&n1, s1).unwrap();
+    let b2 = RppsNetworkBounds::new(&n2, s2).unwrap();
+    assert!((b2.g_net(0) - 0.218).abs() < 0.001);
+    assert!((b2.g_net(1) - 0.282).abs() < 0.001);
+    for i in 0..4 {
+        let d1 = b1.paper_fig3_bounds(i).1.decay;
+        let d2 = b2.paper_fig3_bounds(i).1.decay;
+        assert!(d2 < 0.5 * d1, "session {i}: {d2} !< half of {d1}");
+    }
+}
+
+#[test]
+fn figure4_improvement_shape() {
+    // Under Set 2, the LNT94-direct bounds (i) decay much faster than the
+    // E.B.B. bounds and (ii) restore the ordering: sessions 2 and 4
+    // (larger g) decay faster than session 1.
+    let rhos = [0.17, 0.22, 0.17, 0.22];
+    let sessions = characterize_set(rhos);
+    let net = NetworkTopology::paper_figure2(rhos);
+    let b = RppsNetworkBounds::new(&net, sessions).unwrap();
+    let sources = OnOffSource::paper_table1();
+    let mut improved_decay = [0.0; 4];
+    for i in 0..4 {
+        let g = b.g_net(i);
+        let delta = queue_tail_bound(sources[i].as_markov(), g).unwrap();
+        let (_, d) = b.with_delta_bound(i, delta);
+        let (_, ebb_d) = b.paper_fig3_bounds(i);
+        assert!(
+            d.decay > 2.0 * ebb_d.decay,
+            "session {i}: improved {} vs ebb {}",
+            d.decay,
+            ebb_d.decay
+        );
+        improved_decay[i] = d.decay;
+    }
+    assert!(improved_decay[1] > improved_decay[0]);
+    assert!(improved_decay[3] > improved_decay[0]);
+}
+
+#[test]
+fn rpps_collapses_partition_and_matches_theorem10() {
+    let rhos = [0.20, 0.25, 0.20, 0.25];
+    let sessions = characterize_set(rhos);
+    let assignment = GpsAssignment::rpps(&rhos, 1.0);
+    let t11 = Theorem11::new(sessions.clone(), assignment.clone(), TimeModel::Discrete).unwrap();
+    assert_eq!(t11.partition().num_classes(), 1);
+    // Theorem 10 applies to every session; CRST analysis of the network
+    // agrees there's one global class.
+    let crst = CrstAnalysis::new(
+        NetworkTopology::paper_figure2(rhos),
+        sessions
+            .iter()
+            .map(|&source| NetworkSession { source })
+            .collect(),
+        TimeModel::Discrete,
+    )
+    .unwrap();
+    assert_eq!(crst.num_classes(), 1);
+}
