@@ -314,7 +314,7 @@ impl Theorem8 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gps_ebb::{sigma_hat, MgfArrival};
+    use gps_ebb::sigma_hat;
 
     /// Two-session fixture loosely matching Table 2 set 1 sessions 1–2.
     fn fixture() -> (Vec<EbbProcess>, GpsAssignment) {

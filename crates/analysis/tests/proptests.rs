@@ -6,7 +6,8 @@ use gps_analysis::partition_bounds::theorem10;
 use gps_analysis::{RppsNetworkBounds, Theorem11, Theorem7, Theorem8};
 use gps_core::{GpsAssignment, NetworkTopology, SessionSpec};
 use gps_ebb::{EbbProcess, TimeModel};
-use proptest::prelude::*;
+use gps_stats::prop::{Config, Strategy, StrategyExt};
+use gps_stats::{prop_assert, prop_assert_eq, proptest};
 
 /// Strategy: 2..6 stable sessions with positive weights.
 fn scenario() -> impl Strategy<Value = (Vec<EbbProcess>, Vec<f64>)> {
@@ -28,9 +29,8 @@ fn scenario() -> impl Strategy<Value = (Vec<EbbProcess>, Vec<f64>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![config(Config::default().cases(96))]
 
-    #[test]
     fn theorem7_bounds_well_formed((sessions, phis) in scenario(), f in 0.1f64..0.9) {
         let assignment = GpsAssignment::unit_rate(phis);
         let t7 = Theorem7::new(sessions.clone(), assignment, TimeModel::Discrete)
@@ -51,7 +51,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn best_backlog_monotone_in_threshold((sessions, phis) in scenario()) {
         let assignment = GpsAssignment::unit_rate(phis);
         let t7 = Theorem7::new(sessions.clone(), assignment, TimeModel::Discrete)
@@ -67,7 +66,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn theorem8_domain_within_theorem7((sessions, phis) in scenario()) {
         let assignment = GpsAssignment::unit_rate(phis);
         let t7 = Theorem7::new(sessions.clone(), assignment.clone(), TimeModel::Discrete)
@@ -79,7 +77,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn theorem11_h1_sessions_beat_or_match_late_ordering((sessions, phis) in scenario()) {
         let assignment = GpsAssignment::unit_rate(phis);
         let t11 = Theorem11::new(sessions.clone(), assignment.clone(), TimeModel::Discrete)
@@ -99,7 +96,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn rpps_network_bound_tightest_at_bottleneck((sessions, _phis) in scenario()) {
         // Two topologies sharing the sessions: single hop vs two hops with
         // an *uncontended* second node — bounds must coincide.

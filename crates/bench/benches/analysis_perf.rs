@@ -2,40 +2,36 @@
 //! θ optimization, partition computation scaling, water-filling scaling,
 //! and the spectral solves behind the characterizations.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gps_analysis::{Theorem11, Theorem7};
+use gps_bench::harness::{black_box, BenchHarness};
 use gps_bench::synthetic_sessions;
 use gps_core::{water_fill, FeasiblePartition, GpsAssignment};
 use gps_ebb::TimeModel;
 use gps_sources::spectral::solve_decay_rate;
 use gps_sources::OnOffSource;
 
-fn bench_theorem7_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("theorem7");
-    group.sample_size(20);
+fn bench_theorem7_eval(h: &mut BenchHarness) {
     for n in [4usize, 16, 64] {
         let (sessions, phis) = synthetic_sessions(n);
         let assignment = GpsAssignment::new(phis, 1.0);
         let t7 = Theorem7::new(sessions, assignment, TimeModel::Discrete).unwrap();
         let last = *t7.ordering().last().unwrap();
-        group.bench_with_input(BenchmarkId::new("best_backlog", n), &n, |b, _| {
-            b.iter(|| black_box(t7.best_backlog(last, 10.0)))
+        h.bench(&format!("theorem7/best_backlog/{n}"), || {
+            black_box(t7.best_backlog(last, 10.0))
         });
     }
-    group.finish();
 }
 
-fn bench_theorem11_eval(c: &mut Criterion) {
+fn bench_theorem11_eval(h: &mut BenchHarness) {
     let (sessions, phis) = synthetic_sessions(16);
     let assignment = GpsAssignment::new(phis, 1.0);
     let t11 = Theorem11::new(sessions, assignment, TimeModel::Discrete).unwrap();
-    c.bench_function("theorem11/best_delay_16sessions", |b| {
-        b.iter(|| black_box(t11.best_delay(7, 20.0)))
+    h.bench("theorem11/best_delay_16sessions", || {
+        black_box(t11.best_delay(7, 20.0))
     });
 }
 
-fn bench_partition_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("feasible_partition");
+fn bench_partition_scaling(h: &mut BenchHarness) {
     for n in [8usize, 64, 512] {
         // Heterogeneous ratios to force several classes.
         let rhos: Vec<f64> = (0..n)
@@ -45,15 +41,13 @@ fn bench_partition_scaling(c: &mut Criterion) {
         let rhos: Vec<f64> = rhos.iter().map(|r| r * 0.8 / total).collect();
         let phis: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
         let assignment = GpsAssignment::new(phis, 1.0);
-        group.bench_with_input(BenchmarkId::new("compute", n), &n, |b, _| {
-            b.iter(|| black_box(FeasiblePartition::compute(&rhos, &assignment)))
+        h.bench(&format!("feasible_partition/compute/{n}"), || {
+            black_box(FeasiblePartition::compute(&rhos, &assignment))
         });
     }
-    group.finish();
 }
 
-fn bench_water_fill(c: &mut Criterion) {
-    let mut group = c.benchmark_group("water_fill");
+fn bench_water_fill(h: &mut BenchHarness) {
     for n in [4usize, 64, 1024] {
         let demands: Vec<f64> = (0..n)
             .map(|i| {
@@ -65,26 +59,25 @@ fn bench_water_fill(c: &mut Criterion) {
             })
             .collect();
         let phis: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
-        group.bench_with_input(BenchmarkId::new("alloc", n), &n, |b, _| {
-            b.iter(|| black_box(water_fill(&demands, &phis, 1.0)))
+        h.bench(&format!("water_fill/alloc/{n}"), || {
+            black_box(water_fill(&demands, &phis, 1.0))
         });
     }
-    group.finish();
 }
 
-fn bench_spectral_solve(c: &mut Criterion) {
+fn bench_spectral_solve(h: &mut BenchHarness) {
     let src = OnOffSource::new(0.4, 0.4, 0.4);
-    c.bench_function("spectral/solve_decay_rate", |b| {
-        b.iter(|| black_box(solve_decay_rate(src.as_markov(), 0.25)))
+    h.bench("spectral/solve_decay_rate", || {
+        black_box(solve_decay_rate(src.as_markov(), 0.25))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_theorem7_eval,
-    bench_theorem11_eval,
-    bench_partition_scaling,
-    bench_water_fill,
-    bench_spectral_solve
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new("analysis_perf");
+    bench_theorem7_eval(&mut h);
+    bench_theorem11_eval(&mut h);
+    bench_partition_scaling(&mut h);
+    bench_water_fill(&mut h);
+    bench_spectral_solve(&mut h);
+    h.finish().expect("write bench report");
+}

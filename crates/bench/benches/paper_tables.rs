@@ -2,87 +2,85 @@
 //! *is* the computation that produces the table/figure, so `cargo bench`
 //! regenerates every reported quantity and tracks its cost.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gps_analysis::RppsNetworkBounds;
+use gps_bench::harness::{black_box, BenchHarness};
 use gps_bench::{set1_sessions, set1_topology};
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::{Lnt94Characterization, OnOffSource, PrefactorKind};
 
 /// Table 1: source construction + analytic means.
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1/means", |b| {
-        b.iter(|| {
-            let sources = OnOffSource::paper_table1();
-            let means: Vec<f64> = sources.iter().map(|s| s.mean()).collect();
-            black_box(means)
-        })
+fn bench_table1(h: &mut BenchHarness) {
+    h.bench("table1/means", || {
+        let sources = OnOffSource::paper_table1();
+        let means: Vec<f64> = sources.iter().map(|s| s.mean()).collect();
+        black_box(means)
     });
 }
 
 /// Table 2: the full LNT94 characterization of all eight (set, session)
 /// combinations.
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2(h: &mut BenchHarness) {
     let sources = OnOffSource::paper_table1();
-    c.bench_function("table2/characterize_all", |b| {
-        b.iter(|| {
-            let mut out = Vec::with_capacity(8);
-            for rhos in [[0.2, 0.25, 0.2, 0.25], [0.17, 0.22, 0.17, 0.22]] {
-                for i in 0..4 {
-                    out.push(
-                        Lnt94Characterization::characterize(
-                            sources[i].as_markov(),
-                            rhos[i],
-                            PrefactorKind::Lnt94,
-                        )
-                        .unwrap()
-                        .ebb,
-                    );
-                }
+    h.bench("table2/characterize_all", || {
+        let mut out = Vec::with_capacity(8);
+        for rhos in [[0.2, 0.25, 0.2, 0.25], [0.17, 0.22, 0.17, 0.22]] {
+            for i in 0..4 {
+                out.push(
+                    Lnt94Characterization::characterize(
+                        sources[i].as_markov(),
+                        rhos[i],
+                        PrefactorKind::Lnt94,
+                    )
+                    .unwrap()
+                    .ebb,
+                );
             }
-            black_box(out)
-        })
+        }
+        black_box(out)
     });
 }
 
 /// Figure 3: Theorem-15 bound curves (both sets, 4 sessions, 120 points).
-fn bench_fig3(c: &mut Criterion) {
+fn bench_fig3(h: &mut BenchHarness) {
     let sessions = set1_sessions();
     let topo = set1_topology();
-    c.bench_function("fig3/bound_curves", |b| {
-        b.iter(|| {
-            let bounds = RppsNetworkBounds::new(&topo, sessions.clone()).unwrap();
-            let mut acc = 0.0;
-            for i in 0..4 {
-                let (_, d) = bounds.paper_fig3_bounds(i);
-                for k in 0..120 {
-                    acc += d.tail(k as f64 * 80.0 / 120.0);
-                }
+    h.bench("fig3/bound_curves", || {
+        let bounds = RppsNetworkBounds::new(&topo, sessions.clone()).unwrap();
+        let mut acc = 0.0;
+        for i in 0..4 {
+            let (_, d) = bounds.paper_fig3_bounds(i);
+            for k in 0..120 {
+                acc += d.tail(k as f64 * 80.0 / 120.0);
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
 }
 
 /// Figure 4: the LNT94-direct improved bounds (per-session effective-
 /// bandwidth root + eigenvector at the bottleneck rate).
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4(h: &mut BenchHarness) {
     let sessions = set1_sessions();
     let topo = set1_topology();
     let bounds = RppsNetworkBounds::new(&topo, sessions).unwrap();
     let sources = OnOffSource::paper_table1();
-    c.bench_function("fig4/improved_bounds", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..4 {
-                let g = bounds.g_net(i);
-                let delta = queue_tail_bound(sources[i].as_markov(), g).unwrap();
-                let (_, d) = bounds.with_delta_bound(i, delta);
-                acc += d.tail(30.0);
-            }
-            black_box(acc)
-        })
+    h.bench("fig4/improved_bounds", || {
+        let mut acc = 0.0;
+        for i in 0..4 {
+            let g = bounds.g_net(i);
+            let delta = queue_tail_bound(sources[i].as_markov(), g).unwrap();
+            let (_, d) = bounds.with_delta_bound(i, delta);
+            acc += d.tail(30.0);
+        }
+        black_box(acc)
     });
 }
 
-criterion_group!(benches, bench_table1, bench_table2, bench_fig3, bench_fig4);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new("paper_tables");
+    bench_table1(&mut h);
+    bench_table2(&mut h);
+    bench_fig3(&mut h);
+    bench_fig4(&mut h);
+    h.finish().expect("write bench report");
+}

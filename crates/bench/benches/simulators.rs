@@ -2,84 +2,63 @@
 //! throughput, network-of-GPS throughput, event-driven fluid GPS, and
 //! packetized PGPS scheduling.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gps_bench::harness::{black_box, BenchHarness};
 use gps_core::NetworkTopology;
 use gps_sim::{FluidGps, Packet, PgpsServer, SlottedGps, SlottedGpsNetwork};
 use gps_sources::{OnOffSource, SlotSource};
 use gps_stats::rng::SeedSequence;
 
-fn bench_slotted(c: &mut Criterion) {
-    let mut group = c.benchmark_group("slotted_gps");
-    group.sample_size(20);
+fn bench_slotted(h: &mut BenchHarness) {
     let slots = 10_000u64;
-    group.throughput(Throughput::Elements(slots));
-    group.bench_function("4sessions_10kslots", |b| {
-        let seeds = SeedSequence::new(1);
-        b.iter(|| {
-            let mut server = SlottedGps::new(vec![0.2, 0.25, 0.2, 0.25], 1.0);
-            let mut sources = OnOffSource::paper_table1();
-            let mut rngs: Vec<_> = (0..4).map(|i| seeds.rng("s", i)).collect();
-            let mut arr = [0.0; 4];
-            for _ in 0..slots {
-                for i in 0..4 {
-                    arr[i] = sources[i].next_slot(&mut rngs[i]);
-                }
-                black_box(server.step(&arr));
+    let seeds = SeedSequence::new(1);
+    h.bench_elems("slotted_gps/4sessions_10kslots", slots, || {
+        let mut server = SlottedGps::new(vec![0.2, 0.25, 0.2, 0.25], 1.0);
+        let mut sources = OnOffSource::paper_table1();
+        let mut rngs: Vec<_> = (0..4).map(|i| seeds.rng("s", i)).collect();
+        let mut arr = [0.0; 4];
+        for _ in 0..slots {
+            for i in 0..4 {
+                arr[i] = sources[i].next_slot(&mut rngs[i]);
             }
-        })
+            black_box(server.step(&arr));
+        }
     });
-    group.finish();
 }
 
-fn bench_network(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network_gps");
-    group.sample_size(20);
+fn bench_network(h: &mut BenchHarness) {
     let slots = 5_000u64;
-    group.throughput(Throughput::Elements(slots));
-    group.bench_function("fig2_5kslots", |b| {
-        let seeds = SeedSequence::new(2);
-        let topo = NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]);
-        b.iter(|| {
-            let mut net = SlottedGpsNetwork::new(topo.clone());
-            let mut sources = OnOffSource::paper_table1();
-            let mut rngs: Vec<_> = (0..4).map(|i| seeds.rng("s", i)).collect();
-            let mut arr = [0.0; 4];
-            for _ in 0..slots {
-                for i in 0..4 {
-                    arr[i] = sources[i].next_slot(&mut rngs[i]);
-                }
-                black_box(net.step(&arr));
+    let seeds = SeedSequence::new(2);
+    let topo = NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]);
+    h.bench_elems("network_gps/fig2_5kslots", slots, || {
+        let mut net = SlottedGpsNetwork::new(topo.clone());
+        let mut sources = OnOffSource::paper_table1();
+        let mut rngs: Vec<_> = (0..4).map(|i| seeds.rng("s", i)).collect();
+        let mut arr = [0.0; 4];
+        for _ in 0..slots {
+            for i in 0..4 {
+                arr[i] = sources[i].next_slot(&mut rngs[i]);
             }
-        })
+            black_box(net.step(&arr));
+        }
     });
-    group.finish();
 }
 
-fn bench_fluid_event(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fluid_event");
-    group.sample_size(20);
+fn bench_fluid_event(h: &mut BenchHarness) {
     let impulses = 2_000usize;
-    group.throughput(Throughput::Elements(impulses as u64));
-    group.bench_function("2k_impulses_3sessions", |b| {
-        b.iter(|| {
-            let mut g = FluidGps::new(vec![1.0, 2.0, 0.5], 1.0);
-            let mut t = 0.0;
-            for k in 0..impulses {
-                t += 0.31;
-                g.arrive(t, k % 3, 0.2 + 0.1 * (k % 4) as f64);
-            }
-            g.advance_to(t + 1e4);
-            black_box(g.take_completions())
-        })
+    h.bench_elems("fluid_event/2k_impulses_3sessions", impulses as u64, || {
+        let mut g = FluidGps::new(vec![1.0, 2.0, 0.5], 1.0);
+        let mut t = 0.0;
+        for k in 0..impulses {
+            t += 0.31;
+            g.arrive(t, k % 3, 0.2 + 0.1 * (k % 4) as f64);
+        }
+        g.advance_to(t + 1e4);
+        black_box(g.take_completions())
     });
-    group.finish();
 }
 
-fn bench_pgps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pgps");
-    group.sample_size(20);
+fn bench_pgps(h: &mut BenchHarness) {
     let n = 5_000usize;
-    group.throughput(Throughput::Elements(n as u64));
     // Pre-generate packets once.
     let mut packets = Vec::with_capacity(n);
     let mut t = 0.0;
@@ -91,18 +70,17 @@ fn bench_pgps(c: &mut Criterion) {
             arrival: t,
         });
     }
-    group.bench_function("wfq_5k_packets_4sessions", |b| {
-        let server = PgpsServer::new(vec![1.0, 2.0, 0.5, 1.5], 1.0);
-        b.iter(|| black_box(server.run(&packets)))
+    let server = PgpsServer::new(vec![1.0, 2.0, 0.5, 1.5], 1.0);
+    h.bench_elems("pgps/wfq_5k_packets_4sessions", n as u64, || {
+        black_box(server.run(&packets))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_slotted,
-    bench_network,
-    bench_fluid_event,
-    bench_pgps
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new("simulators");
+    bench_slotted(&mut h);
+    bench_network(&mut h);
+    bench_fluid_event(&mut h);
+    bench_pgps(&mut h);
+    h.finish().expect("write bench report");
+}

@@ -1,10 +1,13 @@
 //! Shared scenario builders for the benchmark suite.
 //!
 //! The benches regenerate each paper artifact (Tables 1–2, Figures 3–4)
-//! inside Criterion so both the *values* and the *cost* of reproduction
-//! are tracked, plus raw performance benches for the simulators and
-//! bound computations. This crate holds the builders so benches and
-//! their smoke tests agree on the scenarios.
+//! inside the in-tree wall-clock harness ([`harness`]) so both the
+//! *values* and the *cost* of reproduction are tracked, plus raw
+//! performance benches for the simulators and bound computations. This
+//! crate holds the builders so benches and their smoke tests agree on
+//! the scenarios.
+
+pub mod harness;
 
 use gps_core::NetworkTopology;
 use gps_ebb::EbbProcess;

@@ -2,13 +2,15 @@
 //!
 //! These check structural invariants of the bounds over randomized
 //! parameters: domains, monotonicity, clamping, and consistency between the
-//! tail- and MGF-space formulations.
+//! tail- and MGF-space formulations. They run on the in-tree harness in
+//! `gps_stats::prop`.
 
 use gps_ebb::{
     chernoff_combine, delta_mgf_log, sigma_hat, AggregateArrival, DeltaTailBound, EbbProcess,
     HolderExponents, MgfArrival, TailBound, TimeModel, WeightedDelta,
 };
-use proptest::prelude::*;
+use gps_stats::prop::{Strategy, StrategyExt};
+use gps_stats::{prop_assert, prop_assert_eq, proptest};
 
 /// Strategy: a plausible E.B.B. process (rates in (0,1), Λ in (0.1, 20),
 /// α in (0.05, 5)).
@@ -22,8 +24,39 @@ fn spare() -> impl Strategy<Value = f64> {
     0.05f64..3.0
 }
 
+/// The one persisted proptest regression (formerly
+/// `proptests.proptest-regressions`): the all-minimal corner
+/// `e = (ρ=0.01, Λ=0.1, α=0.05)`, `s = 0.05`, `f1 = 0.05` once tripped the
+/// Lemma 5/6 well-formedness checks. Pinned explicitly so the case survives
+/// the proptest removal.
+#[test]
+fn regression_minimal_corner_lemma5_and_mgf_log() {
+    let e = EbbProcess::new(0.01, 0.1, 0.05);
+    let s = 0.05;
+    let f1 = 0.05;
+
+    // lemma5_bounds_well_formed body.
+    let rate = e.rho * (1.0 + s) + 1e-6;
+    let d = DeltaTailBound::new(e, rate);
+    let disc = d.discrete();
+    let cont = d.continuous_optimal();
+    assert_eq!(disc.decay, cont.decay);
+    assert!(disc.prefactor >= e.lambda - 1e-12);
+    assert!(cont.prefactor >= e.lambda - 1e-12);
+    if d.xi_max() >= 1.0 {
+        assert!(d.continuous_with_xi(1.0).prefactor >= disc.prefactor - 1e-12);
+    }
+
+    // delta_mgf_log_nonnegative_and_finite body.
+    let theta = e.alpha * f1;
+    let m = delta_mgf_log(&e, rate, theta, TimeModel::Discrete);
+    assert!(m.is_finite());
+    assert!(m >= -1e-12);
+    let mc = delta_mgf_log(&e, rate, theta, TimeModel::PAPER_DEFAULT);
+    assert!(mc >= m - 1e-12, "continuous pays the overshoot at xi=1");
+}
+
 proptest! {
-    #[test]
     fn tail_bound_is_probability_and_monotone(
         lambda in 0.01f64..50.0,
         theta in 0.01f64..10.0,
@@ -37,7 +70,6 @@ proptest! {
         prop_assert!(t2 <= t1 + 1e-15);
     }
 
-    #[test]
     fn quantile_tail_roundtrip(
         lambda in 0.5f64..50.0,
         theta in 0.01f64..10.0,
@@ -55,7 +87,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn sigma_hat_positive_and_monotone_in_lambda(
         alpha in 0.1f64..5.0,
         frac in 0.01f64..0.99,
@@ -69,7 +100,6 @@ proptest! {
         prop_assert!(s2 >= s1 - 1e-12);
     }
 
-    #[test]
     fn lemma5_bounds_well_formed(e in ebb(), s in spare()) {
         let rate = e.rho * (1.0 + s) + 1e-6;
         let d = DeltaTailBound::new(e, rate);
@@ -88,7 +118,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn lemma5_prefactor_decreasing_in_capacity(e in ebb(), s in spare()) {
         let r1 = e.rho * (1.0 + s) + 1e-6;
         let r2 = r1 * 1.5;
@@ -97,7 +126,6 @@ proptest! {
         prop_assert!(p2 <= p1 + 1e-12);
     }
 
-    #[test]
     fn delta_mgf_log_nonnegative_and_finite(e in ebb(), s in spare(), f1 in 0.05f64..0.9) {
         // The Lemma 6 bound is NOT monotone in θ (it diverges like
         // -ln(θε) as θ -> 0 and like -ln(α-θ) as θ -> α), but it is always
@@ -112,7 +140,6 @@ proptest! {
         prop_assert!(mc >= m - 1e-12, "continuous pays the overshoot at xi=1");
     }
 
-    #[test]
     fn chernoff_combine_prefactor_at_least_one_factor(
         e1 in ebb(), e2 in ebb(), s in spare(), f in 0.05f64..0.9,
     ) {
@@ -131,7 +158,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn holder_exponents_valid(n in 2usize..8, seed in 0u64..1000) {
         // Deterministic pseudo-random alphas/weights from the seed.
         let alphas: Vec<f64> = (0..n)
@@ -149,7 +175,6 @@ proptest! {
         prop_assert!((h.theta_sup(&alphas, &weights) - want).abs() < 1e-9);
     }
 
-    #[test]
     fn aggregate_ebb_view_consistent(e1 in ebb(), e2 in ebb(), f in 0.05f64..0.95) {
         let agg = AggregateArrival::new(vec![e1, e2]);
         let theta = f * agg.theta_sup();

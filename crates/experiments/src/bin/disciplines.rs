@@ -13,9 +13,9 @@
 
 use gps_experiments::csv::CsvWriter;
 use gps_sim::{FifoServer, Packet, PgpsServer, PriorityServer};
+use gps_stats::rng::RngExt;
 use gps_stats::rng::SeedSequence;
 use gps_stats::{P2Quantile, StreamingMoments};
-use rand::Rng;
 
 fn generate_traffic(seed: u64, horizon: f64) -> Vec<Packet> {
     let seeds = SeedSequence::new(seed);
@@ -41,7 +41,7 @@ fn generate_traffic(seed: u64, horizon: f64) -> Vec<Packet> {
                 arrival: t + 0.01 * k as f64,
             });
         }
-        t += 3.0 + rng.gen::<f64>() * 2.0;
+        t += 3.0 + rng.next_f64() * 2.0;
     }
     // Session 2: flood, 0.2 packets at rate ~0.95 of the link.
     let mut rng = seeds.rng("flood", 0);
@@ -52,7 +52,7 @@ fn generate_traffic(seed: u64, horizon: f64) -> Vec<Packet> {
             size: 0.2,
             arrival: t,
         });
-        t += 0.2 / 0.95 * (0.5 + rng.gen::<f64>());
+        t += 0.2 / 0.95 * (0.5 + rng.next_f64());
     }
     packets
 }

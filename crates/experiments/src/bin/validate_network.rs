@@ -4,7 +4,7 @@
 //! Theorem-15 bounds (Fig. 3 forms) and the improved LNT94 bounds
 //! (Fig. 4 forms) — the validation study the paper lists as future work.
 //!
-//! Replications run in parallel (crossbeam scoped threads), each with an
+//! Replications run in parallel (std scoped threads), each with an
 //! independent derived seed; CCDFs are merged.
 //!
 //! Note on discretization: the slotted network forwards across a hop at
@@ -37,13 +37,13 @@ fn main() {
 
     // One merged CCDF pair per session.
     let merged: Vec<(BinnedCcdf, BinnedCcdf)> = {
-        let results = crossbeam::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..replications)
                 .map(|r| {
                     let topo = net.clone();
                     let bg = backlog_grid.clone();
                     let dg = delay_grid.clone();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let cfg = NetworkRunConfig {
                             topology: topo,
                             warmup: 50_000,
@@ -64,8 +64,7 @@ fn main() {
                 .into_iter()
                 .map(|h| h.join().expect("replication"))
                 .collect::<Vec<_>>()
-        })
-        .expect("scope");
+        });
 
         (0..4)
             .map(|i| {

@@ -1,27 +1,20 @@
 //! Property-based tests for GPS structural invariants: water-filling,
-//! feasible orderings, and the feasible partition.
+//! feasible orderings, and the feasible partition. Runs on the in-tree
+//! harness in `gps_stats::prop`.
 
 use gps_core::{
     find_feasible_ordering, is_feasible_ordering, water_fill, FeasiblePartition, GpsAssignment,
     RateAllocation,
 };
-use proptest::prelude::*;
+use gps_stats::prop::{vec_of, Strategy};
+use gps_stats::{prop_assert, prop_assert_eq, proptest};
 
 /// Strategy: 2..8 positive weights.
 fn phis() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.05f64..10.0, 2..8)
-}
-
-/// Strategy: per-session demands, some infinite.
-fn demands(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(
-        prop_oneof![3 => 0.0f64..5.0, 1 => Just(f64::INFINITY)],
-        n..=n,
-    )
+    vec_of(0.05f64..10.0, 2..8)
 }
 
 proptest! {
-    #[test]
     fn water_fill_feasible_and_work_conserving(
         ph in phis(),
         cap in 0.1f64..3.0,
@@ -64,7 +57,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn greedy_ordering_always_feasible(ph in phis(), load in 0.1f64..0.999) {
         let n = ph.len();
         let a = GpsAssignment::unit_rate(ph);
@@ -76,7 +68,6 @@ proptest! {
         prop_assert!(is_feasible_ordering(&perm, &rs, &a));
     }
 
-    #[test]
     fn partition_invariants(ph in phis(), load in 0.1f64..0.95, seed in 0u64..300) {
         let n = ph.len();
         let a = GpsAssignment::unit_rate(ph.clone());
@@ -109,7 +100,6 @@ proptest! {
         prop_assert!(p.lemma9_holds(&rhos, &eps, &a));
     }
 
-    #[test]
     fn rate_allocations_stay_feasible(
         ph in phis(),
         load in 0.1f64..0.95,

@@ -1,16 +1,16 @@
 //! Property-based tests for the deterministic network-calculus baseline.
 
 use gps_netcalc::{AffineCurve, ConcaveCurve, LatencyRate};
-use proptest::prelude::*;
+use gps_stats::prop::{vec_of, Strategy, StrategyExt};
+use gps_stats::{prop_assert, prop_assert_eq, proptest};
 
 /// Strategy: a small set of affine pieces with positive parameters.
 fn pieces() -> impl Strategy<Value = Vec<AffineCurve>> {
-    prop::collection::vec((0.0f64..5.0, 0.05f64..3.0), 1..5)
+    vec_of((0.0f64..5.0, 0.05f64..3.0), 1..5)
         .prop_map(|v| v.into_iter().map(|(s, r)| AffineCurve::new(s, r)).collect())
 }
 
 proptest! {
-    #[test]
     fn concave_eval_is_min_of_pieces(ps in pieces(), t in 0.0f64..50.0) {
         let curve = ConcaveCurve::new(ps.clone());
         let direct = if t <= 0.0 {
@@ -21,13 +21,11 @@ proptest! {
         prop_assert!((curve.eval(t) - direct).abs() < 1e-9);
     }
 
-    #[test]
     fn concave_curve_is_nondecreasing(ps in pieces(), t in 0.0f64..40.0, dt in 0.0f64..10.0) {
         let curve = ConcaveCurve::new(ps);
         prop_assert!(curve.eval(t + dt) >= curve.eval(t) - 1e-12);
     }
 
-    #[test]
     fn backlog_bound_dominates_sampled_deviation(
         ps in pieces(),
         rate_mult in 1.05f64..4.0,
@@ -44,7 +42,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn delay_bound_dominates_sampled_horizontal_deviation(
         ps in pieces(),
         rate_mult in 1.05f64..4.0,
@@ -61,7 +58,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn affine_output_propagation_preserves_conformance(
         sigma in 0.0f64..3.0,
         rho in 0.05f64..1.0,
@@ -80,7 +76,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn dual_bucket_tighter_than_each_component(
         peak_mult in 1.0f64..5.0,
         sigma in 0.1f64..4.0,

@@ -8,7 +8,7 @@
 //! which violations the analytical bounds survive and which they do not.
 
 use gps_sources::SlotSource;
-use rand::RngCore;
+use gps_stats::rng::{RngCore, RngExt};
 
 /// Fault configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,10 +59,7 @@ impl<S: SlotSource> FaultySource<S> {
     }
 
     fn coin(rng: &mut dyn RngCore, p: f64) -> bool {
-        if p <= 0.0 {
-            return false;
-        }
-        ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+        p > 0.0 && rng.bernoulli(p)
     }
 }
 
@@ -101,13 +98,12 @@ impl<S: SlotSource> SlotSource for FaultySource<S> {
 mod tests {
     use super::*;
     use gps_sources::CbrSource;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_stats::rng::Xoshiro256pp;
 
     #[test]
     fn no_faults_is_identity() {
         let mut f = FaultySource::new(CbrSource::new(0.5), FaultConfig::default());
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         for _ in 0..10 {
             assert_eq!(f.next_slot(&mut rng), 0.5);
         }
@@ -122,7 +118,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let n = 50_000;
         let total: f64 = (0..n).map(|_| f.next_slot(&mut rng)).sum();
         let frac = total / n as f64;
@@ -139,7 +135,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let n = 50_000;
         let total: f64 = (0..n).map(|_| f.next_slot(&mut rng)).sum();
         assert!((total / n as f64 - 1.25).abs() < 0.01);
@@ -155,7 +151,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         assert!((f.next_slot(&mut rng) - 0.6).abs() < 1e-12);
     }
 

@@ -2,17 +2,17 @@
 //! fairness, and scheduler sanity under randomized workloads.
 
 use gps_sim::{FifoServer, FluidGps, Packet, PgpsServer, SlottedGps};
-use proptest::prelude::*;
+use gps_stats::prop::{vec_of, Config, Strategy};
+use gps_stats::{prop_assert, prop_assert_eq, proptest};
 
 /// Strategy: a batch of random per-slot arrival vectors for `n` sessions.
 fn arrival_pattern(n: usize, slots: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(prop::collection::vec(0.0f64..0.8, n..=n), slots..=slots)
+    vec_of(vec_of(0.0f64..0.8, n..n + 1), slots..slots + 1)
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![config(Config::default().cases(64))]
 
-    #[test]
     fn slotted_conservation_and_guarantee(pattern in arrival_pattern(3, 40)) {
         let phis = vec![1.0, 2.0, 0.5];
         let total_phi: f64 = phis.iter().sum();
@@ -39,7 +39,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn slotted_work_conserving(pattern in arrival_pattern(2, 30)) {
         let mut s = SlottedGps::new(vec![1.0, 1.0], 1.0);
         for arr in &pattern {
@@ -50,7 +49,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn fluid_completions_cover_all_arrivals(seed in 0u64..200) {
         let mut st = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
         let mut rnd = move || {
@@ -81,7 +79,6 @@ proptest! {
         prop_assert!(g.total_backlog() < 1e-9);
     }
 
-    #[test]
     fn pgps_departures_sane(seed in 0u64..200) {
         let mut st = seed.wrapping_mul(123457).wrapping_add(9);
         let mut rnd = move || {
@@ -120,7 +117,6 @@ proptest! {
         prop_assert!((busy - work).abs() < 1e-6);
     }
 
-    #[test]
     fn fifo_never_reorders(seed in 0u64..100) {
         let mut st = seed.wrapping_mul(31).wrapping_add(1);
         let mut rnd = move || {

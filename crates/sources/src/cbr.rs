@@ -7,7 +7,7 @@
 
 use crate::SlotSource;
 use gps_ebb::EbbProcess;
-use rand::RngCore;
+use gps_stats::rng::RngCore;
 
 /// Deterministic constant-rate source.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,13 +56,12 @@ impl SlotSource for CbrSource {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_stats::rng::Xoshiro256pp;
 
     #[test]
     fn constant_emission() {
         let mut s = CbrSource::new(0.25);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         for _ in 0..10 {
             assert_eq!(s.next_slot(&mut rng), 0.25);
         }

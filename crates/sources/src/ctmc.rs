@@ -26,7 +26,7 @@
 use crate::spectral::perron;
 use gps_ebb::numeric::bisect;
 use gps_ebb::TailBound;
-use rand::RngCore;
+use gps_stats::rng::{RngCore, RngExt};
 
 /// A continuous-time Markov-modulated fluid source.
 #[derive(Debug, Clone, PartialEq)]
@@ -258,14 +258,13 @@ impl CtmcFluidSource {
 }
 
 fn uniform01(rng: &mut dyn RngCore) -> f64 {
-    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    rng.next_f64()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_stats::rng::Xoshiro256pp;
 
     fn onoff() -> CtmcFluidSource {
         CtmcFluidSource::on_off(1.0, 2.0, 0.9) // on-fraction 1/3, mean 0.3
@@ -334,7 +333,7 @@ mod tests {
     #[test]
     fn segments_have_exponential_sojourns() {
         let mut s = onoff();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         s.reset_stationary(&mut rng);
         let mut on_total = 0.0;
         let mut on_count = 0u32;
@@ -353,7 +352,7 @@ mod tests {
     #[test]
     fn long_run_rate_matches_mean() {
         let mut s = onoff();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         s.reset_stationary(&mut rng);
         let mut fluid = 0.0;
         let mut time = 0.0;

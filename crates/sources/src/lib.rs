@@ -58,7 +58,7 @@ pub use video::video_source;
 /// control seeding centrally (see `gps_stats::rng::SeedSequence`).
 pub trait SlotSource {
     /// Produces the traffic amount for the next slot.
-    fn next_slot(&mut self, rng: &mut dyn rand::RngCore) -> f64;
+    fn next_slot(&mut self, rng: &mut dyn gps_stats::rng::RngCore) -> f64;
 
     /// Long-run mean rate of the source, if known analytically.
     fn mean_rate(&self) -> f64;
@@ -68,5 +68,5 @@ pub trait SlotSource {
 
     /// Resets the source to its initial state (stationary start where
     /// applicable). The next call to `next_slot` behaves as at construction.
-    fn reset(&mut self, rng: &mut dyn rand::RngCore);
+    fn reset(&mut self, rng: &mut dyn gps_stats::rng::RngCore);
 }

@@ -10,7 +10,7 @@
 //! depend on it: the relevant MGF matrix is `M(θ) = P · diag(e^{θ λ})`.
 
 use crate::SlotSource;
-use rand::RngCore;
+use gps_stats::rng::{RngCore, RngExt};
 
 /// A finite-state Markov-modulated fluid source.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,9 +154,9 @@ impl SlotSource for MarkovSource {
     }
 }
 
-/// Uniform f64 in [0, 1) from a dyn RngCore (avoids requiring `Rng: Sized`).
+/// Uniform f64 in [0, 1) from a dyn RngCore.
 fn uniform01(rng: &mut dyn RngCore) -> f64 {
-    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    rng.next_f64()
 }
 
 /// Stationary distribution by power iteration on `P^T`, with damping-free
@@ -189,8 +189,7 @@ pub fn stationary_distribution(p: &[Vec<f64>]) -> Option<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_stats::rng::Xoshiro256pp;
 
     fn onoff_matrix(p: f64, q: f64) -> Vec<Vec<f64>> {
         vec![vec![1.0 - p, p], vec![q, 1.0 - q]]
@@ -231,7 +230,7 @@ mod tests {
     #[test]
     fn simulation_long_run_mean() {
         let mut m = MarkovSource::new(onoff_matrix(0.4, 0.4), vec![0.0, 0.4]);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         m.reset(&mut rng);
         let n = 200_000;
         let total: f64 = (0..n).map(|_| m.next_slot(&mut rng)).sum();
@@ -245,7 +244,7 @@ mod tests {
     #[test]
     fn simulation_emits_only_state_rates() {
         let mut m = MarkovSource::new(onoff_matrix(0.3, 0.3), vec![0.0, 0.3]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         for _ in 0..1000 {
             let x = m.next_slot(&mut rng);
             assert!(x == 0.0 || x == 0.3);
@@ -255,7 +254,7 @@ mod tests {
     #[test]
     fn reset_resamples_stationary() {
         let m0 = MarkovSource::new(onoff_matrix(0.3, 0.7), vec![0.0, 1.0]);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
         let mut on = 0;
         let trials = 20_000;
         for _ in 0..trials {

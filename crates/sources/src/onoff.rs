@@ -10,7 +10,7 @@
 
 use crate::markov::MarkovSource;
 use crate::SlotSource;
-use rand::RngCore;
+use gps_stats::rng::RngCore;
 
 /// A two-state on-off Markov fluid source.
 ///
@@ -18,10 +18,9 @@ use rand::RngCore;
 ///
 /// ```
 /// use gps_sources::{OnOffSource, SlotSource};
-/// use rand::SeedableRng;
 /// let mut src = OnOffSource::new(0.3, 0.7, 0.5); // Table 1, session 1
 /// assert!((src.mean() - 0.15).abs() < 1e-12);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = gps_stats::rng::Xoshiro256pp::seed_from_u64(1);
 /// src.reset(&mut rng);
 /// let x = src.next_slot(&mut rng);
 /// assert!(x == 0.0 || x == 0.5);
@@ -141,8 +140,7 @@ impl SlotSource for OnOffSource {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_stats::rng::Xoshiro256pp;
 
     #[test]
     fn table1_means() {
@@ -173,7 +171,7 @@ mod tests {
     #[test]
     fn simulated_on_fraction() {
         let mut s = OnOffSource::new(0.3, 0.7, 0.5);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         s.reset(&mut rng);
         let n = 100_000;
         let mut on = 0u32;
@@ -189,7 +187,7 @@ mod tests {
     #[test]
     fn emits_zero_or_lambda() {
         let mut s = OnOffSource::new(0.5, 0.5, 0.7);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         for _ in 0..100 {
             let x = s.next_slot(&mut rng);
             assert!(x == 0.0 || (x - 0.7).abs() < 1e-15);
@@ -200,7 +198,7 @@ mod tests {
     fn sojourns_geometric() {
         // Mean measured on-sojourn should approach 1/q.
         let mut s = OnOffSource::new(0.4, 0.25, 1.0);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         s.reset(&mut rng);
         let mut runs = Vec::new();
         let mut cur = 0u32;

@@ -9,7 +9,7 @@
 use crate::SlotSource;
 use gps_ebb::numeric::bisect;
 use gps_ebb::EbbProcess;
-use rand::RngCore;
+use gps_stats::rng::{RngCore, RngExt};
 
 /// Compound Poisson slot source: `Poisson(lambda)` units of size `b` per
 /// slot.
@@ -70,22 +70,7 @@ impl PoissonSource {
 
 impl SlotSource for PoissonSource {
     fn next_slot(&mut self, rng: &mut dyn RngCore) -> f64 {
-        // Knuth's multiplication method — fine for the modest λ used in
-        // queueing experiments.
-        let l = (-self.lambda).exp();
-        let mut k = 0u64;
-        let mut p = 1.0;
-        loop {
-            p *= (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-            if p <= l {
-                break;
-            }
-            k += 1;
-            if k > 10_000_000 {
-                unreachable!("Poisson sampling runaway");
-            }
-        }
-        k as f64 * self.unit
+        rng.poisson(self.lambda) as f64 * self.unit
     }
 
     fn mean_rate(&self) -> f64 {
@@ -104,8 +89,7 @@ impl SlotSource for PoissonSource {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_stats::rng::Xoshiro256pp;
 
     #[test]
     fn effective_bandwidth_limits() {
@@ -131,7 +115,7 @@ mod tests {
         // (n, x).
         let mut s = PoissonSource::new(0.3, 1.0);
         let e = s.ebb_for_rate(0.6).unwrap();
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
         let n = 5usize;
         let trials = 20_000;
         let x = 2.0;
@@ -153,7 +137,7 @@ mod tests {
     #[test]
     fn sample_mean_matches() {
         let mut s = PoissonSource::new(0.7, 2.0);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let n = 100_000;
         let total: f64 = (0..n).map(|_| s.next_slot(&mut rng)).sum();
         let mean = total / n as f64;
@@ -163,7 +147,7 @@ mod tests {
     #[test]
     fn samples_are_unit_multiples() {
         let mut s = PoissonSource::new(1.0, 0.25);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         for _ in 0..100 {
             let x = s.next_slot(&mut rng);
             let k = x / 0.25;

@@ -76,8 +76,7 @@ mod tests {
     use crate::lnt94::{Lnt94Characterization, PrefactorKind};
     use crate::spectral::effective_bandwidth;
     use crate::SlotSource;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_stats::rng::Xoshiro256pp;
 
     #[test]
     fn binom_pmf_sums_to_one() {
@@ -151,7 +150,7 @@ mod tests {
         assert!(c.ebb.alpha > 0.0);
         assert!(c.ebb.lambda > 0.0 && c.ebb.lambda <= 1.0 + 1e-9);
         // Simulated mean matches.
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         v.reset(&mut rng);
         let n = 200_000;
         let total: f64 = (0..n).map(|_| v.next_slot(&mut rng)).sum();

@@ -4,7 +4,8 @@
 use gps_sources::spectral::{effective_bandwidth, perron, solve_decay_rate};
 use gps_sources::token_bucket::{LeakyBucket, MarkedTrafficMeter};
 use gps_sources::{ArrivalTrace, Lnt94Characterization, MarkovSource, OnOffSource, PrefactorKind};
-use proptest::prelude::*;
+use gps_stats::prop::Strategy;
+use gps_stats::{prop_assert, prop_assert_eq, prop_assume, proptest};
 
 /// Strategy: valid on-off parameters.
 fn onoff() -> impl Strategy<Value = (f64, f64, f64)> {
@@ -12,7 +13,6 @@ fn onoff() -> impl Strategy<Value = (f64, f64, f64)> {
 }
 
 proptest! {
-    #[test]
     fn effective_bandwidth_monotone_between_mean_and_peak((p, q, lam) in onoff()) {
         let src = OnOffSource::new(p, q, lam);
         let m = src.as_markov();
@@ -25,7 +25,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn decay_rate_roundtrip((p, q, lam) in onoff(), f in 0.1f64..0.9) {
         let src = OnOffSource::new(p, q, lam);
         let mean = src.mean();
@@ -38,7 +37,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn lnt94_prefactor_in_unit_range_and_chernoff_dominates(
         (p, q, lam) in onoff(),
         f in 0.2f64..0.8,
@@ -62,7 +60,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn perron_root_brackets_row_sums(seed in 0u64..400) {
         // Random positive 3x3 matrix: Perron root lies between the min and
         // max row sums.
@@ -83,7 +80,6 @@ proptest! {
         prop_assert!(h.iter().all(|&x| x > 0.0));
     }
 
-    #[test]
     fn min_sigma_makes_trace_conform(seed in 0u64..200, rho in 0.2f64..1.5) {
         let mut s = seed.wrapping_mul(0x12345).wrapping_add(99);
         let trace: Vec<f64> = (0..200)
@@ -99,7 +95,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn marked_meter_equals_excess_trace(seed in 0u64..200, rate in 0.2f64..1.5) {
         let mut s = seed.wrapping_mul(77).wrapping_add(5);
         let slots: Vec<f64> = (0..150)
@@ -116,7 +111,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn markov_stationary_is_fixed_point(seed in 0u64..300) {
         // Random 4-state chain.
         let mut s = seed.wrapping_mul(31).wrapping_add(17);

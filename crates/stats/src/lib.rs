@@ -18,12 +18,18 @@
 //! * [`fit::ExponentialTailFit`] — least-squares fitting of `ln Pr{X >= x}`
 //!   against `x`, recovering an empirical `(Λ, θ)` pair to compare with the
 //!   paper's bounds;
-//! * [`rng`] — deterministic seed derivation so every source / replication in
-//!   an experiment gets an independent, reproducible RNG stream.
+//! * [`rng`] — the in-tree random-number substrate (xoshiro256++ generator,
+//!   the distributions the workspace samples, and deterministic seed
+//!   derivation so every source / replication in an experiment gets an
+//!   independent, reproducible RNG stream);
+//! * [`prop`] — a small in-tree property-testing harness (seeded case
+//!   generation, shrinking, persisted regression seeds).
 //!
-//! Everything here is plain, allocation-conscious, synchronous Rust: the
-//! workloads are CPU-bound Monte-Carlo loops, so the design follows the
-//! "simple and robust" smoltcp ethos rather than any async machinery.
+//! Everything here is plain, allocation-conscious, synchronous Rust with
+//! **zero external dependencies** — the workspace builds fully offline (see
+//! the hermetic-build policy in the repository README). The workloads are
+//! CPU-bound Monte-Carlo loops, so the design follows the "simple and
+//! robust" smoltcp ethos rather than any async machinery.
 
 pub mod autocorr;
 pub mod batch;
@@ -31,6 +37,7 @@ pub mod ccdf;
 pub mod fit;
 pub mod histogram;
 pub mod moments;
+pub mod prop;
 pub mod quantile;
 pub mod rng;
 
@@ -41,3 +48,4 @@ pub use fit::ExponentialTailFit;
 pub use histogram::Histogram;
 pub use moments::StreamingMoments;
 pub use quantile::P2Quantile;
+pub use rng::{RngCore, RngExt, SeedSequence, Xoshiro256pp};

@@ -1,0 +1,736 @@
+//! In-tree property-based testing harness.
+//!
+//! A small, dependency-free replacement for the slice of `proptest` this
+//! workspace used: seeded case generation, configurable case counts,
+//! shrink-on-failure for scalar / tuple / `Vec` inputs, assumption
+//! filtering, and *persisted regression seeds* (a `u64` array in the test
+//! file replaces proptest's `.proptest-regressions` sidecar files).
+//!
+//! # Model
+//!
+//! A [`Strategy`] generates values from a [`Xoshiro256pp`] stream and can
+//! propose smaller candidate values for a failing input ([`Strategy::shrink`]).
+//! [`run`] drives the loop: it first replays any pinned regression seeds,
+//! then generates fresh cases from seeds derived deterministically from the
+//! test name (so runs are reproducible without wall-clock or OS entropy),
+//! catches panics from the test body, shrinks the first failing input
+//! greedily, and re-panics with a report carrying the minimal input and the
+//! case seed — which can then be pinned via [`Config::regressions`].
+//!
+//! # Usage
+//!
+//! ```
+//! use gps_stats::proptest;
+//!
+//! proptest! {
+//!     fn sum_commutes(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+//!         assert!((a + b) - (b + a) == 0.0);
+//!     }
+//! }
+//! ```
+//!
+//! With configuration and an assumption:
+//!
+//! ```
+//! use gps_stats::{prop_assume, proptest};
+//!
+//! proptest! {
+//!     #![config(gps_stats::prop::Config::default().cases(32))]
+//!     fn ordered(lo in 0.0f64..1.0, hi in 0.0f64..1.0) {
+//!         prop_assume!(lo < hi);
+//!         assert!(hi - lo > 0.0);
+//!     }
+//! }
+//! ```
+
+use crate::rng::{RngExt, SeedSequence, Xoshiro256pp};
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// How many shrink candidates to try per accepted shrink step, and a global
+/// cap on total shrink evaluations, so pathological strategies terminate.
+const DEFAULT_MAX_SHRINK_ITERS: usize = 2048;
+
+/// Generates test inputs and proposes smaller variants of failing ones.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the stream.
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value;
+
+    /// Candidate simplifications of `v`, ordered most-aggressive first.
+    /// An empty vector (the default) means `v` is not shrinkable.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(v)
+    }
+}
+
+/// `lo..hi` over `f64` draws uniformly from `[lo, hi)` and shrinks toward
+/// `lo` (the canonical "simplest" value) through bisection.
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let lo = self.start;
+        if *v <= lo {
+            return Vec::new();
+        }
+        // A geometric ladder approaching `v` from below: lo, then
+        // lo + d/2, lo + 3d/4, … Greedy adoption of the first *failing*
+        // candidate makes the shrink converge to the failure boundary
+        // instead of stalling when the passing region covers [lo, mid].
+        let d = *v - lo;
+        let mut out = vec![lo];
+        let mut gap = d / 2.0;
+        for _ in 0..16 {
+            let cand = *v - gap;
+            if cand > lo && cand < *v && out.last() != Some(&cand) {
+                out.push(cand);
+            }
+            gap /= 2.0;
+            if gap < f64::EPSILON * d {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// `lo..hi` over `usize`: uniform draw, shrink toward `lo` by halving.
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> usize {
+        assert!(self.start < self.end, "empty usize range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+
+    fn shrink(&self, v: &usize) -> Vec<usize> {
+        let lo = self.start;
+        if *v <= lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo];
+        let mut gap = (*v - lo) / 2;
+        while gap > 0 {
+            let cand = *v - gap;
+            if cand > lo && out.last() != Some(&cand) {
+                out.push(cand);
+            }
+            gap /= 2;
+        }
+        if out.last() != Some(&(*v - 1)) && *v - 1 > lo {
+            out.push(*v - 1);
+        }
+        out
+    }
+}
+
+/// `lo..hi` over `u64`: uniform draw, shrink toward `lo` by halving.
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> u64 {
+        assert!(self.start < self.end, "empty u64 range");
+        self.start + rng.below(self.end - self.start)
+    }
+
+    fn shrink(&self, v: &u64) -> Vec<u64> {
+        let lo = self.start;
+        if *v <= lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo];
+        let mut gap = (*v - lo) / 2;
+        while gap > 0 {
+            let cand = *v - gap;
+            if cand > lo && out.last() != Some(&cand) {
+                out.push(cand);
+            }
+            gap /= 2;
+        }
+        if out.last() != Some(&(*v - 1)) && *v - 1 > lo {
+            out.push(*v - 1);
+        }
+        out
+    }
+}
+
+/// A constant strategy: always yields a clone of the value, never shrinks.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Xoshiro256pp) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`StrategyExt::prop_map`]. Mapped values do not
+/// shrink (the inverse image is unknown); shrink *before* mapping when
+/// minimization matters.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+    T: Clone + Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut Xoshiro256pp) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Combinator methods on every strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`.
+    fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> T,
+        T: Clone + Debug,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// A `Vec` strategy: length uniform in `len`, elements from `element`.
+/// Shrinks by dropping elements (front-biased halving toward the minimum
+/// length) and then by shrinking individual elements.
+pub fn vec_of<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+/// See [`vec_of`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Vec<S::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks: halve toward the minimum length, then -1.
+        if v.len() > self.len.start {
+            let half = self.len.start + (v.len() - self.len.start) / 2;
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            if v.len() - 1 > half {
+                out.push(v[..v.len() - 1].to_vec());
+            }
+        }
+        // Element shrinks: first candidate per position, capped so huge
+        // vectors don't explode the shrink frontier.
+        for (i, item) in v.iter().enumerate().take(16) {
+            if let Some(smaller) = self.element.shrink(item).into_iter().next() {
+                let mut w = v.clone();
+                w[i] = smaller;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident / $v:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / a / 0);
+tuple_strategy!(A / a / 0, B / b / 1);
+tuple_strategy!(A / a / 0, B / b / 1, C / c / 2);
+tuple_strategy!(A / a / 0, B / b / 1, C / c / 2, D / d / 3);
+tuple_strategy!(A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4);
+tuple_strategy!(
+    A / a / 0,
+    B / b / 1,
+    C / c / 2,
+    D / d / 3,
+    E / e / 4,
+    F / f / 5
+);
+
+/// Outcome of one test-body evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestResult {
+    /// The property held for this input.
+    Pass,
+    /// The input did not satisfy the test's assumptions; draw another.
+    Discard,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of non-discarded cases to run. Overridable at runtime with
+    /// the `GPS_PROP_CASES` environment variable.
+    pub cases: u32,
+    /// Cap on shrink-candidate evaluations after a failure.
+    pub max_shrink_iters: usize,
+    /// Abort (as a failure) if `discard > max_discard_ratio * cases`.
+    pub max_discard_ratio: u32,
+    /// Pinned case seeds replayed before fresh generation — the in-source
+    /// replacement for proptest's `.proptest-regressions` files. When a
+    /// property fails, the harness prints the case seed to pin here.
+    pub regressions: &'static [u64],
+    /// Base seed for fresh-case derivation. Fixed by default so CI is
+    /// deterministic; change it to explore a different case stream.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_iters: DEFAULT_MAX_SHRINK_ITERS,
+            max_discard_ratio: 10,
+            regressions: &[],
+            seed: 0x6770_735f_7072_6f70, // "gps_prop"
+        }
+    }
+}
+
+impl Config {
+    /// Returns a copy with the case count set.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Returns a copy with pinned regression seeds.
+    pub fn regressions(mut self, seeds: &'static [u64]) -> Self {
+        self.regressions = seeds;
+        self
+    }
+
+    /// Returns a copy with a different base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn effective_cases(&self) -> u32 {
+        match std::env::var("GPS_PROP_CASES") {
+            Ok(s) => s.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Serializes shrink phases across threads: shrinking silences the global
+/// panic hook (each candidate evaluation intentionally panics), and the
+/// hook is process-global state.
+static SHRINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn passes<V, F>(test: &F, input: V) -> Result<TestResult, String>
+where
+    V: Clone + Debug,
+    F: Fn(V) -> TestResult,
+{
+    match panic::catch_unwind(AssertUnwindSafe(|| test(input))) {
+        Ok(r) => Ok(r),
+        Err(payload) => Err(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs the property `test` over inputs from `strategy`.
+///
+/// Panics (failing the enclosing `#[test]`) if any case fails, reporting
+/// the minimal shrunk input, the original failing input, the case seed to
+/// pin in [`Config::regressions`], and the original panic message.
+pub fn run<S, F>(cfg: &Config, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestResult,
+{
+    let cases = cfg.effective_cases();
+    let seeds = SeedSequence::new(cfg.seed).subsequence(name, 0);
+
+    // Phase 1: pinned regressions, replayed verbatim (no shrinking needed —
+    // they were already minimal when pinned, and re-shrinking would hide
+    // drift in the strategy definition).
+    for (k, &seed) in cfg.regressions.iter().enumerate() {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let input = strategy.generate(&mut rng);
+        if let Err(msg) = passes(&test, input.clone()) {
+            panic!(
+                "property `{name}` failed on pinned regression #{k} (seed \
+                 {seed:#018x})\n  input: {input:?}\n  cause: {msg}"
+            );
+        }
+    }
+
+    // Phase 2: fresh cases from deterministic per-case seeds.
+    let mut discards: u32 = 0;
+    let mut case: u32 = 0;
+    while case < cases {
+        let case_seed = seeds.child_seed("case", (case + discards) as u64);
+        let mut rng = Xoshiro256pp::seed_from_u64(case_seed);
+        let input = strategy.generate(&mut rng);
+        match passes(&test, input.clone()) {
+            Ok(TestResult::Pass) => case += 1,
+            Ok(TestResult::Discard) => {
+                discards += 1;
+                if discards > cfg.max_discard_ratio.saturating_mul(cases) {
+                    panic!(
+                        "property `{name}`: too many discarded cases \
+                         ({discards} discards for {case} accepted) — loosen \
+                         the strategy or the assumption"
+                    );
+                }
+            }
+            Err(first_msg) => {
+                let (minimal, msg) = shrink_failure(cfg, strategy, &test, input.clone(), first_msg);
+                panic!(
+                    "property `{name}` failed (case {case}, seed {case_seed:#018x} \
+                     — pin it via Config::regressions to keep this case)\n  \
+                     minimal input: {minimal:?}\n  original input: {input:?}\n  \
+                     cause: {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly adopt the first failing candidate until no
+/// candidate fails or the iteration budget runs out. Panics from candidate
+/// evaluations are expected, so the global panic hook is silenced for the
+/// duration (serialized by [`SHRINK_LOCK`]).
+fn shrink_failure<S, F>(
+    cfg: &Config,
+    strategy: &S,
+    test: &F,
+    mut failing: S::Value,
+    mut msg: String,
+) -> (S::Value, String)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestResult,
+{
+    let _guard = SHRINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let saved_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let mut budget = cfg.max_shrink_iters;
+    'outer: while budget > 0 {
+        for cand in strategy.shrink(&failing) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            match passes(test, cand.clone()) {
+                Err(m) => {
+                    failing = cand;
+                    msg = m;
+                    continue 'outer; // restart from the smaller input
+                }
+                Ok(_) => {} // candidate passes or discards; try the next
+            }
+        }
+        break; // no candidate fails: local minimum
+    }
+
+    panic::set_hook(saved_hook);
+    (failing, msg)
+}
+
+/// Declares property tests.
+///
+/// Each arm becomes a `#[test]` function running [`run`] over the tuple of
+/// argument strategies. An optional leading `#![config(expr)]` sets the
+/// [`Config`] for all arms in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![config($cfg:expr)] $(fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::prop::Config = $cfg;
+                $crate::prop::run(
+                    &cfg,
+                    stringify!($name),
+                    &($($strat,)+),
+                    |($($arg,)+)| { $body $crate::prop::TestResult::Pass },
+                );
+            }
+        )+
+    };
+    ($(fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            #![config($crate::prop::Config::default())]
+            $(fn $name($($arg in $strat),+) $body)+
+        }
+    };
+}
+
+/// Skips the current case when the assumption does not hold; the harness
+/// draws a replacement (bounded by [`Config::max_discard_ratio`]).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::prop::TestResult::Discard;
+        }
+    };
+}
+
+/// Asserts inside a property body. Plain `assert!` also works; this alias
+/// eases porting and keeps parity with the proptest API surface.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_f64_generates_in_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let s = 2.0f64..5.0;
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_f64_shrinks_toward_lo() {
+        let s = 2.0f64..5.0;
+        let cands = s.shrink(&4.0);
+        assert!(cands.contains(&2.0));
+        assert!(cands.iter().all(|&c| c < 4.0 && c >= 2.0));
+        assert!(s.shrink(&2.0).is_empty());
+    }
+
+    #[test]
+    fn usize_range_generates_full_support() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let s = 3usize..6;
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..6).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all of 3,4,5 should appear");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_and_shrinks() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let s = vec_of(0.0f64..1.0, 2..8);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..8).contains(&v.len()));
+        }
+        let v = s.generate(&mut rng);
+        for cand in s.shrink(&v) {
+            assert!(cand.len() >= 2 && cand.len() <= v.len());
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_is_componentwise() {
+        let s = (1.0f64..4.0, 10usize..20);
+        for (a, b) in s.shrink(&(3.0, 15)) {
+            // Exactly one component moves per candidate.
+            assert!((a == 3.0) != (b == 15));
+        }
+    }
+
+    #[test]
+    fn run_passes_trivial_property() {
+        run(
+            &Config::default().cases(16),
+            "trivial",
+            &(0.0f64..1.0,),
+            |(x,)| {
+                assert!((0.0..1.0).contains(&x));
+                TestResult::Pass
+            },
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic_across_invocations() {
+        use std::sync::Mutex;
+        let seen: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+        let collect = |(x,): (f64,)| {
+            seen.lock().unwrap().push(x);
+            TestResult::Pass
+        };
+        let cfg = Config::default().cases(8);
+        run(&cfg, "det", &(0.0f64..1.0,), collect);
+        let first = std::mem::take(&mut *seen.lock().unwrap());
+        run(&cfg, "det", &(0.0f64..1.0,), collect);
+        assert_eq!(first, *seen.lock().unwrap());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal() {
+        // Property "x < 0.5" fails for x >= 0.5; the minimal counterexample
+        // in [0,1) under bisection-toward-0 shrinking is near 0.5.
+        let result = panic::catch_unwind(|| {
+            run(
+                &Config::default().cases(64),
+                "halves",
+                &(0.0f64..1.0,),
+                |(x,)| {
+                    assert!(x < 0.5, "x too big");
+                    TestResult::Pass
+                },
+            );
+        });
+        let msg = panic_message(&result.unwrap_err());
+        assert!(msg.contains("property `halves` failed"), "{msg}");
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(msg.contains("x too big"), "{msg}");
+        // Parse the minimal value back out and check it shrank below the
+        // typical first failure (uniform draws land anywhere in [0.5, 1)).
+        let minimal: f64 = msg
+            .split("minimal input: (")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("report carries the minimal input");
+        assert!((0.5..0.51).contains(&minimal), "minimal {minimal}");
+    }
+
+    #[test]
+    fn discards_are_replaced() {
+        let count = std::cell::Cell::new(0u32);
+        run(
+            &Config::default().cases(16),
+            "assume",
+            &(0.0f64..1.0,),
+            |(x,)| {
+                if x < 0.5 {
+                    return TestResult::Discard;
+                }
+                count.set(count.get() + 1);
+                assert!(x >= 0.5);
+                TestResult::Pass
+            },
+        );
+        assert_eq!(count.get(), 16, "discarded cases must be replaced");
+    }
+
+    #[test]
+    fn excessive_discards_fail() {
+        let result = panic::catch_unwind(|| {
+            run(
+                &Config::default().cases(8),
+                "starved",
+                &(0.0f64..1.0,),
+                |_| TestResult::Discard,
+            );
+        });
+        assert!(panic_message(&result.unwrap_err()).contains("too many discarded"));
+    }
+
+    #[test]
+    fn regression_seeds_replay_first() {
+        // Whatever value seed 7 generates must be the first input seen.
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let expected = (0.0f64..1.0).generate(&mut rng);
+        let first = std::cell::Cell::new(f64::NAN);
+        run(
+            &Config::default().cases(1).regressions(&[7]),
+            "regress",
+            &(0.0f64..1.0,),
+            |(x,)| {
+                if first.get().is_nan() {
+                    first.set(x);
+                }
+                TestResult::Pass
+            },
+        );
+        assert_eq!(first.get(), expected);
+    }
+
+    proptest! {
+        fn macro_smoke(a in 0.0f64..10.0, n in 1usize..5) {
+            prop_assume!(a > 0.1);
+            prop_assert!(a * n as f64 > 0.0);
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    proptest! {
+        #![config(Config::default().cases(8))]
+        fn macro_with_config(v in vec_of(0.0f64..1.0, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+}

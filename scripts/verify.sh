@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI entry point. Enforces the hermetic-build policy: everything must
+# build and test fully --offline (no registry traffic, no external
+# dependencies) and be rustfmt-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "verify.sh: all checks passed"
