@@ -168,9 +168,8 @@ mod tests {
     fn eq66_67_closed_forms() {
         let (net, sessions) = set1();
         let b = RppsNetworkBounds::new(&net, sessions.clone()).unwrap();
-        for i in 0..4 {
+        for (i, &s) in sessions.iter().enumerate() {
             let (q, d) = b.paper_fig3_bounds(i);
-            let s = sessions[i];
             let g = b.g_net(i);
             let want = s.lambda / (1.0 - (-s.alpha * (g - s.rho)).exp());
             assert!((q.prefactor - want).abs() < 1e-12, "session {i}");

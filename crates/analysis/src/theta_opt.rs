@@ -23,6 +23,7 @@ pub fn optimize_tail(
 ) -> Option<TailBound> {
     assert!(theta_sup > 0.0, "theta_sup must be positive");
     assert!(x >= 0.0, "threshold must be nonnegative");
+    let _span = gps_obs::span("analysis/theta_opt");
     let lo = theta_sup * 1e-6;
     let hi = theta_sup * (1.0 - 1e-9);
     let objective = |t: f64| match family(t) {

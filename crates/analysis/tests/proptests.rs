@@ -35,13 +35,13 @@ proptest! {
         let assignment = GpsAssignment::unit_rate(phis);
         let t7 = Theorem7::new(sessions.clone(), assignment, TimeModel::Discrete)
             .expect("stable scenario");
-        for i in 0..sessions.len() {
+        for (i, sess) in sessions.iter().enumerate() {
             let theta = t7.theta_sup(i) * f;
             if let Some(b) = t7.bounds_at(i, theta) {
                 prop_assert!(b.backlog.prefactor.is_finite() && b.backlog.prefactor > 0.0);
                 prop_assert_eq!(b.backlog.decay, theta);
                 prop_assert!(b.delay.decay > 0.0 && b.delay.decay <= theta);
-                prop_assert_eq!(b.output.rho, sessions[i].rho);
+                prop_assert_eq!(b.output.rho, sess.rho);
                 // Tail values are probabilities.
                 for q in [0.0, 1.0, 10.0, 100.0] {
                     let t = b.backlog.tail(q);
@@ -83,15 +83,15 @@ proptest! {
             .expect("stable");
         // For H1 sessions, the Theorem-11 route (single term at rate g_i)
         // must produce a valid bound for θ right below α_i.
-        for i in 0..sessions.len() {
+        for (i, &sess) in sessions.iter().enumerate() {
             if t11.partition().class_of(i) == 0 {
-                let theta = sessions[i].alpha * 0.999;
+                let theta = sess.alpha * 0.999;
                 let b = t11.bounds_at(i, theta);
                 prop_assert!(b.is_some(), "H1 session {i} must admit θ≈α");
                 // And it must agree in decay with Theorem 10's α.
                 let g = assignment.guaranteed_rate(i);
-                let (q10, _) = theorem10(sessions[i], g, TimeModel::Discrete);
-                prop_assert_eq!(q10.decay, sessions[i].alpha);
+                let (q10, _) = theorem10(sess, g, TimeModel::Discrete);
+                prop_assert_eq!(q10.decay, sess.alpha);
             }
         }
     }

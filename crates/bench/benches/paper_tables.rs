@@ -66,9 +66,9 @@ fn bench_fig4(h: &mut BenchHarness) {
     let sources = OnOffSource::paper_table1();
     h.bench("fig4/improved_bounds", || {
         let mut acc = 0.0;
-        for i in 0..4 {
+        for (i, src) in sources.iter().enumerate() {
             let g = bounds.g_net(i);
-            let delta = queue_tail_bound(sources[i].as_markov(), g).unwrap();
+            let delta = queue_tail_bound(src.as_markov(), g).unwrap();
             let (_, d) = bounds.with_delta_bound(i, delta);
             acc += d.tail(30.0);
         }

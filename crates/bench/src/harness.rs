@@ -223,7 +223,11 @@ impl BenchHarness {
         &self.results
     }
 
-    /// The suite's JSON report.
+    /// The suite's JSON report. When the global observability hub has
+    /// recorded span timings (`GPS_OBS_TIMING=1` or an explicit
+    /// `set_timing(true)`), a `"spans"` section with per-path
+    /// count/total/min/max/mean nanoseconds is folded in after the bench
+    /// array; with timing off (the default) the report is unchanged.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -247,7 +251,14 @@ impl BenchHarness {
                 if k + 1 < self.results.len() { "," } else { "" },
             ));
         }
-        out.push_str("  ]\n}\n");
+        let snapshot = gps_obs::metrics().snapshot();
+        if snapshot.spans.is_empty() {
+            out.push_str("  ]\n}\n");
+        } else {
+            out.push_str("  ],\n");
+            out.push_str(&format!("  \"spans\": {}\n", snapshot.spans_json()));
+            out.push_str("}\n");
+        }
         out
     }
 
@@ -322,6 +333,24 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"suite\": \"writetest\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn span_stats_fold_into_report_when_timing_enabled() {
+        // Global hub: timing off by default keeps the report span-free;
+        // flipping it on folds recorded spans into the JSON.
+        gps_obs::global().set_timing(true);
+        {
+            let _s = gps_obs::span("bench_selftest/phase");
+            black_box((0..50u64).sum::<u64>());
+        }
+        gps_obs::global().set_timing(false);
+        let mut h = BenchHarness::with_config("spantest", quick());
+        h.bench("noop", || black_box(1u32));
+        let json = h.to_json();
+        assert!(json.contains("\"spans\""));
+        assert!(json.contains("\"bench_selftest/phase\""));
+        assert!(json.contains("\"count\""));
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl DeltaTailBound {
 
     /// The continuous-time bound at the Remark-1 optimal `ξ*`.
     pub fn continuous_optimal(&self) -> TailBound {
+        let _span = gps_obs::span("ebb/xi_opt");
         self.continuous_with_xi(self.optimal_xi())
     }
 

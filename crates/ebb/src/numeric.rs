@@ -149,8 +149,8 @@ mod tests {
 
     #[test]
     fn ln_1m_exp_matches_naive_for_moderate_y() {
-        for y in [0.8, 1.0, 2.0, 10.0] {
-            let naive = (1.0 - (-y as f64).exp()).ln();
+        for y in [0.8f64, 1.0, 2.0, 10.0] {
+            let naive = (1.0 - (-y).exp()).ln();
             assert!((ln_1m_exp_neg(y) - naive).abs() < 1e-12);
         }
     }

@@ -17,8 +17,12 @@ use gps_core::GpsAssignment;
 use gps_ebb::{HolderExponents, TimeModel};
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, ParamSet};
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("ablation_holder", quiet);
     let sessions = characterize(ParamSet::Set1).to_vec();
     let rhos = ParamSet::Set1.rhos();
     let assignment = GpsAssignment::rpps(&rhos, 1.0);
@@ -99,6 +103,13 @@ fn main() {
         "\nordering used: {:?} (feasible ordering of session ids)",
         t7.ordering()
     );
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("ablation_holder")
+        .param("set", "Set1")
+        .param("q", q);
+    manifest.output("ablation_holder.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

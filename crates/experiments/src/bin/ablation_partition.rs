@@ -17,8 +17,12 @@ use gps_core::ordering::enumerate_feasible_orderings;
 use gps_core::{GpsAssignment, RateAllocation};
 use gps_ebb::{EbbProcess, TimeModel};
 use gps_experiments::csv::CsvWriter;
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("ablation_partition", quiet);
     // Sessions: two light H1 flows, one heavy H2 flow.
     let sessions = vec![
         EbbProcess::new(0.10, 1.0, 2.0),
@@ -94,8 +98,15 @@ fn main() {
             t11_tail / best
         );
     }
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("ablation_partition")
+        .param("q", q)
+        .param("orderings", orderings.len() as u64);
+    manifest.output("ablation_partition.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }
 
 /// Theorem-7 tail for the session at position `pos` of `perm`, optimized

@@ -9,8 +9,12 @@
 use gps_ebb::DeltaTailBound;
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, ParamSet};
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("ablation_xi", quiet);
     let sessions = characterize(ParamSet::Set1);
     let rhos = ParamSet::Set1.rhos();
     let total: f64 = rhos.iter().sum();
@@ -27,6 +31,7 @@ fn main() {
     )
     .expect("csv");
 
+    let mut sweep_outputs: Vec<(String, u64)> = Vec::new();
     println!("A3: ξ sweep (continuous Lemma 5), Set 1 at RPPS rates");
     println!(
         "{:<8} {:>8} {:>8} {:>12} {:>12} {:>12} {:>8}",
@@ -66,8 +71,19 @@ fn main() {
                 .row(&[xi, d.continuous_with_xi(xi).prefactor])
                 .expect("row");
         }
+        sweep_outputs.push((format!("ablation_xi_sweep_s{}.csv", i + 1), sweep.rows()));
         sweep.finish().expect("finish");
     }
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("ablation_xi")
+        .param("set", "Set1")
+        .param("sweep_steps", 200u64);
+    manifest.output("ablation_xi.csv", rows);
+    for (file, n) in sweep_outputs {
+        manifest.output(&file, n);
+    }
+    finish_obs(obs, manifest).expect("obs teardown");
 }

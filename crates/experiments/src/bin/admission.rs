@@ -17,14 +17,18 @@
 use gps_analysis::admission::{max_rpps_sessions, QosTarget};
 use gps_ebb::TimeModel;
 use gps_experiments::csv::CsvWriter;
+use gps_experiments::{finish_obs, init_obs};
 use gps_netcalc::pg::rpps_admission;
 use gps_netcalc::AffineCurve;
+use gps_obs::RunManifest;
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::token_bucket::LeakyBucket;
 use gps_sources::{ArrivalTrace, Lnt94Characterization, OnOffSource, PrefactorKind, SlotSource};
 use gps_stats::rng::SeedSequence;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("admission", quiet);
     // Voice-like source: 10% duty cycle bursts at peak 0.1, mean 0.01.
     let src = OnOffSource::new(0.1, 0.9, 0.1);
     let rho = 0.02; // envelope rate: twice the mean
@@ -99,6 +103,15 @@ fn main() {
         stability as f64,
     ])
     .expect("row");
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("admission")
+        .seed(0xAD01)
+        .param("rho", rho)
+        .param("delay_target", target.delay)
+        .param("epsilon", target.epsilon);
+    manifest.output("admission.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

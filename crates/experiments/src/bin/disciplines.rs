@@ -12,6 +12,8 @@
 //! priority protects high classes only.
 
 use gps_experiments::csv::CsvWriter;
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
 use gps_sim::{FifoServer, Packet, PgpsServer, PriorityServer};
 use gps_stats::rng::RngExt;
 use gps_stats::rng::SeedSequence;
@@ -83,6 +85,8 @@ fn report(name: &str, packets: &[Packet], finishes: &[f64]) -> Vec<(f64, f64)> {
 }
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("disciplines", quiet);
     let horizon = 5_000.0;
     let packets = generate_traffic(0xD15C, horizon);
     println!(
@@ -131,6 +135,14 @@ fn main() {
         "\nisolation factor (FIFO p99 / WFQ p99) for the well-behaved session 0: {:.1}x",
         rows_fifo[0].1 / rows_wfq[0].1.max(1e-9)
     );
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("disciplines")
+        .seed(0xD15C)
+        .param("horizon", horizon)
+        .param("packets", packets.len() as u64);
+    manifest.output("disciplines.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

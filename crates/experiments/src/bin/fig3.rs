@@ -7,8 +7,12 @@ use gps_analysis::RppsNetworkBounds;
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, figure2_network, ParamSet};
 use gps_experiments::plot::{ascii_log_plot, Curve};
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("fig3", quiet);
     let mut csv = CsvWriter::create("fig3", &["set", "session", "d", "delay_bound"]).expect("csv");
 
     for (set_idx, set) in [ParamSet::Set1, ParamSet::Set2].into_iter().enumerate() {
@@ -65,6 +69,13 @@ fn main() {
             )
         );
     }
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("fig3")
+        .param("sets", "Set1,Set2")
+        .param("steps", 120u64);
+    manifest.output("fig3.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

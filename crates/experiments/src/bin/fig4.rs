@@ -17,9 +17,13 @@ use gps_analysis::RppsNetworkBounds;
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, figure2_network, table1_sources, ParamSet};
 use gps_experiments::plot::{ascii_log_plot, Curve};
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
 use gps_sources::lnt94::queue_tail_bound;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("fig4", quiet);
     let set = ParamSet::Set2;
     let sessions = characterize(set).to_vec();
     let net = figure2_network(set);
@@ -85,6 +89,14 @@ fn main() {
         "delay decay rates: s1={:.4} s2={:.4} s3={:.4} s4={:.4} (expect s2,s4 >= s1)",
         decays[0], decays[1], decays[2], decays[3]
     );
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("fig4")
+        .param("set", "Set2")
+        .param("steps", 120u64)
+        .param("d_max", d_max);
+    manifest.output("fig4.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

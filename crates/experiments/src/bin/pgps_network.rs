@@ -9,6 +9,8 @@
 use gps_analysis::RppsNetworkBounds;
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, figure2_network, table1_sources, ParamSet};
+use gps_experiments::{finish_obs, init_obs, measure_slots_or};
+use gps_obs::RunManifest;
 use gps_sim::packet_network::run_packet_network;
 use gps_sim::Packet;
 use gps_sources::SlotSource;
@@ -16,6 +18,8 @@ use gps_stats::rng::SeedSequence;
 use gps_stats::EmpiricalCcdf;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("pgps_network", quiet);
     let set = ParamSet::Set1;
     let sessions = characterize(set).to_vec();
     let topo = figure2_network(set);
@@ -24,7 +28,7 @@ fn main() {
     // Packetize: each busy slot of each source emits one packet of that
     // slot's fluid volume, arriving at the slot start.
     let seeds = SeedSequence::new(0x9395);
-    let slots = 200_000u64;
+    let slots = measure_slots_or(200_000);
     let mut sources = table1_sources();
     let mut rngs: Vec<_> = (0..4).map(|i| seeds.rng("src", i as u64)).collect();
     for (s, rng) in sources.iter_mut().zip(&mut rngs) {
@@ -45,9 +49,10 @@ fn main() {
             }
         }
     }
-    eprintln!(
-        "running {} packets through the Figure-2 WFQ network …",
-        packets.len()
+    gps_obs::info(
+        "pgps_network",
+        "simulate",
+        &[("packets", packets.len().into()), ("slots", slots.into())],
     );
     let journeys = run_packet_network(&topo, &packets).expect("feed-forward tree");
 
@@ -83,6 +88,15 @@ fn main() {
         }
         println!("violations: {violations} (expect 0)");
     }
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("\nwritten: {}", path.display());
+
+    let mut manifest = RunManifest::new("pgps_network")
+        .seed(0x9395)
+        .param("set", "Set1")
+        .param("slots", slots)
+        .param("packets", packets.len() as u64);
+    manifest.output("pgps_network.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

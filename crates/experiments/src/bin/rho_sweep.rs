@@ -8,9 +8,13 @@ use gps_analysis::rho_selection::{max_sessions_optimized_rho, rho_tradeoff};
 use gps_ebb::TimeModel;
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::table1_sources;
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
 use gps_sources::OnOffSource;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("rho_sweep", quiet);
     let mut csv =
         CsvWriter::create("rho_sweep", &["session", "rho", "lambda", "alpha"]).expect("csv");
     println!("A6: (ρ, Λ, α) tradeoff for the Table-1 sources");
@@ -40,7 +44,17 @@ fn main() {
     let mut csv2 =
         CsvWriter::create("rho_sweep_admission", &["optimized_rho_sessions"]).expect("csv");
     csv2.row(&[n_opt as f64]).expect("row");
+    let rows2 = csv2.rows();
     csv2.finish().expect("finish");
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("rho_sweep")
+        .param("tradeoff_points", 24u64)
+        .param("delay_target", d)
+        .param("epsilon", eps);
+    manifest.output("rho_sweep.csv", rows);
+    manifest.output("rho_sweep_admission.csv", rows2);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

@@ -4,10 +4,14 @@
 
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::table1_sources;
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
 use gps_sources::SlotSource;
 use gps_stats::rng::SeedSequence;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("table1", quiet);
     let sources = table1_sources();
     let seeds = SeedSequence::new(0x7AB1);
     println!("Table 1: Parameters for the Arrival Processes");
@@ -46,6 +50,13 @@ fn main() {
         ])
         .expect("row");
     }
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("\nwritten: {}", path.display());
+
+    let mut manifest = RunManifest::new("table1")
+        .seed(0x7AB1)
+        .param("verify_slots", 2_000_000u64);
+    manifest.output("table1.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

@@ -7,9 +7,13 @@
 
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{table1_sources, ParamSet};
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
 use gps_sources::{Lnt94Characterization, PrefactorKind};
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("table2", quiet);
     let sources = table1_sources();
     let mut csv = CsvWriter::create(
         "table2",
@@ -71,6 +75,11 @@ fn main() {
         }
         println!();
     }
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("table2").param("sets", "Set1,Set2");
+    manifest.output("table2.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

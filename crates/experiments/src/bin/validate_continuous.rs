@@ -15,12 +15,16 @@
 use gps_ebb::{DeltaTailBound, TimeModel};
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::plot::{ascii_log_plot, Curve};
+use gps_experiments::{finish_obs, init_obs, measure_slots_or};
+use gps_obs::RunManifest;
 use gps_sim::RateFluidGps;
 use gps_sources::CtmcFluidSource;
 use gps_stats::rng::SeedSequence;
 use gps_stats::BinnedCcdf;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("validate_continuous", quiet);
     // Three heterogeneous CT on-off sources (mean rates 0.15/0.2/0.15).
     let specs = [(1.0, 2.0, 0.45), (0.5, 1.5, 0.8), (2.0, 3.0, 0.375)];
     let sources: Vec<CtmcFluidSource> = specs
@@ -39,8 +43,9 @@ fn main() {
         .map(|(s, &rho)| s.ebb_for_rate(rho).expect("rho in range"))
         .collect();
 
-    // Simulate.
-    let horizon = 2_000_000.0;
+    // Simulate. GPS_MEASURE_SLOTS doubles as the horizon override here
+    // (one sample per unit time, so the scales match).
+    let horizon = measure_slots_or(2_000_000) as f64;
     let sample_dt = 1.0;
     let seeds = SeedSequence::new(0xC047);
     let mut sim = RateFluidGps::new(rhos.clone(), 1.0);
@@ -60,7 +65,11 @@ fn main() {
         .collect();
     let mut t_sample = 1000.0; // warmup
     let mut samples = 0u64;
-    eprintln!("simulating to t = {horizon} …");
+    gps_obs::info(
+        "validate_continuous",
+        "simulate",
+        &[("horizon", horizon.into()), ("sample_dt", sample_dt.into())],
+    );
     // Merged chronological loop: rate-change events and sampling instants
     // are applied in global time order.
     loop {
@@ -156,6 +165,15 @@ fn main() {
             );
         }
     }
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("validate_continuous")
+        .seed(0xC047)
+        .param("horizon", horizon)
+        .param("sample_dt", sample_dt)
+        .param("warmup", 1000.0);
+    manifest.output("validate_continuous.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }

@@ -16,12 +16,16 @@ use gps_analysis::RppsNetworkBounds;
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, figure2_network, table1_sources, ParamSet};
 use gps_experiments::plot::{ascii_log_plot, Curve};
+use gps_experiments::{finish_obs, init_obs, measure_slots_or};
+use gps_obs::RunManifest;
 use gps_sim::runner::{run_network, NetworkRunConfig};
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::SlotSource;
 use gps_stats::BinnedCcdf;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("validate_network", quiet);
     let set = ParamSet::Set1;
     let sessions = characterize(set).to_vec();
     let net = figure2_network(set);
@@ -32,8 +36,15 @@ fn main() {
     let delay_grid: Vec<f64> = (0..100).map(|i| i as f64).collect();
 
     let replications = 8u64;
-    let slots_each = 1_000_000u64;
-    eprintln!("simulating {replications} x {slots_each} slots …");
+    let slots_each = measure_slots_or(1_000_000);
+    gps_obs::info(
+        "validate_network",
+        "simulate",
+        &[
+            ("replications", replications.into()),
+            ("slots_each", slots_each.into()),
+        ],
+    );
 
     // One merged CCDF pair per session.
     let merged: Vec<(BinnedCcdf, BinnedCcdf)> = {
@@ -157,8 +168,18 @@ fn main() {
             );
         }
     }
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("written: {}", path.display());
+
+    let mut manifest = RunManifest::new("validate_network")
+        .seed(0xF162)
+        .param("set", "Set1")
+        .param("replications", replications)
+        .param("slots_each", slots_each)
+        .param("warmup", 50_000u64);
+    manifest.output("validate_network.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }
 
 fn se(p: f64, n: u64) -> f64 {

@@ -15,12 +15,16 @@ use gps_ebb::TimeModel;
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, table1_sources, ParamSet};
 use gps_experiments::plot::{ascii_log_plot, Curve};
+use gps_experiments::{finish_obs, init_obs, measure_slots_or};
+use gps_obs::RunManifest;
 use gps_sim::runner::{run_single_node, SingleNodeRunConfig};
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::SlotSource;
 use gps_stats::ExponentialTailFit;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let obs = init_obs("validate_single", quiet);
     let set = ParamSet::Set1;
     let sessions = characterize(set);
     let rhos = set.rhos();
@@ -32,7 +36,7 @@ fn main() {
         phis: rhos.to_vec(),
         capacity: 1.0,
         warmup: 50_000,
-        measure: 4_000_000,
+        measure: measure_slots_or(4_000_000),
         seed: 20260704,
         backlog_grid: backlog_grid.clone(),
         delay_grid: delay_grid.clone(),
@@ -41,7 +45,11 @@ fn main() {
         .into_iter()
         .map(|s| Box::new(s) as Box<dyn SlotSource>)
         .collect();
-    eprintln!("simulating {} slots …", cfg.measure);
+    gps_obs::info(
+        "validate_single",
+        "simulate",
+        &[("slots", cfg.measure.into())],
+    );
     let report = run_single_node(&mut sources, &cfg);
 
     let mut csv = CsvWriter::create(
@@ -128,8 +136,18 @@ fn main() {
             );
         }
     }
+    let rows = csv.rows();
     let path = csv.finish().expect("finish");
     println!("\nwritten: {}", path.display());
+
+    let mut manifest = RunManifest::new("validate_single")
+        .seed(cfg.seed)
+        .param("set", "Set1")
+        .param("capacity", cfg.capacity)
+        .param("warmup", cfg.warmup)
+        .param("measure", cfg.measure);
+    manifest.output("validate_single.csv", rows);
+    finish_obs(obs, manifest).expect("obs teardown");
 }
 
 fn binom_se(p: f64, n: u64) -> f64 {

@@ -9,11 +9,96 @@
 //!   constructors for the Figure-2 network;
 //! * [`csv`] — a minimal CSV writer into `results/`;
 //! * [`plot`] — ASCII log-scale tail plots, so every figure is visible
-//!   directly in the terminal transcript.
+//!   directly in the terminal transcript;
+//! * [`init_obs`]/[`finish_obs`] — the observability bracket every binary
+//!   runs inside: journal sink selection, then metrics snapshot + run
+//!   manifest into `results/`.
 
 pub mod csv;
 pub mod paper;
 pub mod plot;
+
+use gps_obs::{Level, ObsConfig, RunManifest, SinkKind};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Handle returned by [`init_obs`], consumed by [`finish_obs`].
+#[derive(Debug)]
+pub struct ObsSetup {
+    campaign: String,
+    journal_path: Option<PathBuf>,
+    start: Instant,
+}
+
+/// Configures the global observability hub for the campaign named
+/// `campaign` (by convention the binary name).
+///
+/// * `quiet` forces the Noop sink (no journal output at all);
+/// * otherwise `GPS_OBS_SINK` picks the sink — `stderr` (the default),
+///   `noop`, the shorthand `file` (= `results/<campaign>_journal.ndjson`),
+///   or an explicit path;
+/// * `GPS_OBS_LEVEL` / `GPS_OBS_TIMING` select verbosity and span timing.
+pub fn init_obs(campaign: &str, quiet: bool) -> ObsSetup {
+    let mut cfg = ObsConfig::from_env_or(ObsConfig {
+        sink: SinkKind::Stderr,
+        level: Level::Info,
+        timing: false,
+    });
+    if quiet {
+        cfg.sink = SinkKind::Noop;
+    }
+    let mut journal_path = None;
+    if let SinkKind::File(p) = &cfg.sink {
+        let path = if p.as_os_str() == "file" {
+            results_dir().join(format!("{campaign}_journal.ndjson"))
+        } else {
+            p.clone()
+        };
+        cfg.sink = SinkKind::File(path.clone());
+        journal_path = Some(path);
+    }
+    gps_obs::init(cfg);
+    gps_obs::info("campaign", "start", &[("name", campaign.into())]);
+    ObsSetup {
+        campaign: campaign.to_string(),
+        journal_path,
+        start: Instant::now(),
+    }
+}
+
+/// Closes out a campaign: stamps wall-clock time and the journal path on
+/// `manifest`, writes `results/<campaign>_metrics.json` (if any metrics
+/// were recorded) and `results/<campaign>_manifest.json`.
+pub fn finish_obs(setup: ObsSetup, mut manifest: RunManifest) -> std::io::Result<()> {
+    let dir = results_dir();
+    if let Some(p) = &setup.journal_path {
+        manifest.journal(&p.display().to_string());
+    }
+    manifest.wall_ms(setup.start.elapsed().as_secs_f64() * 1e3);
+    let snap = gps_obs::metrics().snapshot();
+    if !snap.is_empty() {
+        std::fs::write(
+            dir.join(format!("{}_metrics.json", setup.campaign)),
+            snap.to_json(),
+        )?;
+    }
+    gps_obs::info(
+        "campaign",
+        "end",
+        &[("name", setup.campaign.as_str().into())],
+    );
+    manifest.write_to(&dir)?;
+    Ok(())
+}
+
+/// Measurement-length override for smoke runs: `GPS_MEASURE_SLOTS` (a
+/// plain integer) replaces `default` when set and parseable.
+pub fn measure_slots_or(default: u64) -> u64 {
+    std::env::var("GPS_MEASURE_SLOTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
 
 /// Resolves the output directory (`results/` under the workspace root,
 /// overridable with `GPS_RESULTS_DIR`), creating it if needed.

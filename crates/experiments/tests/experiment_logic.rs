@@ -40,10 +40,10 @@ fn fig4_dominates_fig3_everywhere_past_crossover() {
     let net = figure2_network(ParamSet::Set2);
     let b = RppsNetworkBounds::new(&net, sessions).unwrap();
     let sources = table1_sources();
-    for i in 0..4 {
+    for (i, src) in sources.iter().enumerate() {
         let g = b.g_net(i);
         let (_, ebb_d) = b.paper_fig3_bounds(i);
-        let delta = queue_tail_bound(sources[i].as_markov(), g).unwrap();
+        let delta = queue_tail_bound(src.as_markov(), g).unwrap();
         let (_, imp_d) = b.with_delta_bound(i, delta);
         // The improved bound has both smaller prefactor and faster decay:
         // it dominates at every threshold.
@@ -75,7 +75,7 @@ fn rho_tradeoff_interpolates_table2() {
     // α brackets 1.76.
     let src = &table1_sources()[1];
     let pts = rho_tradeoff(src.as_markov(), 200);
-    let below = pts.iter().filter(|p| p.rho < 0.25).last().unwrap();
+    let below = pts.iter().rfind(|p| p.rho < 0.25).unwrap();
     let above = pts.iter().find(|p| p.rho > 0.25).unwrap();
     assert!(below.alpha < 1.761 && above.alpha > 1.759);
 }

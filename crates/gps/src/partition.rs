@@ -215,9 +215,9 @@ mod tests {
         let rhos = [0.05, 0.3, 0.2, 0.1];
         let a = GpsAssignment::unit_rate(vec![1.0, 1.0, 1.0, 1.0]);
         let p = FeasiblePartition::compute(&rhos, &a).unwrap();
-        for i in 0..4 {
+        for (i, &rho) in rhos.iter().enumerate() {
             let in_h1 = p.class_of(i) == 0;
-            assert_eq!(in_h1, rhos[i] < a.guaranteed_rate(i), "session {i}");
+            assert_eq!(in_h1, rho < a.guaranteed_rate(i), "session {i}");
         }
     }
 

@@ -90,9 +90,9 @@ proptest! {
         // Chain condition (paper Eq. 40).
         prop_assert!(p.verify_chain(&rhos, &a));
         // H1 membership criterion.
-        for i in 0..n {
+        for (i, &rho) in rhos.iter().enumerate() {
             let in_h1 = p.class_of(i) == 0;
-            prop_assert_eq!(in_h1, rhos[i] < a.guaranteed_rate(i));
+            prop_assert_eq!(in_h1, rho < a.guaranteed_rate(i));
         }
         // Lemma 9 with uniform aggregate slack.
         let slack = 1.0 - rhos.iter().sum::<f64>();

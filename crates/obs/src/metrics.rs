@@ -1,0 +1,649 @@
+//! The metrics registry: counters, gauges, histograms, and quantile
+//! summaries, snapshotted to deterministic JSON.
+//!
+//! Recording is built for hot paths: a [`Counter`] or [`Gauge`] handle is
+//! one `Arc<AtomicU64>`, so after registration an update is a single
+//! atomic op with no lock and no lookup. Registration (name → handle) goes
+//! through a mutex-guarded `BTreeMap` and is expected once per metric, not
+//! per observation.
+//!
+//! Aggregation math is deliberately *not* reimplemented here: histograms
+//! are [`gps_stats::Histogram`] (fixed-width bins + under/overflow) and
+//! summaries combine [`gps_stats::StreamingMoments`] with three
+//! [`gps_stats::P2Quantile`] estimators (p50/p90/p99).
+//!
+//! Snapshots render with sorted metric names and fixed key order, so a
+//! seeded run produces a byte-identical `*_metrics.json` every time; the
+//! only nondeterministic section is `"spans"` (wall-clock timing), which
+//! consumers strip before comparing (see [`Snapshot::to_json_without_spans`]).
+
+use crate::json::{fmt_f64, write_escaped};
+use gps_stats::{Histogram, P2Quantile, StreamingMoments};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Builds the canonical labeled metric name: `name{k=v,k2=v2}`.
+///
+/// Keys/values must not contain `{`, `}`, `,`, or `=`; labels are emitted
+/// in the order given, so callers should pass them pre-sorted when they
+/// want cross-site consistency.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        debug_assert!(
+            !k.contains(['{', '}', ',', '=']) && !v.contains(['{', '}', ',', '=']),
+            "label parts must be free of {{}},= separators"
+        );
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins float gauge handle (stored as `f64` bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-width histogram handle (mutex-guarded [`Histogram`]).
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn observe(&self, x: f64) {
+        self.0.lock().expect("histogram poisoned").push(x);
+    }
+
+    /// Runs `f` against the current histogram state.
+    pub fn with<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
+        f(&self.0.lock().expect("histogram poisoned"))
+    }
+}
+
+/// Streaming summary state: moments plus p50/p90/p99 estimators.
+#[derive(Debug)]
+pub struct SummaryState {
+    /// Welford moments (count/mean/min/max).
+    pub moments: StreamingMoments,
+    /// P² quantile estimators for 0.5, 0.9, 0.99.
+    pub quantiles: [P2Quantile; 3],
+}
+
+impl SummaryState {
+    fn new() -> Self {
+        Self {
+            moments: StreamingMoments::new(),
+            quantiles: [
+                P2Quantile::new(0.5),
+                P2Quantile::new(0.9),
+                P2Quantile::new(0.99),
+            ],
+        }
+    }
+}
+
+/// A quantile-summary handle.
+#[derive(Debug, Clone)]
+pub struct Summary(Arc<Mutex<SummaryState>>);
+
+impl Summary {
+    /// Records one observation.
+    pub fn observe(&self, x: f64) {
+        let mut s = self.0.lock().expect("summary poisoned");
+        s.moments.push(x);
+        for q in &mut s.quantiles {
+            q.push(x);
+        }
+    }
+
+    /// Runs `f` against the current summary state.
+    pub fn with<R>(&self, f: impl FnOnce(&SummaryState) -> R) -> R {
+        f(&self.0.lock().expect("summary poisoned"))
+    }
+}
+
+/// Accumulated wall-clock statistics for one span label.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Shortest span.
+    pub min_ns: u64,
+    /// Longest span.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean span duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, HistogramHandle>,
+    summaries: BTreeMap<String, Summary>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+/// A registry of named metrics. Cloning shares the underlying storage.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.counters
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Returns the gauge named `name`, creating it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))))
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, creating it over `[lo, hi)`
+    /// with `bins` buckets on first use (later calls ignore the shape).
+    pub fn histogram(&self, name: &str, lo: f64, hi: f64, bins: usize) -> HistogramHandle {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramHandle(Arc::new(Mutex::new(Histogram::new(lo, hi, bins)))))
+            .clone()
+    }
+
+    /// Returns the quantile summary named `name`, creating it on first use.
+    pub fn summary(&self, name: &str) -> Summary {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.summaries
+            .entry(name.to_string())
+            .or_insert_with(|| Summary(Arc::new(Mutex::new(SummaryState::new()))))
+            .clone()
+    }
+
+    /// Folds one completed span duration into the stats for `path`.
+    pub fn record_span(&self, path: &str, ns: u64) {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.spans.entry(path.to_string()).or_default().record(ns);
+    }
+
+    /// Accumulated stats for span `path`, if any completed.
+    pub fn span_stats(&self, path: &str) -> Option<SpanStats> {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .spans
+            .get(path)
+            .copied()
+    }
+
+    /// Clears every metric back to its initial state. Outstanding handles
+    /// stay valid (counters/gauges are zeroed in place); histogram shapes
+    /// are preserved with counts reset.
+    pub fn reset(&self) {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        for c in g.counters.values() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for v in g.gauges.values() {
+            v.0.store(0.0f64.to_bits(), Ordering::Relaxed);
+        }
+        for h in g.histograms.values() {
+            let mut hist = h.0.lock().expect("histogram poisoned");
+            let fresh = {
+                let lo = hist.bin_range(0).0;
+                let hi = hist.bin_range(hist.num_bins() - 1).1;
+                Histogram::new(lo, hi, hist.num_bins())
+            };
+            *hist = fresh;
+        }
+        for s in g.summaries.values() {
+            *s.0.lock().expect("summary poisoned") = SummaryState::new();
+        }
+        g.spans.clear();
+    }
+
+    /// Takes a point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.inner.lock().expect("registry poisoned");
+        Snapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: g.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.with(|h| HistogramSnapshot::from(h))))
+                .collect(),
+            summaries: g
+                .summaries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.with(|s| SummarySnapshot::from(s))))
+                .collect(),
+            spans: g.spans.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        }
+    }
+}
+
+/// A frozen histogram: shape, counts, and derived quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Lower edge of the binned range.
+    pub lo: f64,
+    /// Upper edge of the binned range.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub bins: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+    /// Total observations including under/overflow.
+    pub total: u64,
+}
+
+impl From<&Histogram> for HistogramSnapshot {
+    fn from(h: &Histogram) -> Self {
+        HistogramSnapshot {
+            lo: h.bin_range(0).0,
+            hi: h.bin_range(h.num_bins() - 1).1,
+            bins: (0..h.num_bins()).map(|i| h.count(i)).collect(),
+            underflow: h.underflow(),
+            overflow: h.overflow(),
+            total: h.total(),
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0 < q < 1`) interpolated from binned counts,
+    /// treating each bin's mass as uniform over its range. Under/overflow
+    /// mass clamps to the respective edge. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        if self.total == 0 {
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut acc = self.underflow as f64;
+        if target <= acc {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = acc + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - acc) / c as f64;
+                return Some(self.lo + w * (i as f64 + frac));
+            }
+            acc = next;
+        }
+        Some(self.hi)
+    }
+}
+
+/// A frozen quantile summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummarySnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Mean of observations.
+    pub mean: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Estimated p50/p90/p99 (`None` when empty).
+    pub p50: Option<f64>,
+    /// Estimated p90.
+    pub p90: Option<f64>,
+    /// Estimated p99.
+    pub p99: Option<f64>,
+}
+
+impl From<&SummaryState> for SummarySnapshot {
+    fn from(s: &SummaryState) -> Self {
+        SummarySnapshot {
+            count: s.moments.count(),
+            mean: s.moments.mean(),
+            min: s.moments.min(),
+            max: s.moments.max(),
+            p50: s.quantiles[0].estimate(),
+            p90: s.quantiles[1].estimate(),
+            p99: s.quantiles[2].estimate(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], renderable as deterministic
+/// JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Summary snapshots by name.
+    pub summaries: Vec<(String, SummarySnapshot)>,
+    /// Span timing stats by hierarchical path (wall-clock; nondeterministic).
+    pub spans: Vec<(String, SpanStats)>,
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) => fmt_f64(x),
+        None => "null".to_string(),
+    }
+}
+
+impl Snapshot {
+    /// Whether nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.summaries.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Renders the full snapshot, spans included.
+    pub fn to_json(&self) -> String {
+        self.render(true)
+    }
+
+    /// Renders only the deterministic sections — the byte-comparison form
+    /// for same-seed runs.
+    pub fn to_json_without_spans(&self) -> String {
+        self.render(false)
+    }
+
+    /// Renders just the `"spans"` object body (for embedding in other
+    /// reports, e.g. the bench harness JSON).
+    pub fn spans_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(name, &mut out);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
+                s.count,
+                s.total_ns,
+                s.min_ns,
+                s.max_ns,
+                fmt_f64(s.mean_ns()),
+            ));
+        }
+        out.push('}');
+        out
+    }
+
+    fn render(&self, with_spans: bool) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            write_escaped(name, &mut out);
+            out.push_str(&format!(": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            write_escaped(name, &mut out);
+            out.push_str(&format!(": {}", fmt_f64(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            write_escaped(name, &mut out);
+            let bins: Vec<String> = h.bins.iter().map(|b| b.to_string()).collect();
+            out.push_str(&format!(
+                ": {{\"lo\": {}, \"hi\": {}, \"bins\": [{}], \"underflow\": {}, \
+                 \"overflow\": {}, \"total\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                fmt_f64(h.lo),
+                fmt_f64(h.hi),
+                bins.join(","),
+                h.underflow,
+                h.overflow,
+                h.total,
+                opt_f64(h.quantile(0.5)),
+                opt_f64(h.quantile(0.9)),
+                opt_f64(h.quantile(0.99)),
+            ));
+        }
+        out.push_str("\n  },\n  \"summaries\": {");
+        for (i, (name, s)) in self.summaries.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            write_escaped(name, &mut out);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                s.count,
+                fmt_f64(s.mean),
+                fmt_f64(s.min),
+                fmt_f64(s.max),
+                opt_f64(s.p50),
+                opt_f64(s.p90),
+                opt_f64(s.p99),
+            ));
+        }
+        out.push_str("\n  }");
+        if with_spans {
+            out.push_str(",\n  \"spans\": ");
+            out.push_str(&self.spans_json());
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_storage() {
+        let r = Registry::new();
+        let c1 = r.counter("hits");
+        let c2 = r.counter("hits");
+        c1.inc();
+        c2.add(4);
+        assert_eq!(r.counter("hits").get(), 5);
+        let g = r.gauge("load");
+        g.set(0.75);
+        assert_eq!(r.gauge("load").get(), 0.75);
+    }
+
+    #[test]
+    fn labeled_names() {
+        assert_eq!(labeled("x", &[]), "x");
+        assert_eq!(
+            labeled("faults.drops", &[("session", "2"), ("node", "a")]),
+            "faults.drops{session=2,node=a}"
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_from_bins() {
+        let r = Registry::new();
+        let h = r.histogram("lat", 0.0, 10.0, 10);
+        for i in 0..100 {
+            h.observe(i as f64 / 10.0); // uniform on [0, 10)
+        }
+        let snap = r.snapshot();
+        let hs = &snap.histograms[0].1;
+        assert_eq!(hs.total, 100);
+        let p50 = hs.quantile(0.5).unwrap();
+        assert!((p50 - 5.0).abs() < 0.6, "p50 {p50}");
+        let p99 = hs.quantile(0.99).unwrap();
+        assert!(p99 > 9.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn summary_tracks_quantiles() {
+        let r = Registry::new();
+        let s = r.summary("delay");
+        for i in 1..=1000 {
+            s.observe(i as f64);
+        }
+        let snap = r.snapshot();
+        let ss = &snap.summaries[0].1;
+        assert_eq!(ss.count, 1000);
+        assert_eq!(ss.min, 1.0);
+        assert_eq!(ss.max, 1000.0);
+        assert!((ss.mean - 500.5).abs() < 1e-9);
+        assert!((ss.p50.unwrap() - 500.0).abs() < 25.0);
+        assert!((ss.p99.unwrap() - 990.0).abs() < 25.0);
+    }
+
+    #[test]
+    fn span_stats_accumulate() {
+        let r = Registry::new();
+        r.record_span("a/b", 100);
+        r.record_span("a/b", 300);
+        let s = r.span_stats("a/b").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert_eq!(s.mean_ns(), 200.0);
+        assert!(r.span_stats("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let build = || {
+            let r = Registry::new();
+            r.counter("z.last").add(2);
+            r.counter("a.first").add(1);
+            r.gauge("mid").set(1.5);
+            r.summary("s").observe(3.0);
+            r.histogram("h", 0.0, 1.0, 2).observe(0.3);
+            r.record_span("timed", 123); // wall clock — excluded below
+            r.snapshot()
+        };
+        let (s1, s2) = (build(), build());
+        assert_eq!(s1.to_json_without_spans(), s2.to_json_without_spans());
+        let json = s1.to_json();
+        // Sorted counter order and span presence in the full render.
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z);
+        assert!(json.contains("\"spans\""));
+        assert!(!s1.to_json_without_spans().contains("\"spans\""));
+        // Both renders parse as JSON.
+        assert!(crate::json::parse(&json).is_ok());
+        assert!(crate::json::parse(&s1.to_json_without_spans()).is_ok());
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        c.add(5);
+        let h = r.histogram("h", 0.0, 4.0, 4);
+        h.observe(1.0);
+        r.record_span("sp", 10);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(r.snapshot().histograms[0].1.total, 0);
+        assert!(r.span_stats("sp").is_none());
+        c.inc(); // handle still live
+        assert_eq!(r.counter("n").get(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = Registry::new().snapshot();
+        assert!(snap.is_empty());
+        assert!(crate::json::parse(&snap.to_json()).is_ok());
+    }
+}

@@ -49,6 +49,18 @@ pub fn run_ct_fluid(sources: &[CtmcFluidSource], config: &CtRunConfig) -> CtRunR
     assert_eq!(sources.len(), n, "one source per session");
     assert!(config.horizon > config.warmup && config.warmup >= 0.0);
     assert!(config.sample_dt > 0.0);
+    gps_obs::info(
+        "sim.ct_runner",
+        "ct_fluid_start",
+        &[
+            ("sessions", n.into()),
+            ("seed", config.seed.into()),
+            ("horizon", config.horizon.into()),
+            ("warmup", config.warmup.into()),
+            ("sample_dt", config.sample_dt.into()),
+        ],
+    );
+    let _run_span = gps_obs::span("sim/run_ct_fluid");
 
     let seeds = SeedSequence::new(config.seed);
     let mut rngs: Vec<_> = (0..n).map(|i| seeds.rng("ct-source", i as u64)).collect();
@@ -91,6 +103,12 @@ pub fn run_ct_fluid(sources: &[CtmcFluidSource], config: &CtRunConfig) -> CtRunR
         next_change[i_min] = t_event + dur;
     }
 
+    gps_obs::metrics().counter("sim.ct_samples").add(samples);
+    gps_obs::info(
+        "sim.ct_runner",
+        "ct_fluid_end",
+        &[("samples", samples.into())],
+    );
     CtRunReport { backlog, samples }
 }
 

@@ -7,6 +7,7 @@
 //! scaling (heavier than declared). The experiments use this to show
 //! which violations the analytical bounds survive and which they do not.
 
+use gps_obs::metrics::{labeled, Counter, Registry};
 use gps_sources::SlotSource;
 use gps_stats::rng::{RngCore, RngExt};
 
@@ -39,23 +40,93 @@ impl FaultConfig {
     }
 }
 
+/// Injected-fault tallies for one source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Slots generated.
+    pub slots: u64,
+    /// Slots whose traffic was dropped.
+    pub drops: u64,
+    /// Slots whose traffic was duplicated.
+    pub duplicates: u64,
+    /// Slots whose traffic was rate-rescaled (`rate_scale != 1`).
+    pub rescales: u64,
+}
+
+/// Metrics-registry counter handles mirroring [`FaultCounts`].
+#[derive(Debug, Clone)]
+struct FaultMetrics {
+    drops: Counter,
+    duplicates: Counter,
+    rescales: Counter,
+    slots: Counter,
+}
+
 /// A [`SlotSource`] wrapper injecting faults.
+///
+/// Every injection is counted ([`FaultySource::counts`]); with
+/// [`FaultySource::with_metrics`] the tallies also stream into a
+/// [`Registry`] as `sim.faults.*{session=<i>}` counters, so a campaign's
+/// metrics snapshot records exactly how much the E.B.B. contract was bent.
 #[derive(Debug, Clone)]
 pub struct FaultySource<S> {
     inner: S,
     config: FaultConfig,
+    counts: FaultCounts,
+    metrics: Option<FaultMetrics>,
 }
 
 impl<S: SlotSource> FaultySource<S> {
     /// Wraps `inner` with the given fault configuration.
     pub fn new(inner: S, config: FaultConfig) -> Self {
         config.validate();
-        Self { inner, config }
+        gps_obs::debug(
+            "sim.faults",
+            "fault_config",
+            &[
+                ("drop_chance", config.drop_chance.into()),
+                ("duplicate_chance", config.duplicate_chance.into()),
+                ("rate_scale", config.rate_scale.into()),
+            ],
+        );
+        Self {
+            inner,
+            config,
+            counts: FaultCounts::default(),
+            metrics: None,
+        }
+    }
+
+    /// Wraps `inner` and additionally mirrors fault tallies into
+    /// `registry` under `sim.faults.{slots,drops,duplicates,rescales}`
+    /// labeled with `session`.
+    pub fn with_metrics(
+        inner: S,
+        config: FaultConfig,
+        registry: &Registry,
+        session: usize,
+    ) -> Self {
+        let mut s = Self::new(inner, config);
+        let sess = session.to_string();
+        let name = |what: &str| labeled(&format!("sim.faults.{what}"), &[("session", &sess)]);
+        s.metrics = Some(FaultMetrics {
+            drops: registry.counter(&name("drops")),
+            duplicates: registry.counter(&name("duplicates")),
+            rescales: registry.counter(&name("rescales")),
+            slots: registry.counter(&name("slots")),
+        });
+        s
     }
 
     /// The wrapped source.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// Fault tallies since construction (cloning a source clones — and
+    /// thereafter splits — its tallies).
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
     }
 
     fn coin(rng: &mut dyn RngCore, p: f64) -> bool {
@@ -66,10 +137,32 @@ impl<S: SlotSource> FaultySource<S> {
 impl<S: SlotSource> SlotSource for FaultySource<S> {
     fn next_slot(&mut self, rng: &mut dyn RngCore) -> f64 {
         let mut x = self.inner.next_slot(rng) * self.config.rate_scale;
+        self.counts.slots += 1;
+        if self.config.rate_scale != 1.0 {
+            self.counts.rescales += 1;
+        }
+        let mut dropped = false;
+        let mut duplicated = false;
         if Self::coin(rng, self.config.drop_chance) {
             x = 0.0;
+            dropped = true;
+            self.counts.drops += 1;
         } else if Self::coin(rng, self.config.duplicate_chance) {
             x *= 2.0;
+            duplicated = true;
+            self.counts.duplicates += 1;
+        }
+        if let Some(m) = &self.metrics {
+            m.slots.inc();
+            if self.config.rate_scale != 1.0 {
+                m.rescales.inc();
+            }
+            if dropped {
+                m.drops.inc();
+            }
+            if duplicated {
+                m.duplicates.inc();
+            }
         }
         x
     }
@@ -153,6 +246,54 @@ mod tests {
         );
         let mut rng = Xoshiro256pp::seed_from_u64(4);
         assert!((f.next_slot(&mut rng) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_match_registry_on_seeded_run() {
+        let registry = Registry::new();
+        let mut f = FaultySource::with_metrics(
+            CbrSource::new(1.0),
+            FaultConfig {
+                drop_chance: 0.2,
+                duplicate_chance: 0.1,
+                rate_scale: 1.5,
+            },
+            &registry,
+            3,
+        );
+        let mut rng = Xoshiro256pp::seed_from_u64(0xFA17);
+        let n = 10_000u64;
+        for _ in 0..n {
+            f.next_slot(&mut rng);
+        }
+        let c = f.counts();
+        assert_eq!(c.slots, n);
+        assert_eq!(c.rescales, n);
+        assert!(c.drops > 0 && c.duplicates > 0);
+        // Registry mirrors the internal tallies exactly.
+        let get = |what: &str| {
+            registry
+                .counter(&labeled(&format!("sim.faults.{what}"), &[("session", "3")]))
+                .get()
+        };
+        assert_eq!(get("slots"), c.slots);
+        assert_eq!(get("drops"), c.drops);
+        assert_eq!(get("duplicates"), c.duplicates);
+        assert_eq!(get("rescales"), c.rescales);
+        // And the same seed reproduces the same tallies.
+        let mut f2 = FaultySource::new(
+            CbrSource::new(1.0),
+            FaultConfig {
+                drop_chance: 0.2,
+                duplicate_chance: 0.1,
+                rate_scale: 1.5,
+            },
+        );
+        let mut rng2 = Xoshiro256pp::seed_from_u64(0xFA17);
+        for _ in 0..n {
+            f2.next_slot(&mut rng2);
+        }
+        assert_eq!(f2.counts(), c);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! (`D^{PGPS} <= D^{GPS} + L_max/r`, tested in `pgps.rs`).
 
 use gps_core::water_fill;
+use gps_obs::metrics::Counter;
 use std::collections::VecDeque;
 
 /// One finished impulse arrival.
@@ -34,6 +35,10 @@ pub struct FluidGps {
     cum_services: Vec<f64>,
     pending: Vec<VecDeque<(f64, f64)>>,
     completions: Vec<FluidCompletion>,
+    // Global-registry tallies; a relaxed atomic inc each, negligible
+    // next to the water-fill per segment.
+    arrivals_ctr: Counter,
+    completions_ctr: Counter,
 }
 
 impl FluidGps {
@@ -51,6 +56,8 @@ impl FluidGps {
             cum_services: vec![0.0; n],
             pending: vec![VecDeque::new(); n],
             completions: Vec::new(),
+            arrivals_ctr: gps_obs::metrics().counter("sim.fluid.arrivals"),
+            completions_ctr: gps_obs::metrics().counter("sim.fluid.completions"),
         }
     }
 
@@ -76,6 +83,7 @@ impl FluidGps {
         assert!(amount > 0.0 && amount.is_finite());
         assert!(session < self.phis.len());
         self.advance_to(t.max(self.time));
+        self.arrivals_ctr.inc();
         self.queues[session] += amount;
         self.cum_arrivals[session] += amount;
         self.pending[session].push_back((t, self.cum_arrivals[session]));
@@ -153,6 +161,7 @@ impl FluidGps {
     /// Drains the recorded completions (chronological per session; the
     /// global order may interleave).
     pub fn take_completions(&mut self) -> Vec<FluidCompletion> {
+        self.completions_ctr.add(self.completions.len() as u64);
         std::mem::take(&mut self.completions)
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::slotted::SlottedGps;
 use gps_core::{NetworkTopology, NodeId};
+use gps_obs::metrics::Counter;
 use std::collections::VecDeque;
 
 /// Slotted simulation of a GPS network.
@@ -35,6 +36,8 @@ pub struct SlottedGpsNetwork {
     cum_entered: Vec<f64>,
     cum_left: Vec<f64>,
     pending: Vec<VecDeque<(u64, f64)>>,
+    // Global-registry slot tally: one relaxed atomic inc per step.
+    slots_ctr: Counter,
 }
 
 /// Result of one network slot.
@@ -80,6 +83,7 @@ impl SlottedGpsNetwork {
             cum_entered: vec![0.0; n],
             cum_left: vec![0.0; n],
             pending: vec![VecDeque::new(); n],
+            slots_ctr: gps_obs::metrics().counter("sim.network.slots"),
         }
     }
 
@@ -111,6 +115,7 @@ impl SlottedGpsNetwork {
     pub fn step(&mut self, source_arrivals: &[f64]) -> NetworkSlotOutput {
         let n = self.topology.num_sessions();
         assert_eq!(source_arrivals.len(), n);
+        self.slots_ctr.inc();
         // Per node, per local session: this slot's arrivals.
         let mut node_arrivals: Vec<Vec<f64>> = self
             .local_ids

@@ -231,6 +231,10 @@ impl PgpsServer {
     /// Runs the PGPS discipline over `packets`; returns one departure per
     /// packet (same indexing).
     pub fn run(&self, packets: &[Packet]) -> Vec<Departure> {
+        let _span = gps_obs::span("sim/pgps_run");
+        gps_obs::metrics()
+            .counter("sim.pgps.packets")
+            .add(packets.len() as u64);
         let f = self.virtual_finish_times(packets);
         serve_by_key(packets, &f, self.rate)
     }

@@ -10,6 +10,7 @@
 use crate::network_sim::SlottedGpsNetwork;
 use crate::slotted::SlottedGps;
 use gps_core::NetworkTopology;
+use gps_obs::metrics::{labeled, Registry};
 use gps_sources::SlotSource;
 use gps_stats::rng::SeedSequence;
 use gps_stats::{BinnedCcdf, StreamingMoments};
@@ -66,6 +67,18 @@ pub fn run_single_node(
 ) -> SingleNodeRunReport {
     let n = config.phis.len();
     assert_eq!(sources.len(), n, "one source per session");
+    gps_obs::info(
+        "sim.runner",
+        "single_node_start",
+        &[
+            ("sessions", n.into()),
+            ("seed", config.seed.into()),
+            ("warmup", config.warmup.into()),
+            ("measure", config.measure.into()),
+            ("capacity", config.capacity.into()),
+        ],
+    );
+    let _run_span = gps_obs::span("sim/run_single_node");
     let seeds = SeedSequence::new(config.seed);
     let mut rngs: Vec<_> = (0..n).map(|i| seeds.rng("source", i as u64)).collect();
     for (s, rng) in sources.iter_mut().zip(&mut rngs) {
@@ -76,11 +89,14 @@ pub fn run_single_node(
     let mut arrivals = vec![0.0; n];
 
     // Warmup.
-    for _ in 0..config.warmup {
-        for i in 0..n {
-            arrivals[i] = sources[i].next_slot(&mut rngs[i]);
+    {
+        let _warmup_span = gps_obs::span("warmup");
+        for _ in 0..config.warmup {
+            for i in 0..n {
+                arrivals[i] = sources[i].next_slot(&mut rngs[i]);
+            }
+            server.step(&arrivals);
         }
-        server.step(&arrivals);
     }
 
     let mut reports: Vec<SessionReport> = (0..n)
@@ -93,30 +109,62 @@ pub fn run_single_node(
         .collect();
 
     let measure_start = server.slot();
-    for _ in 0..config.measure {
-        for i in 0..n {
-            arrivals[i] = sources[i].next_slot(&mut rngs[i]);
-        }
-        let out = server.step(&arrivals);
-        for i in 0..n {
-            let q = server.backlog(i);
-            reports[i].backlog.push(q);
-            reports[i].backlog_moments.push(q);
-            reports[i].throughput += out.services[i];
-        }
-        for (i, t0, d) in out.cleared {
-            // Only count watermarks set during the measurement window.
-            if t0 >= measure_start {
-                reports[i].delay.push(d as f64);
+    {
+        let _measure_span = gps_obs::span("measure");
+        for _ in 0..config.measure {
+            for i in 0..n {
+                arrivals[i] = sources[i].next_slot(&mut rngs[i]);
+            }
+            let out = server.step(&arrivals);
+            for i in 0..n {
+                let q = server.backlog(i);
+                reports[i].backlog.push(q);
+                reports[i].backlog_moments.push(q);
+                reports[i].throughput += out.services[i];
+            }
+            for (i, t0, d) in out.cleared {
+                // Only count watermarks set during the measurement window.
+                if t0 >= measure_start {
+                    reports[i].delay.push(d as f64);
+                }
             }
         }
     }
     for r in &mut reports {
         r.throughput /= config.measure as f64;
     }
-    SingleNodeRunReport {
+    let report = SingleNodeRunReport {
         sessions: reports,
         measured_slots: config.measure,
+    };
+    record_single_node_metrics(gps_obs::metrics(), &report);
+    gps_obs::info(
+        "sim.runner",
+        "single_node_end",
+        &[("measured_slots", report.measured_slots.into())],
+    );
+    report
+}
+
+/// Folds a run report into `registry` as per-session gauges and
+/// counters (`sim.session.*{session=<i>}` plus `sim.measured_slots`).
+/// `run_single_node` calls this with the global registry; tests can pass
+/// their own.
+pub fn record_single_node_metrics(registry: &Registry, report: &SingleNodeRunReport) {
+    registry
+        .counter("sim.measured_slots")
+        .add(report.measured_slots);
+    for (i, s) in report.sessions.iter().enumerate() {
+        let sess = i.to_string();
+        let name = |what: &str| labeled(&format!("sim.session.{what}"), &[("session", &sess)]);
+        registry
+            .gauge(&name("backlog_mean"))
+            .set(s.backlog_moments.mean());
+        registry
+            .gauge(&name("backlog_max"))
+            .set(s.backlog_moments.max());
+        registry.gauge(&name("throughput")).set(s.throughput);
+        registry.counter(&name("delay_samples")).add(s.delay.len());
     }
 }
 
@@ -155,6 +203,18 @@ pub fn run_network(
 ) -> NetworkRunReport {
     let n = config.topology.num_sessions();
     assert_eq!(sources.len(), n, "one source per session");
+    gps_obs::info(
+        "sim.runner",
+        "network_start",
+        &[
+            ("sessions", n.into()),
+            ("nodes", config.topology.num_nodes().into()),
+            ("seed", config.seed.into()),
+            ("warmup", config.warmup.into()),
+            ("measure", config.measure.into()),
+        ],
+    );
+    let _run_span = gps_obs::span("sim/run_network");
     let seeds = SeedSequence::new(config.seed);
     let mut rngs: Vec<_> = (0..n).map(|i| seeds.rng("source", i as u64)).collect();
     for (s, rng) in sources.iter_mut().zip(&mut rngs) {
@@ -164,11 +224,14 @@ pub fn run_network(
     let mut net = SlottedGpsNetwork::new(config.topology.clone());
     let mut arrivals = vec![0.0; n];
 
-    for _ in 0..config.warmup {
-        for i in 0..n {
-            arrivals[i] = sources[i].next_slot(&mut rngs[i]);
+    {
+        let _warmup_span = gps_obs::span("warmup");
+        for _ in 0..config.warmup {
+            for i in 0..n {
+                arrivals[i] = sources[i].next_slot(&mut rngs[i]);
+            }
+            net.step(&arrivals);
         }
-        net.step(&arrivals);
     }
 
     let mut backlog: Vec<BinnedCcdf> = (0..n)
@@ -179,24 +242,48 @@ pub fn run_network(
         .collect();
 
     let measure_start = net.slot();
-    for _ in 0..config.measure {
-        for i in 0..n {
-            arrivals[i] = sources[i].next_slot(&mut rngs[i]);
-        }
-        let out = net.step(&arrivals);
-        for i in 0..n {
-            backlog[i].push(out.network_backlogs[i]);
-        }
-        for (i, t0, d) in out.cleared {
-            if t0 >= measure_start {
-                delay[i].push(d as f64);
+    {
+        let _measure_span = gps_obs::span("measure");
+        for _ in 0..config.measure {
+            for i in 0..n {
+                arrivals[i] = sources[i].next_slot(&mut rngs[i]);
+            }
+            let out = net.step(&arrivals);
+            for i in 0..n {
+                backlog[i].push(out.network_backlogs[i]);
+            }
+            for (i, t0, d) in out.cleared {
+                if t0 >= measure_start {
+                    delay[i].push(d as f64);
+                }
             }
         }
     }
-    NetworkRunReport {
+    let report = NetworkRunReport {
         backlog,
         delay,
         measured_slots: config.measure,
+    };
+    record_network_metrics(gps_obs::metrics(), &report);
+    gps_obs::info(
+        "sim.runner",
+        "network_end",
+        &[("measured_slots", report.measured_slots.into())],
+    );
+    report
+}
+
+/// Network analogue of [`record_single_node_metrics`]: per-session
+/// end-to-end delay sample counters plus the measured-slot total.
+pub fn record_network_metrics(registry: &Registry, report: &NetworkRunReport) {
+    registry
+        .counter("sim.measured_slots")
+        .add(report.measured_slots);
+    for (i, d) in report.delay.iter().enumerate() {
+        let sess = i.to_string();
+        registry
+            .counter(&labeled("sim.session.delay_samples", &[("session", &sess)]))
+            .add(d.len());
     }
 }
 

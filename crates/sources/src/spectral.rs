@@ -18,6 +18,21 @@
 
 use crate::markov::MarkovSource;
 use gps_ebb::numeric::bisect;
+use gps_obs::metrics::Counter;
+use std::sync::OnceLock;
+
+/// Cached handle for the global Perron-iteration counter so the hot
+/// `perron` calls pay one atomic add, not a registry lookup.
+fn perron_counters() -> &'static (Counter, Counter) {
+    static C: OnceLock<(Counter, Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        let m = gps_obs::metrics();
+        (
+            m.counter("sources.spectral.perron_calls"),
+            m.counter("sources.spectral.perron_iters"),
+        )
+    })
+}
 
 /// Perron (dominant) eigenpair of a nonnegative irreducible matrix,
 /// computed by power iteration.
@@ -28,9 +43,12 @@ use gps_ebb::numeric::bisect;
 pub fn perron(m: &[Vec<f64>]) -> (f64, Vec<f64>) {
     let n = m.len();
     assert!(n > 0);
+    let _span = gps_obs::span("sources/perron");
+    let (calls, iters) = perron_counters();
+    calls.inc();
     let mut h = vec![1.0; n];
     let mut z = 1.0;
-    for _ in 0..100_000 {
+    for it in 0..100_000u64 {
         let mut next = vec![0.0; n];
         for (i, row) in m.iter().enumerate() {
             debug_assert_eq!(row.len(), n);
@@ -49,6 +67,7 @@ pub fn perron(m: &[Vec<f64>]) -> (f64, Vec<f64>) {
         h = next;
         z = z_new;
         if converged {
+            iters.add(it + 1);
             return (z, h);
         }
     }

@@ -172,7 +172,7 @@ mod tests {
         // Deterministic LCG uniforms, true mean 0.5.
         let mut state = 12345u64;
         let mut bm = BatchMeans::new(100);
-        for _ in 0..100_00 {
+        for _ in 0..10_000 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             bm.push((state >> 11) as f64 / (1u64 << 53) as f64);
         }

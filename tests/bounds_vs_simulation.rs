@@ -41,9 +41,9 @@ fn single_node_rpps_bounds_dominate() {
         .collect();
     let rep = run_single_node(&mut boxed, &cfg);
 
-    for i in 0..4 {
+    for (i, &sess) in sessions.iter().enumerate() {
         let g = assignment.guaranteed_rate(i);
-        let (qb, db) = theorem10(sessions[i], g, TimeModel::Discrete);
+        let (qb, db) = theorem10(sess, g, TimeModel::Discrete);
         for (x, p) in rep.sessions[i].backlog.series() {
             assert!(
                 p <= qb.tail(x) + 3.0 * se(p, cfg.measure) + 1e-9,
@@ -82,9 +82,9 @@ fn single_node_improved_bounds_dominate() {
         .map(|s| Box::new(s) as Box<dyn SlotSource>)
         .collect();
     let rep = run_single_node(&mut boxed, &cfg);
-    for i in 0..4 {
+    for (i, m) in markov.iter().enumerate() {
         let g = assignment.guaranteed_rate(i);
-        let qb = queue_tail_bound(markov[i].as_markov(), g).unwrap();
+        let qb = queue_tail_bound(m.as_markov(), g).unwrap();
         for (x, p) in rep.sessions[i].backlog.series() {
             assert!(
                 p <= qb.tail(x) + 3.0 * se(p, cfg.measure) + 1e-9,

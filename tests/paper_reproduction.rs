@@ -30,7 +30,8 @@ fn table1_means() {
 
 #[test]
 fn table2_full_reproduction() {
-    let cases: [([f64; 4], [(f64, f64); 4]); 2] = [
+    type SetCase = ([f64; 4], [(f64, f64); 4]);
+    let cases: [SetCase; 2] = [
         (
             [0.20, 0.25, 0.20, 0.25],
             [(1.0, 1.74), (0.92, 1.76), (0.84, 2.13), (1.0, 1.62)],
@@ -67,9 +68,8 @@ fn figure3_bound_parameters() {
     let b = RppsNetworkBounds::new(&net, sessions.clone()).unwrap();
     // Paper: g1 ≈ 0.22 under Set 1 (0.2/0.9).
     assert!((b.g_net(0) - 0.2 / 0.9).abs() < 1e-12);
-    for i in 0..4 {
+    for (i, s) in sessions.iter().enumerate() {
         let (q, d) = b.paper_fig3_bounds(i);
-        let s = &sessions[i];
         let g = b.g_net(i);
         let want_pref = s.lambda / (1.0 - (-s.alpha * (g - s.rho)).exp());
         assert!((q.prefactor - want_pref).abs() < 1e-9);
