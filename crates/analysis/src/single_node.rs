@@ -202,6 +202,26 @@ impl Theorem7 {
             self.bounds_at(i, t).map(|b| b.delay)
         })
     }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.inner.sessions.len()
+    }
+
+    /// [`best_backlog`](Self::best_backlog) for every session, the θ
+    /// optimizations fanned out over the `gps_par` pool. Results are in
+    /// session order regardless of worker count.
+    pub fn best_backlog_all(&self, q: f64) -> Vec<Option<TailBound>> {
+        let idx: Vec<usize> = (0..self.num_sessions()).collect();
+        gps_par::par_map(&idx, |&i| self.best_backlog(i, q))
+    }
+
+    /// [`best_delay`](Self::best_delay) for every session, fanned out over
+    /// the `gps_par` pool; results in session order.
+    pub fn best_delay_all(&self, d: f64) -> Vec<Option<TailBound>> {
+        let idx: Vec<usize> = (0..self.num_sessions()).collect();
+        gps_par::par_map(&idx, |&i| self.best_delay(i, d))
+    }
 }
 
 /// Theorem 8: E.B.B. sources **without an independence assumption**, via
@@ -309,6 +329,26 @@ impl Theorem8 {
             self.bounds_at(i, t, None).map(|b| b.delay)
         })
     }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.inner.sessions.len()
+    }
+
+    /// [`best_backlog`](Self::best_backlog) for every session, the θ
+    /// optimizations (each a Hölder combination per probe) fanned out over
+    /// the `gps_par` pool; results in session order.
+    pub fn best_backlog_all(&self, q: f64) -> Vec<Option<TailBound>> {
+        let idx: Vec<usize> = (0..self.num_sessions()).collect();
+        gps_par::par_map(&idx, |&i| self.best_backlog(i, q))
+    }
+
+    /// [`best_delay`](Self::best_delay) for every session, fanned out over
+    /// the `gps_par` pool; results in session order.
+    pub fn best_delay_all(&self, d: f64) -> Vec<Option<TailBound>> {
+        let idx: Vec<usize> = (0..self.num_sessions()).collect();
+        gps_par::par_map(&idx, |&i| self.best_delay(i, d))
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +402,29 @@ mod tests {
             got.prefactor
         );
         assert_eq!(got.decay, theta);
+    }
+
+    #[test]
+    fn batch_helpers_match_per_session_calls() {
+        // The parallel *_all helpers are pure fan-out: element i must be
+        // exactly the per-session call, in session order.
+        let (sessions, assignment) = fixture();
+        let t7 = Theorem7::new(sessions.clone(), assignment.clone(), TimeModel::Discrete).unwrap();
+        let (q, d) = (12.0, 30.0);
+        assert_eq!(t7.num_sessions(), 2);
+        let backlogs = t7.best_backlog_all(q);
+        let delays = t7.best_delay_all(d);
+        for i in 0..t7.num_sessions() {
+            assert_eq!(backlogs[i], t7.best_backlog(i, q), "session {i}");
+            assert_eq!(delays[i], t7.best_delay(i, d), "session {i}");
+        }
+        let t8 = Theorem8::new(sessions, assignment, TimeModel::Discrete).unwrap();
+        let backlogs8 = t8.best_backlog_all(q);
+        let delays8 = t8.best_delay_all(d);
+        for i in 0..t8.num_sessions() {
+            assert_eq!(backlogs8[i], t8.best_backlog(i, q), "session {i}");
+            assert_eq!(delays8[i], t8.best_delay(i, d), "session {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Serial-vs-parallel wall time for the campaign engine.
+//!
+//! Runs the same replication campaigns through
+//! `run_single_node_campaign_threads` / `run_network_campaign_threads`
+//! at 1, 2, and 4 workers (explicit thread counts, independent of
+//! `GPS_PAR_THREADS`), so the JSON report pins both the serial baseline
+//! and the parallel speedup on the current host. Span timing is enabled,
+//! so per-phase span statistics fold into the report.
+//!
+//! Note: the speedup at k workers is bounded by the machine's core
+//! count; on a single-core host all three variants should be ~equal
+//! (the determinism tests, not this bench, are the correctness gate).
+
+use gps_bench::harness::{black_box, BenchHarness};
+use gps_core::NetworkTopology;
+use gps_sim::runner::{
+    run_network_campaign_threads, run_single_node_campaign_threads, NetworkRunConfig,
+    SingleNodeRunConfig,
+};
+use gps_sources::{OnOffSource, SlotSource};
+
+fn make_sources() -> Vec<Box<dyn SlotSource>> {
+    OnOffSource::paper_table1()
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn SlotSource>)
+        .collect()
+}
+
+fn bench_single_node(h: &mut BenchHarness) {
+    let replications = 8u64;
+    let base = SingleNodeRunConfig {
+        phis: vec![0.2, 0.25, 0.2, 0.25],
+        capacity: 1.0,
+        warmup: 1_000,
+        measure: 20_000,
+        seed: 0xBE7C,
+        backlog_grid: (0..60).map(|i| i as f64 * 0.5).collect(),
+        delay_grid: (0..60).map(|i| i as f64).collect(),
+    };
+    let slots = replications * base.measure;
+    for threads in [1usize, 2, 4] {
+        h.bench_elems(
+            &format!("single_node_campaign/8x20k_{threads}thread"),
+            slots,
+            || {
+                black_box(run_single_node_campaign_threads(
+                    threads,
+                    &base,
+                    replications,
+                    |_r| make_sources(),
+                ))
+            },
+        );
+    }
+}
+
+fn bench_network(h: &mut BenchHarness) {
+    let replications = 8u64;
+    let base = NetworkRunConfig {
+        topology: NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]),
+        warmup: 1_000,
+        measure: 10_000,
+        seed: 0xF162,
+        backlog_grid: (0..60).map(|i| i as f64 * 0.25).collect(),
+        delay_grid: (0..60).map(|i| i as f64).collect(),
+    };
+    let slots = replications * base.measure;
+    for threads in [1usize, 2, 4] {
+        h.bench_elems(
+            &format!("network_campaign/fig2_8x10k_{threads}thread"),
+            slots,
+            || {
+                black_box(run_network_campaign_threads(
+                    threads,
+                    &base,
+                    replications,
+                    |_r| make_sources(),
+                ))
+            },
+        );
+    }
+}
+
+fn main() {
+    gps_obs::global().set_timing(true);
+    let mut h = BenchHarness::new("campaign_par");
+    bench_single_node(&mut h);
+    bench_network(&mut h);
+    h.finish().expect("write bench report");
+}

@@ -4,7 +4,9 @@
 
 use gps_bench::harness::{black_box, BenchHarness};
 use gps_core::NetworkTopology;
-use gps_sim::{FluidGps, Packet, PgpsServer, SlottedGps, SlottedGpsNetwork};
+use gps_sim::{
+    FluidGps, NetworkSlotOutput, Packet, PgpsServer, SlotOutput, SlottedGps, SlottedGpsNetwork,
+};
 use gps_sources::{OnOffSource, SlotSource};
 use gps_stats::rng::SeedSequence;
 
@@ -16,11 +18,13 @@ fn bench_slotted(h: &mut BenchHarness) {
         let mut sources = OnOffSource::paper_table1();
         let mut rngs: Vec<_> = (0..4).map(|i| seeds.rng("s", i)).collect();
         let mut arr = [0.0; 4];
+        let mut out = SlotOutput::new();
         for _ in 0..slots {
             for i in 0..4 {
                 arr[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            black_box(server.step(&arr));
+            server.step_into(&arr, &mut out);
+            black_box(&out);
         }
     });
 }
@@ -34,11 +38,13 @@ fn bench_network(h: &mut BenchHarness) {
         let mut sources = OnOffSource::paper_table1();
         let mut rngs: Vec<_> = (0..4).map(|i| seeds.rng("s", i)).collect();
         let mut arr = [0.0; 4];
+        let mut out = NetworkSlotOutput::new();
         for _ in 0..slots {
             for i in 0..4 {
                 arr[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            black_box(net.step(&arr));
+            net.step_into(&arr, &mut out);
+            black_box(&out);
         }
     });
 }

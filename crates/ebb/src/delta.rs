@@ -108,6 +108,13 @@ impl DeltaTailBound {
             TimeModel::Discrete => self.discrete(),
         }
     }
+
+    /// [`continuous_optimal`](Self::continuous_optimal) over a batch of
+    /// per-session bounds, the ξ optimizations fanned out over the
+    /// `gps_par` pool; results in input order regardless of worker count.
+    pub fn continuous_optimal_batch(bounds: &[DeltaTailBound]) -> Vec<TailBound> {
+        gps_par::par_map(bounds, |b| b.continuous_optimal())
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +174,20 @@ mod tests {
         // Bound still evaluates.
         let b = d.continuous_optimal();
         assert!(b.prefactor > 0.0);
+    }
+
+    #[test]
+    fn batch_matches_individual_optimizations() {
+        let bounds = vec![
+            setup(),
+            DeltaTailBound::new(EbbProcess::new(0.25, 0.92, 1.76), 0.25 / 0.9),
+            DeltaTailBound::new(EbbProcess::new(0.0, 2.0, 1.0), 0.5),
+        ];
+        let batch = DeltaTailBound::continuous_optimal_batch(&bounds);
+        assert_eq!(batch.len(), bounds.len());
+        for (i, d) in bounds.iter().enumerate() {
+            assert_eq!(batch[i], d.continuous_optimal(), "bound {i}");
+        }
     }
 
     #[test]

@@ -53,9 +53,14 @@ fn main() {
     )
     .expect("csv");
 
-    for i in 0..4 {
-        let b7 = t7.best_backlog(i, q).expect("feasible").tail(q);
-        let b8 = t8.best_backlog(i, q).expect("feasible").tail(q);
+    // Per-session θ optimizations fan out over the gps_par pool: the
+    // Theorem-7/8 optimizers via their *_all batch helpers, the paper/
+    // uniform-exponent scans via par_map. Printing stays serial below.
+    let b7_all = t7.best_backlog_all(q);
+    let b8_all = t8.best_backlog_all(q);
+    let idx: Vec<usize> = (0..4).collect();
+    let scans = gps_par::par_map(&idx, |&i| {
+        let b8 = b8_all[i].expect("feasible").tail(q);
         // Paper form with optimized θ.
         let sup8 = t8.theta_sup(i);
         let mut best_paper = f64::INFINITY;
@@ -78,6 +83,13 @@ fn main() {
             best_uniform = b8;
             best_paper = best_paper.min(b8);
         }
+        (best_paper, best_uniform)
+    });
+
+    for i in 0..4 {
+        let b7 = b7_all[i].expect("feasible").tail(q);
+        let b8 = b8_all[i].expect("feasible").tail(q);
+        let (best_paper, best_uniform) = scans[i];
         println!(
             "{:<8} {:>10.4} {:>10.4} | {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e}",
             i + 1,

@@ -12,7 +12,7 @@
 //! 11 matches or beats the best ordering for H1 sessions (it uses the
 //! full g_i) and is competitive for the H2 session.
 
-use gps_analysis::{Theorem11, Theorem7};
+use gps_analysis::Theorem11;
 use gps_core::ordering::enumerate_feasible_orderings;
 use gps_core::{GpsAssignment, RateAllocation};
 use gps_ebb::{EbbProcess, TimeModel};
@@ -63,27 +63,25 @@ fn main() {
         "{:<8} {:>14} {:>14} {:>14} {:>14}",
         "session", "T7 best", "T7 worst", "T11", "T11/T7best"
     );
+    // Every (session, ordering) θ-scan is independent: fan the full
+    // cross product out over the gps_par pool, then print and write CSV
+    // serially in (session, ordering) order.
+    let pairs: Vec<(usize, usize)> = (0..3)
+        .flat_map(|i| (0..orderings.len()).map(move |k| (i, k)))
+        .collect();
+    // The bound depends only on the *set* of predecessors in the
+    // ordering, so each evaluation takes the prefix implied by `perm`.
+    let tails = gps_par::par_map(&pairs, |&(i, k)| {
+        let perm = &orderings[k];
+        let pos = perm.iter().position(|&j| j == i).unwrap();
+        manual_theorem7_tail(&sessions, &assignment, &rates, perm, pos, q, model)
+    });
     for i in 0..3 {
         let t11_tail = t11.best_backlog(i, q).expect("feasible").tail(q);
         let mut best = f64::INFINITY;
         let mut worst: f64 = 0.0;
-        for (k, _perm) in orderings.iter().enumerate() {
-            // Theorem 7 with these rates uses the greedy ordering
-            // internally; to force a specific ordering we re-run with
-            // rates permuted to make it the unique greedy choice. Rather
-            // than contort the API, evaluate the bound directly with the
-            // terms implied by the ordering via Theorem7::with_rates and
-            // check whether its internal ordering equals this one; if not
-            // we evaluate by constructing the bound manually.
-            let t7 =
-                Theorem7::with_rates(sessions.clone(), assignment.clone(), rates.clone(), model)
-                    .expect("feasible");
-            // All orderings share dedicated rates; the bound depends only
-            // on the *set* of predecessors, so enumerate prefixes:
-            let perm = &orderings[k];
-            let pos = perm.iter().position(|&j| j == i).unwrap();
-            let tail = manual_theorem7_tail(&sessions, &assignment, &rates, perm, pos, q, model);
-            let _ = t7;
+        for k in 0..orderings.len() {
+            let tail = tails[i * orderings.len() + k];
             best = best.min(tail);
             worst = worst.max(tail);
             csv.row(&[(i + 1) as f64, k as f64, tail, t11_tail])

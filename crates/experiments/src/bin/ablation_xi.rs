@@ -37,14 +37,32 @@ fn main() {
         "{:<8} {:>8} {:>8} {:>12} {:>12} {:>12} {:>8}",
         "session", "ξ_max", "ξ*", "Λ(ξ=1)", "Λ(ξ*)", "Λ(discrete)", "gain"
     );
-    for i in 0..4 {
+    // Per-session ξ evaluations and the 200-point fine sweeps fan out
+    // over the gps_par pool; printing/CSV writing stays serial below.
+    let idx: Vec<usize> = (0..4).collect();
+    let steps = 200usize;
+    let per_session = gps_par::par_map(&idx, |&i| {
         let g = rhos[i] / total;
         let d = DeltaTailBound::new(sessions[i], g);
         let xi_max = d.xi_max();
-        let xi_opt = d.optimal_xi();
-        let at_one = d.continuous_with_xi(1.0_f64.min(xi_max)).prefactor;
-        let at_opt = d.continuous_optimal().prefactor;
-        let disc = d.discrete().prefactor;
+        let sweep: Vec<(f64, f64)> = (1..=steps)
+            .map(|k| {
+                let xi = xi_max * k as f64 / steps as f64;
+                (xi, d.continuous_with_xi(xi).prefactor)
+            })
+            .collect();
+        (
+            xi_max,
+            d.optimal_xi(),
+            d.continuous_with_xi(1.0_f64.min(xi_max)).prefactor,
+            d.continuous_optimal().prefactor,
+            d.discrete().prefactor,
+            sweep,
+        )
+    });
+    for (i, &(xi_max, xi_opt, at_one, at_opt, disc, ref sweep_pts)) in
+        per_session.iter().enumerate()
+    {
         println!(
             "{:<8} {:>8.3} {:>8.3} {:>12.4} {:>12.4} {:>12.4} {:>8.3}",
             i + 1,
@@ -58,18 +76,14 @@ fn main() {
         csv.row(&[(i + 1) as f64, xi_max, xi_opt, at_one, at_opt, disc])
             .expect("row");
 
-        // Fine sweep for the CSV consumers.
+        // Fine sweep for the CSV consumers (precomputed in parallel).
         let mut sweep = CsvWriter::create(
             &format!("ablation_xi_sweep_s{}", i + 1),
             &["xi", "prefactor"],
         )
         .expect("csv");
-        let steps = 200;
-        for k in 1..=steps {
-            let xi = xi_max * k as f64 / steps as f64;
-            sweep
-                .row(&[xi, d.continuous_with_xi(xi).prefactor])
-                .expect("row");
+        for &(xi, prefactor) in sweep_pts {
+            sweep.row(&[xi, prefactor]).expect("row");
         }
         sweep_outputs.push((format!("ablation_xi_sweep_s{}.csv", i + 1), sweep.rows()));
         sweep.finish().expect("finish");

@@ -15,15 +15,34 @@ fn main() {
     let obs = init_obs("fig3", quiet);
     let mut csv = CsvWriter::create("fig3", &["set", "session", "d", "delay_bound"]).expect("csv");
 
-    for (set_idx, set) in [ParamSet::Set1, ParamSet::Set2].into_iter().enumerate() {
+    // Per-set×session curves computed in parallel on the gps_par pool;
+    // printing and CSV writing happen serially afterwards, in
+    // (set, session) order, so output is identical at any worker count.
+    let steps = 120usize;
+    let items: Vec<(ParamSet, usize)> = [ParamSet::Set1, ParamSet::Set2]
+        .into_iter()
+        .flat_map(|set| (0..4).map(move |i| (set, i)))
+        .collect();
+    let computed = gps_par::par_map(&items, |&(set, i)| {
         let sessions = characterize(set).to_vec();
         let net = figure2_network(set);
         let bounds = RppsNetworkBounds::new(&net, sessions).expect("stable");
+        let (_, delay) = bounds.paper_fig3_bounds(i);
         // Plot range chosen to span ~1e0 .. 1e-12 like the paper's figures.
         let d_max = match set {
             ParamSet::Set1 => 80.0,
             ParamSet::Set2 => 220.0,
         };
+        let points: Vec<(f64, f64)> = (0..=steps)
+            .map(|k| {
+                let d = d_max * k as f64 / steps as f64;
+                (d, delay.tail(d))
+            })
+            .collect();
+        (bounds.g_net(i), delay, points)
+    });
+
+    for (set_idx, set) in [ParamSet::Set1, ParamSet::Set2].into_iter().enumerate() {
         let mut curves = Vec::new();
         println!(
             "Figure 3({}) — {}: end-to-end delay bounds",
@@ -35,26 +54,21 @@ fn main() {
             "session", "g_net", "prefactor", "decay (α·g)"
         );
         for i in 0..4 {
-            let (_, delay) = bounds.paper_fig3_bounds(i);
+            let (g_net, delay, ref points) = computed[set_idx * 4 + i];
             println!(
                 "{:<8} {:>10.4} {:>12.4} {:>14.5}",
                 i + 1,
-                bounds.g_net(i),
+                g_net,
                 delay.prefactor,
                 delay.decay
             );
-            let mut points = Vec::new();
-            let steps = 120;
-            for k in 0..=steps {
-                let d = d_max * k as f64 / steps as f64;
-                let p = delay.tail(d);
-                points.push((d, p));
+            for &(d, p) in points {
                 csv.row(&[(set_idx + 1) as f64, (i + 1) as f64, d, p])
                     .expect("row");
             }
             curves.push(Curve {
                 label: format!("{}", i + 1),
-                points,
+                points: points.clone(),
             });
         }
         println!();

@@ -18,8 +18,11 @@ fn main() {
     let mut csv =
         CsvWriter::create("rho_sweep", &["session", "rho", "lambda", "alpha"]).expect("csv");
     println!("A6: (ρ, Λ, α) tradeoff for the Table-1 sources");
-    for (i, src) in table1_sources().iter().enumerate() {
-        let pts = rho_tradeoff(src.as_markov(), 24);
+    // Per-session sweeps fanned out over the gps_par pool; printed and
+    // written serially afterwards, in session order.
+    let sources = table1_sources();
+    let tradeoffs = gps_par::par_map(&sources, |src| rho_tradeoff(src.as_markov(), 24));
+    for (i, (src, pts)) in sources.iter().zip(&tradeoffs).enumerate() {
         println!(
             "\nsession {} (mean {:.3}, peak {:.3}):",
             i + 1,

@@ -11,6 +11,11 @@
 //! backlog bound is evaluated both at the paper's `ξ = 1` and at the
 //! Remark-1 optimal `ξ*`, plus the direct CT martingale queue bound.
 //! Backlogs are sampled at regular instants from the exact simulator.
+//!
+//! The horizon is split into independent replications run in parallel on
+//! the `gps_par` pool (worker count from `GPS_PAR_THREADS`), each with a
+//! derived seed, and merged in replication order — identical output at
+//! any worker count.
 
 use gps_ebb::{DeltaTailBound, TimeModel};
 use gps_experiments::csv::CsvWriter;
@@ -21,6 +26,64 @@ use gps_sim::RateFluidGps;
 use gps_sources::CtmcFluidSource;
 use gps_stats::rng::SeedSequence;
 use gps_stats::BinnedCcdf;
+
+/// One continuous-time replication: exact fluid simulation over
+/// `horizon` time units with a derived seed, sampled every `sample_dt`
+/// after `warmup`. Returns the per-session backlog CCDFs and the sample
+/// count.
+fn simulate_ct(
+    sources: &[CtmcFluidSource],
+    rhos: &[f64],
+    seed: u64,
+    horizon: f64,
+    sample_dt: f64,
+    warmup: f64,
+) -> (Vec<BinnedCcdf>, u64) {
+    let n = sources.len();
+    let seeds = SeedSequence::new(seed);
+    let mut sim = RateFluidGps::new(rhos.to_vec(), 1.0);
+    let mut rngs: Vec<_> = (0..n).map(|i| seeds.rng("ct", i as u64)).collect();
+    let mut srcs = sources.to_vec();
+    // Per-source event streams: (next change time, current rate).
+    let mut next_change = vec![0.0f64; n];
+    for i in 0..n {
+        srcs[i].reset_stationary(&mut rngs[i]);
+        // First segment starts at t = 0.
+        let (dur, rate) = srcs[i].next_segment(&mut rngs[i]);
+        sim.set_input_rate(0.0, i, rate);
+        next_change[i] = dur;
+    }
+    let mut ccdfs: Vec<BinnedCcdf> = (0..n)
+        .map(|_| BinnedCcdf::new((0..60).map(|k| k as f64 * 0.25).collect()))
+        .collect();
+    let mut t_sample = warmup;
+    let mut samples = 0u64;
+    // Merged chronological loop: rate-change events and sampling instants
+    // are applied in global time order.
+    loop {
+        let (i_min, &t_event) = next_change
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("nonempty");
+        // Take all samples due before the next rate change.
+        while t_sample <= t_event.min(horizon) {
+            sim.advance_to(t_sample);
+            for i in 0..n {
+                ccdfs[i].push(sim.backlog(i));
+            }
+            samples += 1;
+            t_sample += sample_dt;
+        }
+        if t_event >= horizon || t_sample >= horizon {
+            break;
+        }
+        let (dur, rate) = srcs[i_min].next_segment(&mut rngs[i_min]);
+        sim.set_input_rate(t_event, i_min, rate);
+        next_change[i_min] = t_event + dur;
+    }
+    (ccdfs, samples)
+}
 
 fn main() {
     let quiet = std::env::args().any(|a| a == "--quiet");
@@ -44,55 +107,31 @@ fn main() {
         .collect();
 
     // Simulate. GPS_MEASURE_SLOTS doubles as the horizon override here
-    // (one sample per unit time, so the scales match).
-    let horizon = measure_slots_or(2_000_000) as f64;
+    // (one sample per unit time, so the scales match). The budget is
+    // split across parallel replications with derived seeds.
+    let replications = 4u64;
+    let horizon = (measure_slots_or(2_000_000) / replications).max(1) as f64;
     let sample_dt = 1.0;
-    let seeds = SeedSequence::new(0xC047);
-    let mut sim = RateFluidGps::new(rhos.clone(), 1.0);
-    let mut rngs: Vec<_> = (0..3).map(|i| seeds.rng("ct", i as u64)).collect();
-    let mut srcs = sources.clone();
-    // Per-source event streams: (next change time, current rate).
-    let mut next_change = [0.0f64; 3];
-    for i in 0..3 {
-        srcs[i].reset_stationary(&mut rngs[i]);
-        // First segment starts at t = 0.
-        let (dur, rate) = srcs[i].next_segment(&mut rngs[i]);
-        sim.set_input_rate(0.0, i, rate);
-        next_change[i] = dur;
-    }
-    let mut ccdfs: Vec<BinnedCcdf> = (0..3)
-        .map(|_| BinnedCcdf::new((0..60).map(|k| k as f64 * 0.25).collect()))
-        .collect();
-    let mut t_sample = 1000.0; // warmup
-    let mut samples = 0u64;
     gps_obs::info(
         "validate_continuous",
         "simulate",
-        &[("horizon", horizon.into()), ("sample_dt", sample_dt.into())],
+        &[
+            ("replications", replications.into()),
+            ("horizon_each", horizon.into()),
+            ("sample_dt", sample_dt.into()),
+        ],
     );
-    // Merged chronological loop: rate-change events and sampling instants
-    // are applied in global time order.
-    loop {
-        let (i_min, &t_event) = next_change
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .expect("nonempty");
-        // Take all samples due before the next rate change.
-        while t_sample <= t_event.min(horizon) {
-            sim.advance_to(t_sample);
-            for i in 0..3 {
-                ccdfs[i].push(sim.backlog(i));
-            }
-            samples += 1;
-            t_sample += sample_dt;
+    let reps: Vec<u64> = (0..replications).collect();
+    let results = gps_par::par_map(&reps, |&r| {
+        simulate_ct(&sources, &rhos, 0xC047 + r, horizon, sample_dt, 1000.0)
+    });
+    // Merge in replication order.
+    let (mut ccdfs, mut samples) = results[0].clone();
+    for (rep_ccdfs, rep_samples) in &results[1..] {
+        for (acc, c) in ccdfs.iter_mut().zip(rep_ccdfs) {
+            acc.merge(c);
         }
-        if t_event >= horizon || t_sample >= horizon {
-            break;
-        }
-        let (dur, rate) = srcs[i_min].next_segment(&mut rngs[i_min]);
-        sim.set_input_rate(t_event, i_min, rate);
-        next_change[i_min] = t_event + dur;
+        samples += rep_samples;
     }
 
     let mut csv = CsvWriter::create(
@@ -100,10 +139,15 @@ fn main() {
         &["session", "q", "empirical", "xi1", "xi_opt", "ct_direct"],
     )
     .expect("csv");
+    // Per-session ξ optimizations fanned out over the gps_par pool.
+    let deltas: Vec<DeltaTailBound> = (0..3)
+        .map(|i| DeltaTailBound::new(ebbs[i], gs[i]))
+        .collect();
+    let opt_bounds = DeltaTailBound::continuous_optimal_batch(&deltas);
     for i in 0..3 {
-        let d = DeltaTailBound::new(ebbs[i], gs[i]);
+        let d = deltas[i];
         let b_xi1 = d.bound(TimeModel::Continuous { xi: 1.0 });
-        let b_opt = d.continuous_optimal();
+        let b_opt = opt_bounds[i];
         let direct = sources[i].queue_tail_bound(gs[i]).expect("stable");
         println!(
             "\nsession {}: g = {:.3}, EBB = {}, ξ* = {:.2}",
@@ -171,7 +215,8 @@ fn main() {
 
     let mut manifest = RunManifest::new("validate_continuous")
         .seed(0xC047)
-        .param("horizon", horizon)
+        .param("replications", replications)
+        .param("horizon_each", horizon)
         .param("sample_dt", sample_dt)
         .param("warmup", 1000.0);
     manifest.output("validate_continuous.csv", rows);

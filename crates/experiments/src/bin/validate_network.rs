@@ -4,8 +4,10 @@
 //! Theorem-15 bounds (Fig. 3 forms) and the improved LNT94 bounds
 //! (Fig. 4 forms) — the validation study the paper lists as future work.
 //!
-//! Replications run in parallel (std scoped threads), each with an
-//! independent derived seed; CCDFs are merged.
+//! Replications run in parallel on the `gps_par` pool (worker count from
+//! `GPS_PAR_THREADS`), each with an independent derived seed; CCDFs are
+//! merged in replication order, so the output is identical at any worker
+//! count.
 //!
 //! Note on discretization: the slotted network forwards across a hop at
 //! slot boundaries, adding up to `K_i - 1 = 1` slot of pipeline latency
@@ -18,10 +20,9 @@ use gps_experiments::paper::{characterize, figure2_network, table1_sources, Para
 use gps_experiments::plot::{ascii_log_plot, Curve};
 use gps_experiments::{finish_obs, init_obs, measure_slots_or};
 use gps_obs::RunManifest;
-use gps_sim::runner::{run_network, NetworkRunConfig};
+use gps_sim::runner::{merge_network_reports, run_network_campaign, NetworkRunConfig};
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::SlotSource;
-use gps_stats::BinnedCcdf;
 
 fn main() {
     let quiet = std::env::args().any(|a| a == "--quiet");
@@ -46,49 +47,23 @@ fn main() {
         ],
     );
 
-    // One merged CCDF pair per session.
-    let merged: Vec<(BinnedCcdf, BinnedCcdf)> = {
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..replications)
-                .map(|r| {
-                    let topo = net.clone();
-                    let bg = backlog_grid.clone();
-                    let dg = delay_grid.clone();
-                    scope.spawn(move || {
-                        let cfg = NetworkRunConfig {
-                            topology: topo,
-                            warmup: 50_000,
-                            measure: slots_each,
-                            seed: 0xF162 + r,
-                            backlog_grid: bg,
-                            delay_grid: dg,
-                        };
-                        let mut sources: Vec<Box<dyn SlotSource>> = table1_sources()
-                            .into_iter()
-                            .map(|s| Box::new(s) as Box<dyn SlotSource>)
-                            .collect();
-                        run_network(&mut sources, &cfg)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("replication"))
-                .collect::<Vec<_>>()
-        });
-
-        (0..4)
-            .map(|i| {
-                let mut q = BinnedCcdf::new(backlog_grid.clone());
-                let mut d = BinnedCcdf::new(delay_grid.clone());
-                for rep in &results {
-                    q.merge(&rep.backlog[i]);
-                    d.merge(&rep.delay[i]);
-                }
-                (q, d)
-            })
-            .collect()
+    // Parallel replications (seed 0xF162 + r), merged in replication
+    // order: byte-identical output at any GPS_PAR_THREADS.
+    let base = NetworkRunConfig {
+        topology: net.clone(),
+        warmup: 50_000,
+        measure: slots_each,
+        seed: 0xF162,
+        backlog_grid: backlog_grid.clone(),
+        delay_grid: delay_grid.clone(),
     };
+    let reports = run_network_campaign(&base, replications, |_r| {
+        table1_sources()
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn SlotSource>)
+            .collect()
+    });
+    let merged = merge_network_reports(&reports);
 
     let mut csv = CsvWriter::create(
         "validate_network",
@@ -104,12 +79,13 @@ fn main() {
     .expect("csv");
 
     let total = replications * slots_each;
+    let fig3 = bounds.paper_fig3_bounds_all();
     for i in 0..4 {
-        let (q15, d15) = bounds.paper_fig3_bounds(i);
+        let (q15, d15) = fig3[i];
         let g = bounds.g_net(i);
         let improved_q = queue_tail_bound(markov[i].as_markov(), g).expect("stable");
         let improved_d = improved_q.delay_from_backlog(g);
-        let (ref q_emp, ref d_emp) = merged[i];
+        let (q_emp, d_emp) = (&merged.backlog[i], &merged.delay[i]);
 
         let mut viol_q = 0usize;
         for (x, p) in q_emp.series() {

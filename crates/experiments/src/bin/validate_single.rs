@@ -8,6 +8,11 @@
 //! the empirical tails everywhere; the E.B.B. bound is conservative by
 //! orders of magnitude in prefactor; the improved bound tracks the
 //! empirical decay rate closely.
+//!
+//! The measurement budget is split into independent replications run in
+//! parallel on the `gps_par` pool (worker count from `GPS_PAR_THREADS`)
+//! and merged in replication order, so the output is identical at any
+//! worker count.
 
 use gps_analysis::partition_bounds::theorem10;
 use gps_core::GpsAssignment;
@@ -17,7 +22,7 @@ use gps_experiments::paper::{characterize, table1_sources, ParamSet};
 use gps_experiments::plot::{ascii_log_plot, Curve};
 use gps_experiments::{finish_obs, init_obs, measure_slots_or};
 use gps_obs::RunManifest;
-use gps_sim::runner::{run_single_node, SingleNodeRunConfig};
+use gps_sim::runner::{merge_single_node_reports, run_single_node_campaign, SingleNodeRunConfig};
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::SlotSource;
 use gps_stats::ExponentialTailFit;
@@ -32,25 +37,32 @@ fn main() {
 
     let backlog_grid: Vec<f64> = (0..60).map(|i| i as f64 * 0.25).collect();
     let delay_grid: Vec<f64> = (0..80).map(|i| i as f64).collect();
+    let replications = 8u64;
+    let slots_each = (measure_slots_or(4_000_000) / replications).max(1);
     let cfg = SingleNodeRunConfig {
         phis: rhos.to_vec(),
         capacity: 1.0,
         warmup: 50_000,
-        measure: measure_slots_or(4_000_000),
+        measure: slots_each,
         seed: 20260704,
         backlog_grid: backlog_grid.clone(),
         delay_grid: delay_grid.clone(),
     };
-    let mut sources: Vec<Box<dyn SlotSource>> = table1_sources()
-        .into_iter()
-        .map(|s| Box::new(s) as Box<dyn SlotSource>)
-        .collect();
     gps_obs::info(
         "validate_single",
         "simulate",
-        &[("slots", cfg.measure.into())],
+        &[
+            ("replications", replications.into()),
+            ("slots_each", slots_each.into()),
+        ],
     );
-    let report = run_single_node(&mut sources, &cfg);
+    let reports = run_single_node_campaign(&cfg, replications, |_r| {
+        table1_sources()
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn SlotSource>)
+            .collect::<Vec<Box<dyn SlotSource>>>()
+    });
+    let report = merge_single_node_reports(&reports);
 
     let mut csv = CsvWriter::create(
         "validate_single",
@@ -145,7 +157,8 @@ fn main() {
         .param("set", "Set1")
         .param("capacity", cfg.capacity)
         .param("warmup", cfg.warmup)
-        .param("measure", cfg.measure);
+        .param("replications", replications)
+        .param("slots_each", slots_each);
     manifest.output("validate_single.csv", rows);
     finish_obs(obs, manifest).expect("obs teardown");
 }

@@ -42,6 +42,23 @@
 /// Panics on mismatched lengths, negative demands, non-positive weights or
 /// negative capacity.
 pub fn water_fill(demands: &[f64], phis: &[f64], capacity: f64) -> Vec<f64> {
+    let mut alloc = Vec::new();
+    let mut active = Vec::new();
+    water_fill_into(demands, phis, capacity, &mut alloc, &mut active);
+    alloc
+}
+
+/// Allocation-free [`water_fill`]: writes the per-session allocations into
+/// `alloc` (cleared and resized to `demands.len()`) and uses `active` as
+/// scratch for the active-session set. Simulator hot loops call this once
+/// per slot with long-lived buffers so steady state allocates nothing.
+pub fn water_fill_into(
+    demands: &[f64],
+    phis: &[f64],
+    capacity: f64,
+    alloc: &mut Vec<f64>,
+    active: &mut Vec<usize>,
+) {
     assert_eq!(demands.len(), phis.len());
     assert!(capacity >= 0.0, "capacity must be nonnegative");
     assert!(
@@ -51,8 +68,10 @@ pub fn water_fill(demands: &[f64], phis: &[f64], capacity: f64) -> Vec<f64> {
     assert!(phis.iter().all(|&p| p > 0.0), "weights must be positive");
 
     let n = demands.len();
-    let mut alloc = vec![0.0; n];
-    let mut active: Vec<usize> = (0..n).filter(|&i| demands[i] > 0.0).collect();
+    alloc.clear();
+    alloc.resize(n, 0.0);
+    active.clear();
+    active.extend((0..n).filter(|&i| demands[i] > 0.0));
     let mut remaining = capacity;
 
     // Each pass either satisfies at least one session completely (and
@@ -64,14 +83,14 @@ pub fn water_fill(demands: &[f64], phis: &[f64], capacity: f64) -> Vec<f64> {
         // active session's remaining demand blocks.
         let mut level = remaining / phi_sum;
         let mut binding: Option<usize> = None;
-        for &i in &active {
+        for &i in active.iter() {
             let need = (demands[i] - alloc[i]) / phis[i];
             if need < level {
                 level = need;
                 binding = Some(i);
             }
         }
-        for &i in &active {
+        for &i in active.iter() {
             alloc[i] += level * phis[i];
         }
         remaining -= level * phi_sum;
@@ -89,7 +108,6 @@ pub fn water_fill(demands: &[f64], phis: &[f64], capacity: f64) -> Vec<f64> {
             break;
         }
     }
-    alloc
 }
 
 /// Instantaneous fluid GPS *rate* allocation: backlogged sessions have

@@ -1,0 +1,283 @@
+//! Deterministic scoped fork-join parallelism for measurement campaigns.
+//!
+//! The workloads this workspace parallelizes — Monte Carlo replications,
+//! per-session θ/ξ optimizations, grid sweeps — are embarrassingly
+//! parallel: every task owns its inputs (typically a
+//! [`SeedSequence`](../gps_stats/rng/struct.SeedSequence.html)-derived
+//! RNG) and tasks never communicate. The only thing that can break
+//! reproducibility is *result ordering*, so this crate guarantees exactly
+//! one thing on top of `std::thread::scope`:
+//!
+//! > **Results are collected in submission order, regardless of worker
+//! > count or scheduling.** `par_map` with `k` threads returns the same
+//! > `Vec` as a serial `map`, element for element.
+//!
+//! Because each task's output is a pure function of its input, a campaign
+//! built on [`par_map`] produces byte-identical CSVs, metrics snapshots,
+//! and golden tables whether it runs on 1 thread or 64 — determinism is
+//! the contract, speedup is the side effect.
+//!
+//! # Worker count
+//!
+//! [`max_threads`] reads `GPS_PAR_THREADS`:
+//!
+//! * unset or `0` — `std::thread::available_parallelism()`;
+//! * `1` — exact serial fallback *through the same code path* (a single
+//!   worker drains the shared index counter in submission order);
+//! * `k` — at most `k` workers (never more than there are tasks).
+//!
+//! # Panics
+//!
+//! A panicking task does not deadlock the pool: the panic payload is
+//! captured at `join` and re-raised on the caller thread
+//! ([`std::panic::resume_unwind`]), after all other workers finished.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default chunk size used by [`par_map`]/[`par_for_indexed`]: small
+/// enough to balance uneven task costs, large enough to amortize the
+/// atomic fetch for fine-grained sweeps.
+const DEFAULT_CHUNK: usize = 1;
+
+/// Resolves the worker count from the `GPS_PAR_THREADS` environment
+/// variable (see the crate docs for the convention). Always at least 1.
+pub fn max_threads() -> usize {
+    match std::env::var("GPS_PAR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(0) | None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Some(k) => k,
+    }
+}
+
+/// Maps `f` over `items` on [`max_threads`] workers; results come back in
+/// submission order. See [`par_map_threads`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(max_threads(), items, f)
+}
+
+/// Maps `f` over `(index, item)` pairs on [`max_threads`] workers;
+/// results come back in submission order. The index makes it easy to
+/// derive per-task seeds without cloning them into the items.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_threads(max_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (used by determinism tests
+/// and benches to pin serial vs parallel without touching the
+/// environment).
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed_threads(threads, items, |_, item| f(item))
+}
+
+/// [`par_map_indexed`] with an explicit worker count.
+pub fn par_map_indexed_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let collected = Mutex::new(Vec::with_capacity(n));
+    run_indexed(threads, n, DEFAULT_CHUNK, |i| {
+        let r = f(i, &items[i]);
+        collected
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((i, r));
+    });
+    let produced = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+    for (i, r) in produced {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// Runs `f(i)` for every `i in 0..n` across [`max_threads`] workers,
+/// handing out indices in chunks of `chunk`. `f` must synchronize any
+/// shared writes itself (the idiomatic pattern is one output slot per
+/// index — disjoint writes need no locks, and the result is independent
+/// of scheduling).
+pub fn par_for_indexed<F>(n: usize, chunk: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    par_for_indexed_threads(max_threads(), n, chunk, f)
+}
+
+/// [`par_for_indexed`] with an explicit worker count.
+pub fn par_for_indexed_threads<F>(threads: usize, n: usize, chunk: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    run_indexed(threads, n, chunk, f)
+}
+
+/// The shared work loop: workers pull `chunk`-sized index ranges from an
+/// atomic cursor until exhausted. With one worker this degenerates to the
+/// exact serial `for i in 0..n` order through the same code.
+fn run_indexed<F>(threads: usize, n: usize, chunk: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if n == 0 {
+        return;
+    }
+    let workers = threads.max(1).min(n);
+    let cursor = AtomicUsize::new(0);
+    let work = |_worker: usize| loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            return;
+        }
+        for i in start..(start + chunk).min(n) {
+            f(i);
+        }
+    };
+    if workers == 1 {
+        // Single worker: same drain loop, no thread spawn — this *is* the
+        // serial path, so `GPS_PAR_THREADS=1` costs nothing over a plain
+        // loop and trivially preserves submission order.
+        work(0);
+        return;
+    }
+    let panics = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || work(w))).collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().err())
+            .collect::<Vec<_>>()
+    });
+    if let Some(payload) = panics.into_iter().next() {
+        panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_submission_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = par_map_threads(threads, &items, |&x| x * x);
+            let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_passes_correct_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = par_map_indexed_threads(3, &items, |i, &s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let items: Vec<u32> = vec![];
+        assert!(par_map_threads(4, &items, |&x| x).is_empty());
+        par_for_indexed_threads(4, 0, 8, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = par_map_threads(8, &[41], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn par_for_indexed_covers_every_index_once() {
+        let n = 1000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        for (threads, chunk) in [(1, 1), (4, 1), (4, 16), (3, 997)] {
+            for h in &hits {
+                h.store(0, Ordering::Relaxed);
+            }
+            par_for_indexed_threads(threads, n, chunk, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads {threads} chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_slot_writes_match_serial() {
+        // The one-slot-per-index pattern campaigns use.
+        let n = 64;
+        let mut parallel = vec![0.0f64; n];
+        {
+            let cells: Vec<Mutex<&mut f64>> = parallel.iter_mut().map(Mutex::new).collect();
+            par_for_indexed_threads(4, n, 4, |i| {
+                **cells[i].lock().unwrap() = (i as f64).sqrt();
+            });
+        }
+        let serial: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn panic_propagates_with_payload() {
+        let items: Vec<u32> = (0..32).collect();
+        let caught = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            par_map_threads(4, &items, |&x| {
+                if x == 17 {
+                    panic!("task 17 failed");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_else(|| {
+            payload
+                .downcast_ref::<String>()
+                .map(|s| s.as_str())
+                .unwrap()
+        });
+        assert!(msg.contains("task 17 failed"));
+    }
+
+    #[test]
+    fn serial_fallback_panic_propagates_too() {
+        let r = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            par_for_indexed_threads(1, 4, 1, |i| assert!(i != 2, "boom"))
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

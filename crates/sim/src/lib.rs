@@ -46,8 +46,12 @@ pub use ct_runner::{run_ct_fluid, CtRunConfig, CtRunReport};
 pub use faults::FaultySource;
 pub use fluid_event::FluidGps;
 pub use fluid_rates::RateFluidGps;
-pub use network_sim::SlottedGpsNetwork;
+pub use network_sim::{NetworkSlotOutput, SlottedGpsNetwork};
 pub use packet_network::{run_packet_network, PacketJourney, PacketNetworkError};
 pub use pgps::{FifoServer, Packet, PgpsServer, PriorityServer};
-pub use runner::{NetworkRunConfig, NetworkRunReport, SingleNodeRunConfig, SingleNodeRunReport};
-pub use slotted::SlottedGps;
+pub use runner::{
+    merge_network_reports, merge_single_node_reports, run_network_campaign,
+    run_single_node_campaign, NetworkRunConfig, NetworkRunReport, SingleNodeRunConfig,
+    SingleNodeRunReport,
+};
+pub use slotted::{SlotOutput, SlottedGps};

@@ -16,7 +16,7 @@
 //!   session-`i` traffic that entered the network by slot `t` has left
 //!   the egress node.
 
-use crate::slotted::SlottedGps;
+use crate::slotted::{SlotOutput, SlottedGps};
 use gps_core::{NetworkTopology, NodeId};
 use gps_obs::metrics::Counter;
 use std::collections::VecDeque;
@@ -38,10 +38,18 @@ pub struct SlottedGpsNetwork {
     pending: Vec<VecDeque<(u64, f64)>>,
     // Global-registry slot tally: one relaxed atomic inc per step.
     slots_ctr: Counter,
+    /// Per node, per local session: this slot's arrivals (scratch).
+    node_arrivals: Vec<Vec<f64>>,
+    /// Per-node server output buffer (scratch).
+    node_out: SlotOutput,
 }
 
 /// Result of one network slot.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Doubles as a reusable buffer for
+/// [`SlottedGpsNetwork::step_into`], mirroring
+/// [`SlotOutput`](crate::slotted::SlotOutput).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetworkSlotOutput {
     /// Per-session network backlog at the end of the slot.
     pub network_backlogs: Vec<f64>,
@@ -49,6 +57,14 @@ pub struct NetworkSlotOutput {
     pub cleared: Vec<(usize, u64, u64)>,
     /// Per-session traffic that left the network this slot.
     pub egress: Vec<f64>,
+}
+
+impl NetworkSlotOutput {
+    /// An empty output buffer, ready to pass to
+    /// [`SlottedGpsNetwork::step_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl SlottedGpsNetwork {
@@ -74,6 +90,10 @@ impl SlottedGpsNetwork {
                 }
             }
         }
+        let node_arrivals = local_ids
+            .iter()
+            .map(|ids| Vec::with_capacity(ids.len()))
+            .collect();
         Self {
             topology,
             servers,
@@ -84,6 +104,8 @@ impl SlottedGpsNetwork {
             cum_left: vec![0.0; n],
             pending: vec![VecDeque::new(); n],
             slots_ctr: gps_obs::metrics().counter("sim.network.slots"),
+            node_arrivals,
+            node_out: SlotOutput::new(),
         }
     }
 
@@ -112,16 +134,28 @@ impl SlottedGpsNetwork {
 
     /// Advances one slot. `source_arrivals[i]` is the fresh traffic
     /// entering session `i`'s first node this slot.
+    ///
+    /// Thin allocating wrapper over [`step_into`](Self::step_into); hot
+    /// loops should hold a [`NetworkSlotOutput`] and call `step_into`.
     pub fn step(&mut self, source_arrivals: &[f64]) -> NetworkSlotOutput {
+        let mut out = NetworkSlotOutput::new();
+        self.step_into(source_arrivals, &mut out);
+        out
+    }
+
+    /// Advances one slot, writing backlogs, cleared watermarks, and egress
+    /// into `out` (previous contents are discarded). Reuses `out`'s
+    /// buffers and the simulator's per-node scratch, so steady-state slots
+    /// perform no heap allocation.
+    pub fn step_into(&mut self, source_arrivals: &[f64], out: &mut NetworkSlotOutput) {
         let n = self.topology.num_sessions();
         assert_eq!(source_arrivals.len(), n);
         self.slots_ctr.inc();
         // Per node, per local session: this slot's arrivals.
-        let mut node_arrivals: Vec<Vec<f64>> = self
-            .local_ids
-            .iter()
-            .map(|ids| vec![0.0; ids.len()])
-            .collect();
+        for (ids, arr) in self.local_ids.iter().zip(&mut self.node_arrivals) {
+            arr.clear();
+            arr.resize(ids.len(), 0.0);
+        }
 
         // Fresh traffic at entry nodes.
         for i in 0..n {
@@ -135,7 +169,7 @@ impl SlottedGpsNetwork {
                     .iter()
                     .position(|&j| j == i)
                     .expect("session at entry node");
-                node_arrivals[entry][local] += a;
+                self.node_arrivals[entry][local] += a;
             }
         }
         // Deliver last slot's forwarded fluid.
@@ -146,19 +180,20 @@ impl SlottedGpsNetwork {
                     .iter()
                     .position(|&j| j == i)
                     .expect("session on route");
-                node_arrivals[node][local] += amount;
+                self.node_arrivals[node][local] += amount;
             }
             self.inflight[i].clear();
         }
 
         // Serve every node.
-        let mut egress = vec![0.0; n];
+        out.egress.clear();
+        out.egress.resize(n, 0.0);
         for node in 0..self.topology.num_nodes() {
             let Some(server) = self.servers[node].as_mut() else {
                 continue;
             };
-            let out = server.step(&node_arrivals[node]);
-            for (local, &served) in out.services.iter().enumerate() {
+            server.step_into(&self.node_arrivals[node], &mut self.node_out);
+            for (local, &served) in self.node_out.services.iter().enumerate() {
                 if served <= 0.0 {
                     continue;
                 }
@@ -168,19 +203,19 @@ impl SlottedGpsNetwork {
                 if hop + 1 < spec.route.len() {
                     self.inflight[i].push((hop + 1, served));
                 } else {
-                    egress[i] += served;
+                    out.egress[i] += served;
                 }
             }
         }
 
         // Egress accounting and end-to-end clearing delays.
-        let mut cleared = Vec::new();
+        out.cleared.clear();
         for i in 0..n {
-            self.cum_left[i] += egress[i];
+            self.cum_left[i] += out.egress[i];
             let tol = 1e-9 * self.cum_entered[i].max(1.0);
             while let Some(&(t0, target)) = self.pending[i].front() {
                 if self.cum_left[i] + tol >= target {
-                    cleared.push((i, t0, self.slot - t0));
+                    out.cleared.push((i, t0, self.slot - t0));
                     self.pending[i].pop_front();
                 } else {
                     break;
@@ -188,11 +223,9 @@ impl SlottedGpsNetwork {
             }
         }
         self.slot += 1;
-        NetworkSlotOutput {
-            network_backlogs: (0..n).map(|i| self.network_backlog(i)).collect(),
-            cleared,
-            egress,
-        }
+        out.network_backlogs.clear();
+        out.network_backlogs
+            .extend((0..n).map(|i| self.network_backlog(i)));
     }
 }
 

@@ -6,9 +6,21 @@
 //! observations into bounded-memory [`BinnedCcdf`]s, all driven from a
 //! single master seed through [`SeedSequence`] so every source gets an
 //! independent reproducible stream.
+//!
+//! # Campaigns
+//!
+//! Monte Carlo campaigns fan replications out over [`gps_par`]:
+//! [`run_single_node_campaign`] / [`run_network_campaign`] run `R`
+//! replications (replication `r` uses master seed `base.seed + r`) on
+//! `GPS_PAR_THREADS` workers and return reports in replication order.
+//! Every replication is a pure function of its seed and metrics are
+//! folded into the global registry *after* the join, in replication
+//! order — so parallel and serial campaign runs are byte-identical
+//! (CSV rows, merged CCDFs, metrics snapshots), which
+//! `tests/determinism.rs` pins.
 
-use crate::network_sim::SlottedGpsNetwork;
-use crate::slotted::SlottedGps;
+use crate::network_sim::{NetworkSlotOutput, SlottedGpsNetwork};
+use crate::slotted::{SlotOutput, SlottedGps};
 use gps_core::NetworkTopology;
 use gps_obs::metrics::{labeled, Registry};
 use gps_sources::SlotSource;
@@ -65,6 +77,19 @@ pub fn run_single_node(
     sources: &mut [Box<dyn SlotSource>],
     config: &SingleNodeRunConfig,
 ) -> SingleNodeRunReport {
+    let report = run_single_node_core(sources, config);
+    record_single_node_metrics(gps_obs::metrics(), &report);
+    report
+}
+
+/// [`run_single_node`] without the global-registry metrics fold — the
+/// building block campaign workers run in parallel. Callers that want
+/// metrics record the returned report afterwards (in a deterministic
+/// order) via [`record_single_node_metrics`].
+pub fn run_single_node_core(
+    sources: &mut [Box<dyn SlotSource>],
+    config: &SingleNodeRunConfig,
+) -> SingleNodeRunReport {
     let n = config.phis.len();
     assert_eq!(sources.len(), n, "one source per session");
     gps_obs::info(
@@ -87,6 +112,7 @@ pub fn run_single_node(
 
     let mut server = SlottedGps::new(config.phis.clone(), config.capacity);
     let mut arrivals = vec![0.0; n];
+    let mut out = SlotOutput::new();
 
     // Warmup.
     {
@@ -95,7 +121,7 @@ pub fn run_single_node(
             for i in 0..n {
                 arrivals[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            server.step(&arrivals);
+            server.step_into(&arrivals, &mut out);
         }
     }
 
@@ -115,14 +141,14 @@ pub fn run_single_node(
             for i in 0..n {
                 arrivals[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            let out = server.step(&arrivals);
+            server.step_into(&arrivals, &mut out);
             for i in 0..n {
                 let q = server.backlog(i);
                 reports[i].backlog.push(q);
                 reports[i].backlog_moments.push(q);
                 reports[i].throughput += out.services[i];
             }
-            for (i, t0, d) in out.cleared {
+            for &(i, t0, d) in &out.cleared {
                 // Only count watermarks set during the measurement window.
                 if t0 >= measure_start {
                     reports[i].delay.push(d as f64);
@@ -137,7 +163,6 @@ pub fn run_single_node(
         sessions: reports,
         measured_slots: config.measure,
     };
-    record_single_node_metrics(gps_obs::metrics(), &report);
     gps_obs::info(
         "sim.runner",
         "single_node_end",
@@ -201,6 +226,17 @@ pub fn run_network(
     sources: &mut [Box<dyn SlotSource>],
     config: &NetworkRunConfig,
 ) -> NetworkRunReport {
+    let report = run_network_core(sources, config);
+    record_network_metrics(gps_obs::metrics(), &report);
+    report
+}
+
+/// [`run_network`] without the global-registry metrics fold (see
+/// [`run_single_node_core`]).
+pub fn run_network_core(
+    sources: &mut [Box<dyn SlotSource>],
+    config: &NetworkRunConfig,
+) -> NetworkRunReport {
     let n = config.topology.num_sessions();
     assert_eq!(sources.len(), n, "one source per session");
     gps_obs::info(
@@ -223,6 +259,7 @@ pub fn run_network(
 
     let mut net = SlottedGpsNetwork::new(config.topology.clone());
     let mut arrivals = vec![0.0; n];
+    let mut out = NetworkSlotOutput::new();
 
     {
         let _warmup_span = gps_obs::span("warmup");
@@ -230,7 +267,7 @@ pub fn run_network(
             for i in 0..n {
                 arrivals[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            net.step(&arrivals);
+            net.step_into(&arrivals, &mut out);
         }
     }
 
@@ -248,11 +285,11 @@ pub fn run_network(
             for i in 0..n {
                 arrivals[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            let out = net.step(&arrivals);
+            net.step_into(&arrivals, &mut out);
             for i in 0..n {
                 backlog[i].push(out.network_backlogs[i]);
             }
-            for (i, t0, d) in out.cleared {
+            for &(i, t0, d) in &out.cleared {
                 if t0 >= measure_start {
                     delay[i].push(d as f64);
                 }
@@ -264,7 +301,6 @@ pub fn run_network(
         delay,
         measured_slots: config.measure,
     };
-    record_network_metrics(gps_obs::metrics(), &report);
     gps_obs::info(
         "sim.runner",
         "network_end",
@@ -284,6 +320,158 @@ pub fn record_network_metrics(registry: &Registry, report: &NetworkRunReport) {
         registry
             .counter(&labeled("sim.session.delay_samples", &[("session", &sess)]))
             .add(d.len());
+    }
+}
+
+/// Runs `replications` independent single-node campaigns on
+/// `GPS_PAR_THREADS` workers (see [`gps_par::max_threads`]). Replication
+/// `r` uses master seed `base.seed + r` and fresh sources from
+/// `make_sources(r)`; reports come back in replication order and are
+/// identical for any worker count.
+pub fn run_single_node_campaign<F>(
+    base: &SingleNodeRunConfig,
+    replications: u64,
+    make_sources: F,
+) -> Vec<SingleNodeRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    run_single_node_campaign_threads(gps_par::max_threads(), base, replications, make_sources)
+}
+
+/// [`run_single_node_campaign`] with an explicit worker count (what the
+/// determinism tests and benches pin).
+pub fn run_single_node_campaign_threads<F>(
+    threads: usize,
+    base: &SingleNodeRunConfig,
+    replications: u64,
+    make_sources: F,
+) -> Vec<SingleNodeRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    gps_obs::info(
+        "sim.runner",
+        "single_node_campaign",
+        &[
+            ("replications", replications.into()),
+            ("threads", (threads as u64).into()),
+            ("base_seed", base.seed.into()),
+        ],
+    );
+    let _span = gps_obs::span("sim/single_node_campaign");
+    let reps: Vec<u64> = (0..replications).collect();
+    let reports = gps_par::par_map_threads(threads, &reps, |&r| {
+        let mut cfg = base.clone();
+        cfg.seed = base.seed.wrapping_add(r);
+        let mut sources = make_sources(r);
+        run_single_node_core(&mut sources, &cfg)
+    });
+    // Metrics fold happens after the join, in replication order, so the
+    // snapshot is independent of worker scheduling.
+    for report in &reports {
+        record_single_node_metrics(gps_obs::metrics(), report);
+    }
+    reports
+}
+
+/// Network analogue of [`run_single_node_campaign`].
+pub fn run_network_campaign<F>(
+    base: &NetworkRunConfig,
+    replications: u64,
+    make_sources: F,
+) -> Vec<NetworkRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    run_network_campaign_threads(gps_par::max_threads(), base, replications, make_sources)
+}
+
+/// [`run_network_campaign`] with an explicit worker count.
+pub fn run_network_campaign_threads<F>(
+    threads: usize,
+    base: &NetworkRunConfig,
+    replications: u64,
+    make_sources: F,
+) -> Vec<NetworkRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    gps_obs::info(
+        "sim.runner",
+        "network_campaign",
+        &[
+            ("replications", replications.into()),
+            ("threads", (threads as u64).into()),
+            ("base_seed", base.seed.into()),
+        ],
+    );
+    let _span = gps_obs::span("sim/network_campaign");
+    let reps: Vec<u64> = (0..replications).collect();
+    let reports = gps_par::par_map_threads(threads, &reps, |&r| {
+        let mut cfg = base.clone();
+        cfg.seed = base.seed.wrapping_add(r);
+        let mut sources = make_sources(r);
+        run_network_core(&mut sources, &cfg)
+    });
+    for report in &reports {
+        record_network_metrics(gps_obs::metrics(), report);
+    }
+    reports
+}
+
+/// Merges replication reports into one (CCDFs and moments pooled,
+/// throughput weighted by measured slots, slots summed). Panics on an
+/// empty slice or mismatched session counts.
+pub fn merge_single_node_reports(reports: &[SingleNodeRunReport]) -> SingleNodeRunReport {
+    let first = reports.first().expect("at least one report");
+    let n = first.sessions.len();
+    let total_slots: u64 = reports.iter().map(|r| r.measured_slots).sum();
+    let sessions = (0..n)
+        .map(|i| {
+            let mut backlog = first.sessions[i].backlog.clone();
+            let mut delay = first.sessions[i].delay.clone();
+            let mut moments = first.sessions[i].backlog_moments;
+            let mut volume = first.sessions[i].throughput * first.measured_slots as f64;
+            for r in &reports[1..] {
+                assert_eq!(r.sessions.len(), n, "mismatched session counts");
+                backlog.merge(&r.sessions[i].backlog);
+                delay.merge(&r.sessions[i].delay);
+                moments.merge(&r.sessions[i].backlog_moments);
+                volume += r.sessions[i].throughput * r.measured_slots as f64;
+            }
+            SessionReport {
+                backlog,
+                delay,
+                backlog_moments: moments,
+                throughput: volume / total_slots as f64,
+            }
+        })
+        .collect();
+    SingleNodeRunReport {
+        sessions,
+        measured_slots: total_slots,
+    }
+}
+
+/// Merges network replication reports (per-session CCDFs pooled, slots
+/// summed). Panics on an empty slice or mismatched session counts.
+pub fn merge_network_reports(reports: &[NetworkRunReport]) -> NetworkRunReport {
+    let first = reports.first().expect("at least one report");
+    let n = first.backlog.len();
+    let mut backlog = first.backlog.clone();
+    let mut delay = first.delay.clone();
+    for r in &reports[1..] {
+        assert_eq!(r.backlog.len(), n, "mismatched session counts");
+        for i in 0..n {
+            backlog[i].merge(&r.backlog[i]);
+            delay[i].merge(&r.delay[i]);
+        }
+    }
+    NetworkRunReport {
+        backlog,
+        delay,
+        measured_slots: reports.iter().map(|r| r.measured_slots).sum(),
     }
 }
 
@@ -393,6 +581,133 @@ mod tests {
             a.sessions[0].backlog.series(),
             c.sessions[0].backlog.series()
         );
+    }
+
+    fn onoff_sources() -> Vec<Box<dyn SlotSource>> {
+        OnOffSource::paper_table1()
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn SlotSource>)
+            .collect()
+    }
+
+    #[test]
+    fn campaign_reports_match_manual_serial_runs() {
+        let (bg, dg) = grids();
+        let base = SingleNodeRunConfig {
+            phis: vec![0.2, 0.25, 0.2, 0.25],
+            capacity: 1.0,
+            warmup: 100,
+            measure: 2_000,
+            seed: 0x5EED,
+            backlog_grid: bg,
+            delay_grid: dg,
+        };
+        let campaign = run_single_node_campaign_threads(3, &base, 4, |_| onoff_sources());
+        assert_eq!(campaign.len(), 4);
+        for (r, rep) in campaign.iter().enumerate() {
+            let mut cfg = base.clone();
+            cfg.seed = base.seed + r as u64;
+            let mut sources = onoff_sources();
+            let manual = run_single_node_core(&mut sources, &cfg);
+            for i in 0..4 {
+                assert_eq!(
+                    rep.sessions[i].backlog.series(),
+                    manual.sessions[i].backlog.series(),
+                    "replication {r} session {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_campaign_pools_replications() {
+        let (bg, dg) = grids();
+        let base = SingleNodeRunConfig {
+            phis: vec![1.0, 1.0],
+            capacity: 1.0,
+            warmup: 50,
+            measure: 1_000,
+            seed: 11,
+            backlog_grid: bg,
+            delay_grid: dg,
+        };
+        let mk = |_: u64| -> Vec<Box<dyn SlotSource>> {
+            vec![
+                Box::new(OnOffSource::new(0.3, 0.3, 0.9)),
+                Box::new(OnOffSource::new(0.2, 0.4, 0.8)),
+            ]
+        };
+        let reports = run_single_node_campaign_threads(2, &base, 3, mk);
+        let merged = merge_single_node_reports(&reports);
+        assert_eq!(merged.measured_slots, 3_000);
+        let want: u64 = reports.iter().map(|r| r.sessions[0].backlog.len()).sum();
+        assert_eq!(merged.sessions[0].backlog.len(), want);
+        let mean_of_means: f64 = reports
+            .iter()
+            .map(|r| r.sessions[0].throughput)
+            .sum::<f64>()
+            / 3.0;
+        assert!((merged.sessions[0].throughput - mean_of_means).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_campaign_is_thread_count_invariant() {
+        let (bg, dg) = grids();
+        let base = NetworkRunConfig {
+            topology: NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]),
+            warmup: 100,
+            measure: 1_500,
+            seed: 77,
+            backlog_grid: bg,
+            delay_grid: dg,
+        };
+        let serial = run_network_campaign_threads(1, &base, 3, |_| onoff_sources());
+        let parallel = run_network_campaign_threads(3, &base, 3, |_| onoff_sources());
+        for (a, b) in serial.iter().zip(&parallel) {
+            for i in 0..4 {
+                assert_eq!(a.backlog[i].series(), b.backlog[i].series());
+                assert_eq!(a.delay[i].series(), b.delay[i].series());
+            }
+        }
+        let merged = merge_network_reports(&serial);
+        assert_eq!(merged.measured_slots, 4_500);
+    }
+
+    #[test]
+    fn step_into_buffer_reuse_matches_step() {
+        // The allocating wrapper and the buffer-reusing path must agree
+        // bit for bit, including when the buffer held stale data.
+        let mut a = SlottedGps::new(vec![1.0, 2.0], 1.0);
+        let mut b = SlottedGps::new(vec![1.0, 2.0], 1.0);
+        let mut out = SlotOutput {
+            services: vec![9.9; 7],
+            cleared: vec![(3, 4, 5)],
+        };
+        let pattern = [[0.9, 0.0], [0.0, 2.5], [0.4, 0.4], [0.0, 0.0]];
+        for arr in pattern.iter().cycle().take(50) {
+            let want = a.step(arr);
+            b.step_into(arr, &mut out);
+            assert_eq!(want, out);
+        }
+    }
+
+    #[test]
+    fn network_step_into_matches_step() {
+        let topo = NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]);
+        let mut a = SlottedGpsNetwork::new(topo.clone());
+        let mut b = SlottedGpsNetwork::new(topo);
+        let mut out = NetworkSlotOutput::new();
+        for t in 0..200u64 {
+            let arr = [
+                if t % 5 == 0 { 0.9 } else { 0.0 },
+                if t % 4 == 1 { 0.8 } else { 0.0 },
+                if t % 5 == 2 { 0.7 } else { 0.0 },
+                if t % 4 == 3 { 0.9 } else { 0.0 },
+            ];
+            let want = a.step(&arr);
+            b.step_into(&arr, &mut out);
+            assert_eq!(want, out, "slot {t}");
+        }
     }
 
     #[test]

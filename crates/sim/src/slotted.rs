@@ -13,7 +13,7 @@
 //!   `t`) has been fully served. Traffic served in its arrival slot has
 //!   delay 0.
 
-use gps_core::water_fill;
+use gps_core::water_fill_into;
 use std::collections::VecDeque;
 
 /// A slotted fluid GPS server.
@@ -38,16 +38,29 @@ pub struct SlottedGps {
     /// Per session: FIFO of (slot, cumulative-arrival watermark) not yet
     /// cleared by cumulative service.
     pending: Vec<VecDeque<(u64, f64)>>,
+    /// Water-filling scratch (active-session set), reused every slot.
+    active_scratch: Vec<usize>,
 }
 
 /// What happened in one slot.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Doubles as a reusable buffer: [`SlottedGps::step_into`] overwrites a
+/// caller-owned `SlotOutput` in place, so campaign loops allocate once
+/// and amortize to zero allocations per slot.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SlotOutput {
     /// Amount served per session this slot.
     pub services: Vec<f64>,
     /// `(session, arrival_slot, delay_slots)` for every slot watermark
     /// cleared during this slot.
     pub cleared: Vec<(usize, u64, u64)>,
+}
+
+impl SlotOutput {
+    /// An empty output buffer, ready to pass to [`SlottedGps::step_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl SlottedGps {
@@ -69,6 +82,7 @@ impl SlottedGps {
             cum_arrivals: vec![0.0; n],
             cum_services: vec![0.0; n],
             pending: vec![VecDeque::new(); n],
+            active_scratch: Vec::with_capacity(n),
         }
     }
 
@@ -104,10 +118,27 @@ impl SlottedGps {
 
     /// Advances one slot with the given per-session arrivals.
     ///
+    /// Thin allocating wrapper over [`step_into`](Self::step_into); hot
+    /// loops should hold a [`SlotOutput`] and call `step_into` directly.
+    ///
     /// # Panics
     ///
     /// Panics on length mismatch or negative arrivals.
     pub fn step(&mut self, arrivals: &[f64]) -> SlotOutput {
+        let mut out = SlotOutput::new();
+        self.step_into(arrivals, &mut out);
+        out
+    }
+
+    /// Advances one slot, writing services and cleared watermarks into
+    /// `out` (previous contents are discarded). Reuses `out`'s buffers and
+    /// the server's internal water-filling scratch, so steady-state slots
+    /// perform no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or negative arrivals.
+    pub fn step_into(&mut self, arrivals: &[f64], out: &mut SlotOutput) {
         assert_eq!(arrivals.len(), self.phis.len());
         assert!(
             arrivals.iter().all(|&a| a >= 0.0 && a.is_finite()),
@@ -122,18 +153,24 @@ impl SlottedGps {
             self.pending[i].push_back((self.slot, self.cum_arrivals[i]));
         }
 
-        let services = water_fill(&self.queues, &self.phis, self.capacity);
-        let mut cleared = Vec::new();
+        water_fill_into(
+            &self.queues,
+            &self.phis,
+            self.capacity,
+            &mut out.services,
+            &mut self.active_scratch,
+        );
+        out.cleared.clear();
         for i in 0..n {
-            self.queues[i] -= services[i];
+            self.queues[i] -= out.services[i];
             if self.queues[i] < 1e-12 {
                 self.queues[i] = 0.0; // absorb float dust
             }
-            self.cum_services[i] += services[i];
+            self.cum_services[i] += out.services[i];
             let tol = 1e-9 * self.cum_arrivals[i].max(1.0);
             while let Some(&(t0, target)) = self.pending[i].front() {
                 if self.cum_services[i] + tol >= target {
-                    cleared.push((i, t0, self.slot - t0));
+                    out.cleared.push((i, t0, self.slot - t0));
                     self.pending[i].pop_front();
                 } else {
                     break;
@@ -141,7 +178,6 @@ impl SlottedGps {
             }
         }
         self.slot += 1;
-        SlotOutput { services, cleared }
     }
 }
 

@@ -8,8 +8,15 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --workspace --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> cargo test --workspace -q --offline"
-cargo test --workspace -q --offline
+# The test suite runs twice: once with the parallel campaign engine
+# pinned to its exact serial fallback (GPS_PAR_THREADS=1), once with the
+# env unset (worker count = available parallelism). Both must pass and —
+# via tests/determinism.rs — produce identical campaign outputs.
+echo "==> GPS_PAR_THREADS=1 cargo test --workspace -q --offline"
+GPS_PAR_THREADS=1 cargo test --workspace -q --offline
+
+echo "==> cargo test --workspace -q --offline (GPS_PAR_THREADS unset)"
+env -u GPS_PAR_THREADS cargo test --workspace -q --offline
 
 echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings

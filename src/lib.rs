@@ -33,6 +33,7 @@ pub use gps_analysis as analysis;
 pub use gps_core as gps;
 pub use gps_ebb as ebb;
 pub use gps_netcalc as netcalc;
+pub use gps_par as par;
 pub use gps_sim as sim;
 pub use gps_sources as sources;
 pub use gps_stats as stats;
@@ -51,7 +52,8 @@ pub mod prelude {
     pub use gps_netcalc::{rpps_network_bounds, AffineCurve, LatencyRate};
     pub use gps_sim::ct_runner::{run_ct_fluid, CtRunConfig};
     pub use gps_sim::runner::{
-        run_network, run_single_node, NetworkRunConfig, SingleNodeRunConfig,
+        merge_network_reports, merge_single_node_reports, run_network, run_network_campaign,
+        run_single_node, run_single_node_campaign, NetworkRunConfig, SingleNodeRunConfig,
     };
     pub use gps_sim::{
         FaultySource, FifoServer, FluidGps, Packet, PgpsServer, PriorityServer, SlottedGps,

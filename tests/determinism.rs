@@ -78,6 +78,120 @@ fn same_master_seed_is_bit_identical() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Campaign-level determinism: the parallel campaign engine must produce
+// the same bytes as the serial path at any worker count. These tests pin
+// the explicit-thread variants (rather than GPS_PAR_THREADS) so they
+// stay race-free under the multithreaded test runner.
+
+use gps_obs::metrics::Registry;
+use gps_sim::runner::{
+    merge_network_reports, merge_single_node_reports, record_network_metrics,
+    record_single_node_metrics, run_network_campaign_threads, run_single_node_campaign_threads,
+    NetworkRunReport,
+};
+
+fn make_sources() -> Vec<Box<dyn SlotSource>> {
+    OnOffSource::paper_table1()
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn SlotSource>)
+        .collect()
+}
+
+/// Formats a merged report exactly the way the experiment binaries write
+/// CSV rows (`{:.10e}` cells), so equality here means byte-identical
+/// output files.
+fn single_node_csv_rows(report: &SingleNodeRunReport) -> Vec<String> {
+    let mut rows = Vec::new();
+    for (i, s) in report.sessions.iter().enumerate() {
+        for (x, p) in s.backlog.series() {
+            rows.push(format!("{i},0,{x:.10e},{p:.10e}"));
+        }
+        for (x, p) in s.delay.series() {
+            rows.push(format!("{i},1,{x:.10e},{p:.10e}"));
+        }
+        rows.push(format!("{i},tput,{:.10e}", s.throughput));
+    }
+    rows
+}
+
+fn network_csv_rows(report: &NetworkRunReport) -> Vec<String> {
+    let mut rows = Vec::new();
+    for i in 0..report.backlog.len() {
+        for (x, p) in report.backlog[i].series() {
+            rows.push(format!("{i},0,{x:.10e},{p:.10e}"));
+        }
+        for (x, p) in report.delay[i].series() {
+            rows.push(format!("{i},1,{x:.10e},{p:.10e}"));
+        }
+    }
+    rows
+}
+
+#[test]
+fn parallel_single_node_campaign_matches_serial_byte_for_byte() {
+    let base = {
+        let mut c = config(0xCAFE);
+        c.warmup = 500;
+        c.measure = 8_000;
+        c
+    };
+    let serial = run_single_node_campaign_threads(1, &base, 6, |_r| make_sources());
+    let parallel = run_single_node_campaign_threads(4, &base, 6, |_r| make_sources());
+
+    // Byte-identical CSV rows from the merged reports.
+    let ms = merge_single_node_reports(&serial);
+    let mp = merge_single_node_reports(&parallel);
+    assert_eq!(single_node_csv_rows(&ms), single_node_csv_rows(&mp));
+
+    // Identical metrics snapshots when folded in replication order into
+    // fresh registries (span timings are nondeterministic and excluded).
+    let reg_serial = Registry::new();
+    for r in &serial {
+        record_single_node_metrics(&reg_serial, r);
+    }
+    let reg_parallel = Registry::new();
+    for r in &parallel {
+        record_single_node_metrics(&reg_parallel, r);
+    }
+    assert_eq!(
+        reg_serial.snapshot().to_json_without_spans(),
+        reg_parallel.snapshot().to_json_without_spans()
+    );
+}
+
+#[test]
+fn parallel_network_campaign_matches_serial_byte_for_byte() {
+    let base = NetworkRunConfig {
+        topology: NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]),
+        warmup: 500,
+        measure: 6_000,
+        seed: 0xF00D,
+        backlog_grid: (0..40).map(|i| i as f64 * 0.5).collect(),
+        delay_grid: (0..40).map(|i| i as f64).collect(),
+    };
+    let serial = run_network_campaign_threads(1, &base, 5, |_r| make_sources());
+    let parallel = run_network_campaign_threads(3, &base, 5, |_r| make_sources());
+
+    let ms = merge_network_reports(&serial);
+    let mp = merge_network_reports(&parallel);
+    assert_eq!(ms.measured_slots, mp.measured_slots);
+    assert_eq!(network_csv_rows(&ms), network_csv_rows(&mp));
+
+    let reg_serial = Registry::new();
+    for r in &serial {
+        record_network_metrics(&reg_serial, r);
+    }
+    let reg_parallel = Registry::new();
+    for r in &parallel {
+        record_network_metrics(&reg_parallel, r);
+    }
+    assert_eq!(
+        reg_serial.snapshot().to_json_without_spans(),
+        reg_parallel.snapshot().to_json_without_spans()
+    );
+}
+
 #[test]
 fn different_master_seeds_differ() {
     let a = campaign(1);
