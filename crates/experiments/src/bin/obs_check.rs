@@ -1,0 +1,109 @@
+//! Integration check for the live telemetry server: runs a tiny campaign
+//! with the exporter bound to an ephemeral port, fetches `/metrics`,
+//! `/metrics.json`, and `/health` over plain TCP (no external HTTP
+//! client), and verifies the responses. Exits nonzero on any failure —
+//! `scripts/verify.sh` runs this instead of depending on `curl`.
+
+use gps_experiments::{init_obs, serve_addr_from_args};
+use gps_obs::exporter::http_get;
+use gps_sim::runner::{run_single_node_campaign, SingleNodeRunConfig};
+use gps_sources::{OnOffSource, SlotSource};
+
+fn check(name: &str, ok: bool, detail: &str) -> bool {
+    if ok {
+        println!("ok   {name}");
+    } else {
+        println!("FAIL {name}: {detail}");
+    }
+    ok
+}
+
+fn main() {
+    // Default to an ephemeral loopback port so the check never collides,
+    // while still honoring an explicit --serve / GPS_OBS_SERVE.
+    if serve_addr_from_args().is_none() {
+        std::env::set_var("GPS_OBS_SERVE", "127.0.0.1:0");
+    }
+    let setup = init_obs("obs_check", true);
+    let addr = match setup.exporter_addr() {
+        Some(a) => a,
+        None => {
+            println!("FAIL exporter did not start");
+            std::process::exit(1);
+        }
+    };
+
+    // A tiny campaign so the registry has live data to expose.
+    let cfg = SingleNodeRunConfig {
+        phis: vec![0.2, 0.25, 0.2, 0.25],
+        capacity: 1.0,
+        warmup: 100,
+        measure: 2_000,
+        seed: 20260806,
+        backlog_grid: (0..20).map(|i| i as f64 * 0.5).collect(),
+        delay_grid: (0..20).map(|i| i as f64).collect(),
+    };
+    let mk = |_: u64| -> Vec<Box<dyn SlotSource>> {
+        OnOffSource::paper_table1()
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn SlotSource>)
+            .collect()
+    };
+    let reports = run_single_node_campaign(&cfg, 2, mk);
+    assert_eq!(reports.len(), 2);
+
+    let mut ok = true;
+    match http_get(addr, "/health") {
+        Ok((status, body)) => {
+            ok &= check("/health status", status == 200, &format!("status {status}"));
+            ok &= check("/health body", body == "ok\n", &format!("body {body:?}"));
+        }
+        Err(e) => ok = check("/health", false, &e.to_string()),
+    }
+    match http_get(addr, "/metrics") {
+        Ok((status, body)) => {
+            ok &= check(
+                "/metrics status",
+                status == 200,
+                &format!("status {status}"),
+            );
+            ok &= check(
+                "/metrics exposition",
+                body.contains("# TYPE") && body.contains("sim_measured_slots_total"),
+                &format!("{} bytes, no expected families", body.len()),
+            );
+        }
+        Err(e) => ok = check("/metrics", false, &e.to_string()),
+    }
+    match http_get(addr, "/metrics.json") {
+        Ok((status, body)) => {
+            ok &= check(
+                "/metrics.json status",
+                status == 200,
+                &format!("status {status}"),
+            );
+            let parsed = gps_obs::json::parse(&body);
+            ok &= check(
+                "/metrics.json parses",
+                parsed
+                    .as_ref()
+                    .map(|doc| doc.get("counters").is_some())
+                    .unwrap_or(false),
+                &format!("{parsed:?}"),
+            );
+        }
+        Err(e) => ok = check("/metrics.json", false, &e.to_string()),
+    }
+    match http_get(addr, "/nope") {
+        Ok((status, _)) => ok &= check("unknown path -> 404", status == 404, &format!("{status}")),
+        Err(e) => ok = check("unknown path", false, &e.to_string()),
+    }
+
+    // Drop the setup without finish_obs: this check must not overwrite any
+    // campaign's results files. The exporter shuts down on drop.
+    drop(setup);
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("obs_check: all exporter checks passed on {addr}");
+}

@@ -1,0 +1,262 @@
+//! Builds the static results dashboard: scans `results/` for campaign
+//! manifests, metrics snapshots, bench suites, and the bound-vs-simulation
+//! CSVs, and renders everything into `results/dashboard.html` via
+//! [`gps_obs::report`].
+//!
+//! The output is a pure function of the files on disk — no timestamps, no
+//! randomness — so regenerating over unchanged results is byte-identical
+//! and the artifact diffs cleanly in review. Deliberately, this binary
+//! writes no manifest or metrics snapshot of its own (that would make the
+//! dashboard depend on its own previous run).
+
+use gps_experiments::results_dir;
+use gps_obs::json::{self, Json};
+use gps_obs::report::{
+    render, BenchEntry, BenchSuite, CampaignSection, CurveChart, CurveSeries, Dashboard,
+};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// A parsed numeric CSV: header names plus all-f64 rows (the repo's CSV
+/// writer emits every cell as a float).
+struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Csv {
+    fn read(path: &Path) -> Option<Csv> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut lines = text.lines();
+        let header: Vec<String> = lines
+            .next()?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
+        let mut rows = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: Option<Vec<f64>> = line.split(',').map(|c| c.trim().parse().ok()).collect();
+            rows.push(row?);
+        }
+        Some(Csv { header, rows })
+    }
+
+    fn col(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+
+    /// `(x, y)` pairs from columns `x`/`y` over rows where every
+    /// `(column, value)` filter matches (tolerant float equality).
+    fn series(&self, x: &str, y: &str, filters: &[(&str, f64)]) -> Vec<(f64, f64)> {
+        let (Some(xi), Some(yi)) = (self.col(x), self.col(y)) else {
+            return Vec::new();
+        };
+        let idx: Vec<(usize, f64)> = filters
+            .iter()
+            .filter_map(|(c, v)| self.col(c).map(|i| (i, *v)))
+            .collect();
+        if idx.len() != filters.len() {
+            return Vec::new();
+        }
+        self.rows
+            .iter()
+            .filter(|r| idx.iter().all(|&(i, v)| (r[i] - v).abs() < 1e-9))
+            .map(|r| (r[xi], r[yi]))
+            .collect()
+    }
+}
+
+/// A tail chart comparing empirical data against bound columns for one
+/// session of one CSV; skipped entirely when the file or data is absent.
+fn tail_chart(
+    csv: Option<&Csv>,
+    title: &str,
+    x_label: &str,
+    x_col: &str,
+    columns: &[(&str, &str)],
+    filters: &[(&str, f64)],
+) -> Option<CurveChart> {
+    let csv = csv?;
+    let series: Vec<CurveSeries> = columns
+        .iter()
+        .filter_map(|(col, label)| {
+            let points = csv.series(x_col, col, filters);
+            (!points.is_empty()).then(|| CurveSeries {
+                label: label.to_string(),
+                points,
+            })
+        })
+        .collect();
+    (!series.is_empty()).then(|| CurveChart {
+        title: title.to_string(),
+        x_label: x_label.to_string(),
+        series,
+        log_y: true,
+    })
+}
+
+fn load_json(path: &Path) -> Option<Json> {
+    json::parse(&std::fs::read_to_string(path).ok()?).ok()
+}
+
+fn bench_suite(path: &Path) -> Option<BenchSuite> {
+    let doc = load_json(path)?;
+    let name = doc
+        .get("suite")
+        .and_then(|v| v.as_str())
+        .unwrap_or("bench")
+        .to_string();
+    let Some(Json::Arr(items)) = doc.get("benches") else {
+        return None;
+    };
+    let entries: Vec<BenchEntry> = items
+        .iter()
+        .filter_map(|b| {
+            Some(BenchEntry {
+                name: b.get("name")?.as_str()?.to_string(),
+                median_ns: b.get("median_ns")?.as_f64()?,
+                p10_ns: b.get("p10_ns")?.as_f64()?,
+                p90_ns: b.get("p90_ns")?.as_f64()?,
+            })
+        })
+        .collect();
+    (!entries.is_empty()).then_some(BenchSuite { name, entries })
+}
+
+fn main() {
+    let dir = results_dir();
+    let mut dash = Dashboard::default();
+
+    // Bound-vs-simulation charts from the validation CSVs (session 1 as
+    // the representative curve; the CSVs carry all sessions).
+    let vs = Csv::read(&dir.join("validate_single.csv"));
+    let vn = Csv::read(&dir.join("validate_network.csv"));
+    let vc = Csv::read(&dir.join("validate_continuous.csv"));
+    let fig3 = Csv::read(&dir.join("fig3.csv"));
+    let single_cols = [
+        ("empirical", "empirical"),
+        ("ebb_bound", "EBB bound"),
+        ("improved_bound", "improved bound"),
+    ];
+    let network_cols = [
+        ("empirical", "empirical"),
+        ("thm15_bound", "Thm 15 bound"),
+        ("improved_bound", "improved bound"),
+    ];
+    dash.charts.extend(
+        [
+            tail_chart(
+                vs.as_ref(),
+                "Single node, session 1: backlog tail vs bounds",
+                "backlog b (slots of work)",
+                "x",
+                &single_cols,
+                &[("session", 1.0), ("kind", 0.0)],
+            ),
+            tail_chart(
+                vs.as_ref(),
+                "Single node, session 1: delay tail vs bounds",
+                "delay d (slots)",
+                "x",
+                &single_cols,
+                &[("session", 1.0), ("kind", 1.0)],
+            ),
+            tail_chart(
+                vn.as_ref(),
+                "Network, session 1: end-to-end delay tail vs bounds",
+                "delay d (slots)",
+                "x",
+                &network_cols,
+                &[("session", 1.0), ("kind", 1.0)],
+            ),
+            tail_chart(
+                vc.as_ref(),
+                "Continuous time, session 1: backlog tail vs bounds",
+                "backlog q",
+                "q",
+                &[
+                    ("empirical", "empirical"),
+                    ("xi1", "ξ=1 bound"),
+                    ("xi_opt", "ξ* bound"),
+                    ("ct_direct", "direct CT bound"),
+                ],
+                &[("session", 1.0)],
+            ),
+            tail_chart(
+                fig3.as_ref(),
+                "Figure 3, rate set 1: analytic delay bounds per session",
+                "delay d (slots)",
+                "d",
+                &[("delay_bound", "session 1")],
+                &[("set", 1.0), ("session", 1.0)],
+            )
+            .map(|mut c| {
+                // Overlay the remaining sessions of set 1 on the same axes.
+                if let Some(f3) = fig3.as_ref() {
+                    for s in 2..=4 {
+                        let points =
+                            f3.series("d", "delay_bound", &[("set", 1.0), ("session", s as f64)]);
+                        if !points.is_empty() {
+                            c.series.push(CurveSeries {
+                                label: format!("session {s}"),
+                                points,
+                            });
+                        }
+                    }
+                }
+                c
+            }),
+        ]
+        .into_iter()
+        .flatten(),
+    );
+
+    // Campaign sections: every name with a manifest or a metrics snapshot.
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(rd) = std::fs::read_dir(&dir) {
+        for e in rd.flatten() {
+            if let Some(name) = e.file_name().to_str() {
+                entries.push(name.to_string());
+            }
+        }
+    }
+    entries.sort();
+    let mut campaigns: BTreeSet<String> = BTreeSet::new();
+    for f in &entries {
+        if let Some(stem) = f.strip_suffix("_manifest.json") {
+            campaigns.insert(stem.to_string());
+        } else if let Some(stem) = f.strip_suffix("_metrics.json") {
+            campaigns.insert(stem.to_string());
+        }
+    }
+    for name in &campaigns {
+        dash.campaigns.push(CampaignSection {
+            name: name.clone(),
+            manifest: load_json(&dir.join(format!("{name}_manifest.json"))),
+            metrics: load_json(&dir.join(format!("{name}_metrics.json"))),
+        });
+    }
+
+    // Bench suites.
+    for f in &entries {
+        if f.starts_with("bench_") && f.ends_with(".json") {
+            if let Some(suite) = bench_suite(&dir.join(f)) {
+                dash.benches.push(suite);
+            }
+        }
+    }
+
+    let html = render(&dash);
+    let out = dir.join("dashboard.html");
+    std::fs::write(&out, &html).expect("write dashboard");
+    println!(
+        "dashboard: {} charts, {} campaigns, {} bench suites -> {}",
+        dash.charts.len(),
+        dash.campaigns.len(),
+        dash.benches.len(),
+        out.display()
+    );
+}

@@ -21,7 +21,7 @@ use gps_ebb::{DeltaTailBound, TimeModel};
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::plot::{ascii_log_plot, Curve};
 use gps_experiments::{finish_obs, init_obs, measure_slots_or};
-use gps_obs::RunManifest;
+use gps_obs::{BoundCurve, BoundMonitor, RunManifest, SeriesKind, SessionCurves};
 use gps_sim::RateFluidGps;
 use gps_sources::CtmcFluidSource;
 use gps_stats::rng::SeedSequence;
@@ -125,13 +125,41 @@ fn main() {
     let results = gps_par::par_map(&reps, |&r| {
         simulate_ct(&sources, &rhos, 0xC047 + r, horizon, sample_dt, 1000.0)
     });
-    // Merge in replication order.
+    // Online monitor against the direct CT martingale bound — the
+    // tightest curve this study evaluates, so it is the alarm threshold.
+    let monitor = BoundMonitor::new(
+        (0..3)
+            .map(|i| {
+                let direct = sources[i].queue_tail_bound(gs[i]).expect("stable");
+                SessionCurves {
+                    backlog: Some(BoundCurve::new(direct.prefactor, direct.decay)),
+                    delay: None,
+                    delay_shift: 0.0,
+                }
+            })
+            .collect(),
+    );
+    let check_fold = |ccdfs: &[BinnedCcdf], samples: u64, fold: u64| {
+        for (i, c) in ccdfs.iter().enumerate() {
+            monitor.check_series(
+                gps_obs::metrics(),
+                i,
+                SeriesKind::Backlog,
+                &c.series(),
+                samples,
+                fold,
+            );
+        }
+    };
+    // Merge in replication order, checking the pooled tails per fold.
     let (mut ccdfs, mut samples) = results[0].clone();
-    for (rep_ccdfs, rep_samples) in &results[1..] {
+    check_fold(&ccdfs, samples, 0);
+    for (fold, (rep_ccdfs, rep_samples)) in results[1..].iter().enumerate() {
         for (acc, c) in ccdfs.iter_mut().zip(rep_ccdfs) {
             acc.merge(c);
         }
         samples += rep_samples;
+        check_fold(&ccdfs, samples, fold as u64 + 1);
     }
 
     let mut csv = CsvWriter::create(

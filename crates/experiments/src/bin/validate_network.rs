@@ -19,8 +19,8 @@ use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, figure2_network, table1_sources, ParamSet};
 use gps_experiments::plot::{ascii_log_plot, Curve};
 use gps_experiments::{finish_obs, init_obs, measure_slots_or};
-use gps_obs::RunManifest;
-use gps_sim::runner::{merge_network_reports, run_network_campaign, NetworkRunConfig};
+use gps_obs::{BoundCurve, BoundMonitor, RunManifest, SessionCurves};
+use gps_sim::runner::{merge_network_reports, run_network_campaign_monitored, NetworkRunConfig};
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::SlotSource;
 
@@ -57,12 +57,30 @@ fn main() {
         backlog_grid: backlog_grid.clone(),
         delay_grid: delay_grid.clone(),
     };
-    let reports = run_network_campaign(&base, replications, |_r| {
-        table1_sources()
-            .into_iter()
-            .map(|s| Box::new(s) as Box<dyn SlotSource>)
-            .collect()
-    });
+    // Online monitor: Theorem-15 curves as alarm thresholds. The one-slot
+    // `delay_shift` mirrors the store-and-forward adjustment below.
+    let fig3_curves = bounds.paper_fig3_bounds_all();
+    let monitor = BoundMonitor::new(
+        fig3_curves
+            .iter()
+            .map(|(q15, d15)| SessionCurves {
+                backlog: Some(BoundCurve::new(q15.prefactor, q15.decay)),
+                delay: Some(BoundCurve::new(d15.prefactor, d15.decay)),
+                delay_shift: 1.0,
+            })
+            .collect(),
+    );
+    let reports = run_network_campaign_monitored(
+        &base,
+        replications,
+        |_r| {
+            table1_sources()
+                .into_iter()
+                .map(|s| Box::new(s) as Box<dyn SlotSource>)
+                .collect()
+        },
+        Some(&monitor),
+    );
     let merged = merge_network_reports(&reports);
 
     let mut csv = CsvWriter::create(
@@ -79,7 +97,7 @@ fn main() {
     .expect("csv");
 
     let total = replications * slots_each;
-    let fig3 = bounds.paper_fig3_bounds_all();
+    let fig3 = fig3_curves;
     for i in 0..4 {
         let (q15, d15) = fig3[i];
         let g = bounds.g_net(i);

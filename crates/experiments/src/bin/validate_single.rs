@@ -21,8 +21,10 @@ use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, table1_sources, ParamSet};
 use gps_experiments::plot::{ascii_log_plot, Curve};
 use gps_experiments::{finish_obs, init_obs, measure_slots_or};
-use gps_obs::RunManifest;
-use gps_sim::runner::{merge_single_node_reports, run_single_node_campaign, SingleNodeRunConfig};
+use gps_obs::{BoundCurve, BoundMonitor, RunManifest, SessionCurves};
+use gps_sim::runner::{
+    merge_single_node_reports, run_single_node_campaign_monitored, SingleNodeRunConfig,
+};
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::SlotSource;
 use gps_stats::ExponentialTailFit;
@@ -56,12 +58,32 @@ fn main() {
             ("slots_each", slots_each.into()),
         ],
     );
-    let reports = run_single_node_campaign(&cfg, replications, |_r| {
-        table1_sources()
-            .into_iter()
-            .map(|s| Box::new(s) as Box<dyn SlotSource>)
-            .collect::<Vec<Box<dyn SlotSource>>>()
-    });
+    // Online monitor: the Theorem-10 curves double as alarm thresholds —
+    // any merged-fold tail crossing them raises `obs.bound_violations`.
+    let monitor = BoundMonitor::new(
+        (0..4)
+            .map(|i| {
+                let g = assignment.guaranteed_rate(i);
+                let (q, d) = theorem10(sessions[i], g, TimeModel::Discrete);
+                SessionCurves {
+                    backlog: Some(BoundCurve::new(q.prefactor, q.decay)),
+                    delay: Some(BoundCurve::new(d.prefactor, d.decay)),
+                    delay_shift: 0.0,
+                }
+            })
+            .collect(),
+    );
+    let reports = run_single_node_campaign_monitored(
+        &cfg,
+        replications,
+        |_r| {
+            table1_sources()
+                .into_iter()
+                .map(|s| Box::new(s) as Box<dyn SlotSource>)
+                .collect::<Vec<Box<dyn SlotSource>>>()
+        },
+        Some(&monitor),
+    );
     let report = merge_single_node_reports(&reports);
 
     let mut csv = CsvWriter::create(

@@ -18,7 +18,7 @@ pub mod csv;
 pub mod paper;
 pub mod plot;
 
-use gps_obs::{Level, ObsConfig, RunManifest, SinkKind};
+use gps_obs::{Exporter, Level, ObsConfig, RunManifest, SinkKind};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -27,7 +27,33 @@ use std::time::Instant;
 pub struct ObsSetup {
     campaign: String,
     journal_path: Option<PathBuf>,
+    exporter: Option<Exporter>,
     start: Instant,
+}
+
+impl ObsSetup {
+    /// The bound address of the live `/metrics` server, when one was
+    /// requested via `--serve` / `GPS_OBS_SERVE` (useful with port 0).
+    pub fn exporter_addr(&self) -> Option<std::net::SocketAddr> {
+        self.exporter.as_ref().map(|e| e.local_addr())
+    }
+}
+
+/// The telemetry-server address requested for this run: the value of a
+/// `--serve <addr>` / `--serve=<addr>` command-line flag if present,
+/// otherwise the `GPS_OBS_SERVE` environment variable, otherwise `None`.
+pub fn serve_addr_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--serve" {
+            if let Some(addr) = args.next() {
+                return Some(addr);
+            }
+        } else if let Some(addr) = a.strip_prefix("--serve=") {
+            return Some(addr.to_string());
+        }
+    }
+    std::env::var("GPS_OBS_SERVE").ok()
 }
 
 /// Configures the global observability hub for the campaign named
@@ -37,7 +63,11 @@ pub struct ObsSetup {
 /// * otherwise `GPS_OBS_SINK` picks the sink — `stderr` (the default),
 ///   `noop`, the shorthand `file` (= `results/<campaign>_journal.ndjson`),
 ///   or an explicit path;
-/// * `GPS_OBS_LEVEL` / `GPS_OBS_TIMING` select verbosity and span timing.
+/// * `GPS_OBS_LEVEL` / `GPS_OBS_TIMING` select verbosity and span timing;
+/// * `--serve <addr>` on the command line or `GPS_OBS_SERVE=<addr>` starts
+///   the live telemetry server ([`gps_obs::exporter`]) on `addr` for the
+///   duration of the campaign (shut down by [`finish_obs`] after the final
+///   metrics snapshot is written).
 pub fn init_obs(campaign: &str, quiet: bool) -> ObsSetup {
     let mut cfg = ObsConfig::from_env_or(ObsConfig {
         sink: SinkKind::Stderr,
@@ -59,9 +89,22 @@ pub fn init_obs(campaign: &str, quiet: bool) -> ObsSetup {
     }
     gps_obs::init(cfg);
     gps_obs::info("campaign", "start", &[("name", campaign.into())]);
+    let exporter = serve_addr_from_args().and_then(|addr| {
+        match Exporter::serve(&addr, gps_obs::metrics().clone()) {
+            Ok(e) => {
+                eprintln!("telemetry: serving /metrics on http://{}", e.local_addr());
+                Some(e)
+            }
+            Err(err) => {
+                eprintln!("telemetry: cannot serve on {addr}: {err}");
+                None
+            }
+        }
+    });
     ObsSetup {
         campaign: campaign.to_string(),
         journal_path,
+        exporter,
         start: Instant::now(),
     }
 }
@@ -88,6 +131,11 @@ pub fn finish_obs(setup: ObsSetup, mut manifest: RunManifest) -> std::io::Result
         &[("name", setup.campaign.as_str().into())],
     );
     manifest.write_to(&dir)?;
+    // Shut the telemetry server down last so a scraper polling during the
+    // campaign can still observe the final counters.
+    if let Some(exporter) = setup.exporter {
+        exporter.shutdown();
+    }
     Ok(())
 }
 

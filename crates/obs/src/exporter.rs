@@ -1,0 +1,547 @@
+//! Live metrics exposition over TCP: a minimal, dependency-free HTTP/1.1
+//! responder serving the registry while a campaign runs.
+//!
+//! Endpoints:
+//!
+//! * `/metrics` — the registry snapshot in Prometheus text exposition
+//!   format v0.0.4 (see [`to_prometheus_text`]).
+//! * `/metrics.json` — the existing deterministic snapshot JSON
+//!   ([`Snapshot::to_json`]), spans included.
+//! * `/health` — `ok`, for liveness probes.
+//!
+//! The server runs on one named thread (`gps-obs-exporter`) and handles
+//! connections serially — scrape traffic is one client every few seconds,
+//! not a web workload, and a serial loop keeps shutdown exact: dropping
+//! (or [`Exporter::shutdown`]-ing) the handle sets a stop flag and makes
+//! a wake-up connection to unblock `accept`, then joins the thread.
+//!
+//! Nothing here is on a hot path: every request takes a fresh
+//! [`Registry::snapshot`], so the exporter never holds metric locks
+//! across I/O.
+
+use crate::metrics::{Registry, Snapshot};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+
+/// Maps a registry metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Splits the registry's `name{k=v,k2=v2}` form (see
+/// [`crate::metrics::labeled`]) back into base name and label pairs.
+fn split_labels(full: &str) -> (&str, Vec<(&str, &str)>) {
+    match full.find('{') {
+        Some(open) if full.ends_with('}') => {
+            let base = &full[..open];
+            let inner = &full[open + 1..full.len() - 1];
+            let labels = inner
+                .split(',')
+                .filter(|p| !p.is_empty())
+                .map(|pair| match pair.find('=') {
+                    Some(eq) => (&pair[..eq], &pair[eq + 1..]),
+                    None => (pair, ""),
+                })
+                .collect();
+            (base, labels)
+        }
+        _ => (full, Vec::new()),
+    }
+}
+
+/// Renders a label set (plus an optional extra label such as
+/// `le`/`quantile`) as `{k="v",…}`; empty string when there are none.
+fn render_labels(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels.iter().copied().chain(extra) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&sanitize_name(k));
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Prometheus float rendering: finite values use Rust's shortest
+/// round-trip `Display`; non-finite values use the format's spellings.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One exposition family: a `# TYPE` header followed by sample lines,
+/// grouped so each family name is declared exactly once.
+struct Family {
+    name: String,
+    kind: &'static str,
+    lines: Vec<String>,
+}
+
+fn push_family(
+    families: &mut Vec<Family>,
+    index: &mut std::collections::BTreeMap<String, usize>,
+    name: &str,
+    kind: &'static str,
+) -> usize {
+    if let Some(&i) = index.get(name) {
+        return i;
+    }
+    families.push(Family {
+        name: name.to_string(),
+        kind,
+        lines: Vec::new(),
+    });
+    index.insert(name.to_string(), families.len() - 1);
+    families.len() - 1
+}
+
+/// Renders a snapshot in Prometheus text exposition format v0.0.4.
+///
+/// Registry conventions map as follows: dotted names flatten to
+/// underscores, counters gain the `_total` suffix, labeled names
+/// (`name{k=v}`) become proper label sets, histograms emit cumulative
+/// `le` buckets (underflow mass included, no `_sum` — the binned
+/// histogram does not track one), and summaries emit
+/// `quantile="0.5|0.9|0.99"` samples plus `_count`/`_sum`. Span timing
+/// stats are exposed as `obs_span_*` gauges labeled by path.
+///
+/// The output is a pure function of the snapshot: same snapshot, same
+/// bytes, which is what lets the thread-count determinism tests pin this
+/// surface.
+pub fn to_prometheus_text(snap: &Snapshot) -> String {
+    let mut families: Vec<Family> = Vec::new();
+    let mut index = std::collections::BTreeMap::new();
+
+    for (full, v) in &snap.counters {
+        let (base, labels) = split_labels(full);
+        let name = format!("{}_total", sanitize_name(base));
+        let i = push_family(&mut families, &mut index, &name, "counter");
+        families[i]
+            .lines
+            .push(format!("{name}{} {v}", render_labels(&labels, None)));
+    }
+    for (full, v) in &snap.gauges {
+        let (base, labels) = split_labels(full);
+        let name = sanitize_name(base);
+        let i = push_family(&mut families, &mut index, &name, "gauge");
+        families[i].lines.push(format!(
+            "{name}{} {}",
+            render_labels(&labels, None),
+            prom_f64(*v)
+        ));
+    }
+    for (full, h) in &snap.histograms {
+        let (base, labels) = split_labels(full);
+        let name = sanitize_name(base);
+        let i = push_family(&mut families, &mut index, &name, "histogram");
+        let width = (h.hi - h.lo) / h.bins.len().max(1) as f64;
+        let mut cumulative = h.underflow;
+        for (b, &c) in h.bins.iter().enumerate() {
+            cumulative += c;
+            let edge = h.lo + width * (b + 1) as f64;
+            families[i].lines.push(format!(
+                "{name}_bucket{} {cumulative}",
+                render_labels(&labels, Some(("le", &prom_f64(edge))))
+            ));
+        }
+        families[i].lines.push(format!(
+            "{name}_bucket{} {}",
+            render_labels(&labels, Some(("le", "+Inf"))),
+            h.total
+        ));
+        families[i].lines.push(format!(
+            "{name}_count{} {}",
+            render_labels(&labels, None),
+            h.total
+        ));
+    }
+    for (full, s) in &snap.summaries {
+        let (base, labels) = split_labels(full);
+        let name = sanitize_name(base);
+        let i = push_family(&mut families, &mut index, &name, "summary");
+        for (q, est) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+            if let Some(v) = est {
+                families[i].lines.push(format!(
+                    "{name}{} {}",
+                    render_labels(&labels, Some(("quantile", q))),
+                    prom_f64(v)
+                ));
+            }
+        }
+        families[i].lines.push(format!(
+            "{name}_sum{} {}",
+            render_labels(&labels, None),
+            prom_f64(s.mean * s.count as f64)
+        ));
+        families[i].lines.push(format!(
+            "{name}_count{} {}",
+            render_labels(&labels, None),
+            s.count
+        ));
+    }
+    for (path, s) in &snap.spans {
+        for (metric, value) in [
+            ("obs_span_count", s.count as f64),
+            ("obs_span_total_ns", s.total_ns as f64),
+            ("obs_span_mean_ns", s.mean_ns()),
+            ("obs_span_min_ns", s.min_ns as f64),
+            ("obs_span_max_ns", s.max_ns as f64),
+        ] {
+            let i = push_family(&mut families, &mut index, metric, "gauge");
+            families[i].lines.push(format!(
+                "{metric}{} {}",
+                render_labels(&[("path", path)], None),
+                prom_f64(value)
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    for f in &families {
+        out.push_str("# TYPE ");
+        out.push_str(&f.name);
+        out.push(' ');
+        out.push_str(f.kind);
+        out.push('\n');
+        for line in &f.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The HTTP server
+
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A live `/metrics` server bound to one registry. Construct with
+/// [`Exporter::serve`]; the listener thread stops when the handle is
+/// shut down or dropped.
+#[derive(Debug)]
+pub struct Exporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Exporter {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `registry` on a thread named `gps-obs-exporter`.
+    pub fn serve(addr: &str, registry: Registry) -> std::io::Result<Exporter> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gps-obs-exporter".to_string())
+            .spawn(move || serve_loop(listener, registry, thread_stop))?;
+        crate::info(
+            "obs.exporter",
+            "started",
+            &[("addr", local.to_string().as_str().into())],
+        );
+        Ok(Exporter {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address — useful when serving on port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and joins it. Also runs on drop;
+    /// calling it explicitly just makes teardown order visible.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect_timeout(&self.addr, READ_TIMEOUT);
+            let _ = handle.join();
+            crate::info(
+                "obs.exporter",
+                "stopped",
+                &[("addr", self.addr.to_string().as_str().into())],
+            );
+        }
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(stream) = conn {
+            handle_connection(stream, &registry);
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the end of the request head; everything we serve is GET,
+    // so the body (if any) is ignored.
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    registry.counter("obs.exporter.requests").inc();
+    if method != "GET" {
+        respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let body = to_prometheus_text(&registry.snapshot());
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/metrics.json" => {
+            let body = registry.snapshot().to_json();
+            respond(&mut stream, 200, "OK", "application/json", &body);
+        }
+        "/health" => respond(&mut stream, 200, "OK", "text/plain", "ok\n"),
+        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// A minimal blocking HTTP GET against a local exporter — the in-tree
+/// client used by integration checks so `verify.sh` needs no `curl`.
+/// Returns `(status, body)`.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(u16, String)> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, READ_TIMEOUT)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: gps-obs\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = match response.find("\r\n\r\n") {
+        Some(i) => response[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_and_label_mapping() {
+        assert_eq!(sanitize_name("sim.measured_slots"), "sim_measured_slots");
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        let (base, labels) = split_labels("sim.session.backlog_mean{session=2,node=a}");
+        assert_eq!(base, "sim.session.backlog_mean");
+        assert_eq!(labels, vec![("session", "2"), ("node", "a")]);
+        let (base, labels) = split_labels("plain");
+        assert_eq!(base, "plain");
+        assert!(labels.is_empty());
+        assert_eq!(
+            render_labels(&[("session", "2")], Some(("le", "+Inf"))),
+            "{session=\"2\",le=\"+Inf\"}"
+        );
+    }
+
+    #[test]
+    fn prom_float_spellings() {
+        assert_eq!(prom_f64(1.5), "1.5");
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+    }
+
+    /// Golden exposition of a hand-built registry: every metric family
+    /// kind, labels, histogram buckets, and summary quantiles, pinned
+    /// byte-for-byte.
+    #[test]
+    fn prometheus_text_golden() {
+        let r = Registry::new();
+        r.counter("sim.measured_slots").add(240);
+        r.counter(&crate::metrics::labeled(
+            "sim.session.delay_samples",
+            &[("session", "0")],
+        ))
+        .add(12);
+        r.gauge(&crate::metrics::labeled(
+            "sim.session.throughput",
+            &[("session", "0")],
+        ))
+        .set(0.25);
+        let h = r.histogram("queue.depth", 0.0, 4.0, 4);
+        for x in [0.5, 1.5, 1.5, 3.5, 9.0] {
+            h.observe(x);
+        }
+        let s = r.summary("delay");
+        for _ in 0..5 {
+            s.observe(2.0);
+        }
+        r.record_span("sim/step", 100);
+        r.record_span("sim/step", 300);
+        let text = to_prometheus_text(&r.snapshot());
+        let expected = "\
+# TYPE sim_measured_slots_total counter
+sim_measured_slots_total 240
+# TYPE sim_session_delay_samples_total counter
+sim_session_delay_samples_total{session=\"0\"} 12
+# TYPE sim_session_throughput gauge
+sim_session_throughput{session=\"0\"} 0.25
+# TYPE queue_depth histogram
+queue_depth_bucket{le=\"1\"} 1
+queue_depth_bucket{le=\"2\"} 3
+queue_depth_bucket{le=\"3\"} 3
+queue_depth_bucket{le=\"4\"} 4
+queue_depth_bucket{le=\"+Inf\"} 5
+queue_depth_count 5
+# TYPE delay summary
+delay{quantile=\"0.5\"} 2
+delay{quantile=\"0.9\"} 2
+delay{quantile=\"0.99\"} 2
+delay_sum 10
+delay_count 5
+# TYPE obs_span_count gauge
+obs_span_count{path=\"sim/step\"} 2
+# TYPE obs_span_total_ns gauge
+obs_span_total_ns{path=\"sim/step\"} 400
+# TYPE obs_span_mean_ns gauge
+obs_span_mean_ns{path=\"sim/step\"} 200
+# TYPE obs_span_min_ns gauge
+obs_span_min_ns{path=\"sim/step\"} 100
+# TYPE obs_span_max_ns gauge
+obs_span_max_ns{path=\"sim/step\"} 300
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn server_round_trip_and_shutdown() {
+        let r = Registry::new();
+        r.counter("hits").add(3);
+        let exporter = Exporter::serve("127.0.0.1:0", r.clone()).expect("bind");
+        let addr = exporter.local_addr();
+
+        let (status, body) = http_get(addr, "/health").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE hits_total counter"));
+        assert!(body.contains("hits_total 3"));
+
+        let (status, body) = http_get(addr, "/metrics.json").unwrap();
+        assert_eq!(status, 200);
+        let parsed = crate::json::parse(&body).expect("snapshot json parses");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("hits"))
+                .and_then(|v| v.as_u64()),
+            Some(3)
+        );
+
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+
+        // Requests were counted on the live registry.
+        assert!(r.counter("obs.exporter.requests").get() >= 4);
+
+        exporter.shutdown();
+        // The port is released: a fresh bind to the same address works.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

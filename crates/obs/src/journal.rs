@@ -5,36 +5,50 @@
 //! Design constraints, in order:
 //!
 //! 1. **Free when off.** The default sink is [`Sink::Noop`]; an emission
-//!    against it is one branch — no allocation, no formatting, no lock.
-//!    Call sites therefore never need their own `if verbose` guards.
+//!    against it is two relaxed atomic loads — no allocation, no
+//!    formatting, no lock. Call sites therefore never need their own
+//!    `if verbose` guards.
 //! 2. **Machine-readable.** Every line is a complete JSON object with a
 //!    fixed key order (`seq`, `t_us`, `level`, `component`, `event`,
 //!    `fields`), so journals are `diff`-able and greppable.
-//! 3. **Deterministic modulo time.** `t_us` (microseconds since the
+//! 3. **Line-atomic.** Concurrent emitters (the `gps_par` pool runs
+//!    campaign replications on worker threads) must never interleave
+//!    bytes within a line: each event is serialized to one buffer —
+//!    including the trailing newline — and written with a single
+//!    `write_all` under the sink lock. Sequence numbers are assigned
+//!    under the same lock, so they are strictly increasing in file
+//!    order.
+//! 4. **Deterministic modulo time.** `t_us` (microseconds since the
 //!    journal was created) is the *only* timing field; stripping it (see
 //!    [`strip_timing_line`]) from two same-seed runs must yield
 //!    byte-identical journals.
+//!
+//! The sink is runtime-swappable ([`Journal::set_sink`] /
+//! [`Journal::reconfigure`]): the process-global hub is frozen on first
+//! use, so benches and the exporter need to redirect an already-installed
+//! journal without rebuilding it.
 
 use crate::json::{self, write_escaped, Json};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Event severity, ordered `Debug < Info < Warn < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
 pub enum Level {
     /// High-volume diagnostics (per-phase solver detail).
-    Debug,
+    Debug = 0,
     /// Campaign progress and provenance (the default emission level).
-    Info,
+    Info = 1,
     /// Unexpected-but-survivable conditions.
-    Warn,
+    Warn = 2,
     /// Failures worth aborting over.
-    Error,
+    Error = 3,
 }
 
 impl Level {
@@ -56,6 +70,15 @@ impl Level {
             "warn" => Some(Level::Warn),
             "error" => Some(Level::Error),
             _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            _ => Level::Error,
         }
     }
 }
@@ -125,16 +148,39 @@ impl FieldValue<'_> {
     }
 }
 
-/// Where journal lines go.
+/// Where journal lines go. Writers live behind the journal's sink lock,
+/// so the variants hold plain (unsynchronized) handles.
 #[derive(Debug)]
 pub enum Sink {
     /// Discard everything; emission is a single branch.
     Noop,
-    /// One line per event on standard error.
+    /// One line per event on standard error (one `write_all` per line on
+    /// the locked handle — lines never interleave).
     Stderr,
     /// Append to a file (buffered; flushed per line so crashes lose at
     /// most the in-flight event).
-    File(Mutex<BufWriter<File>>),
+    File(BufWriter<File>),
+}
+
+impl Sink {
+    fn is_noop(&self) -> bool {
+        matches!(self, Sink::Noop)
+    }
+
+    /// Opens the writer a [`SinkKind`] describes (parent directories are
+    /// created for file sinks).
+    pub fn open(kind: &SinkKind) -> std::io::Result<Sink> {
+        Ok(match kind {
+            SinkKind::Noop => Sink::Noop,
+            SinkKind::Stderr => Sink::Stderr,
+            SinkKind::File(path) => {
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                Sink::File(BufWriter::new(File::create(path)?))
+            }
+        })
+    }
 }
 
 /// How a sink is requested before it is opened.
@@ -161,10 +207,17 @@ impl SinkKind {
 }
 
 /// The structured event journal.
+///
+/// `enabled()` is lock-free (two relaxed atomic loads) so the disabled
+/// fast path costs nothing; an actual emission serializes the whole line
+/// first-to-newline into one buffer and performs a single locked
+/// `write_all`, keeping NDJSON line-atomic under concurrent emitters.
 #[derive(Debug)]
 pub struct Journal {
-    sink: Sink,
-    min_level: Level,
+    sink: Mutex<Sink>,
+    /// Mirror of `!sink.is_noop()`, readable without the lock.
+    active: AtomicBool,
+    min_level: AtomicU8,
     seq: AtomicU64,
     epoch: Instant,
 }
@@ -177,9 +230,11 @@ impl Journal {
 
     /// A journal with an explicit sink and minimum level.
     pub fn new(sink: Sink, min_level: Level) -> Journal {
+        let active = !sink.is_noop();
         Journal {
-            sink,
-            min_level,
+            sink: Mutex::new(sink),
+            active: AtomicBool::new(active),
+            min_level: AtomicU8::new(min_level as u8),
             seq: AtomicU64::new(0),
             epoch: Instant::now(),
         }
@@ -188,30 +243,46 @@ impl Journal {
     /// Opens a journal writing NDJSON to `path` (parent directories are
     /// created).
     pub fn file(path: &Path, min_level: Level) -> std::io::Result<Journal> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let f = File::create(path)?;
         Ok(Journal::new(
-            Sink::File(Mutex::new(BufWriter::new(f))),
+            Sink::open(&SinkKind::File(path.to_path_buf()))?,
             min_level,
         ))
     }
 
     /// Builds a journal from a [`SinkKind`].
     pub fn from_kind(kind: &SinkKind, min_level: Level) -> std::io::Result<Journal> {
-        Ok(match kind {
-            SinkKind::Noop => Journal::new(Sink::Noop, min_level),
-            SinkKind::Stderr => Journal::new(Sink::Stderr, min_level),
-            SinkKind::File(path) => Journal::file(path, min_level)?,
-        })
+        Ok(Journal::new(Sink::open(kind)?, min_level))
+    }
+
+    /// Swaps the sink and minimum level in place. The sequence counter
+    /// and epoch carry over, so a redirected journal keeps a single
+    /// monotone event stream.
+    pub fn set_sink(&self, sink: Sink, min_level: Level) {
+        let active = !sink.is_noop();
+        let mut guard = self.sink.lock().expect("journal sink poisoned");
+        *guard = sink;
+        self.min_level.store(min_level as u8, Ordering::Relaxed);
+        self.active.store(active, Ordering::Relaxed);
+    }
+
+    /// Opens the sink a [`SinkKind`] describes and installs it. On error
+    /// the current sink is left untouched.
+    pub fn reconfigure(&self, kind: &SinkKind, min_level: Level) -> std::io::Result<()> {
+        let sink = Sink::open(kind)?;
+        self.set_sink(sink, min_level);
+        Ok(())
     }
 
     /// Whether an event at `level` would be written. Callers with
     /// expensive-to-compute fields should branch on this first.
     #[inline]
     pub fn enabled(&self, level: Level) -> bool {
-        !matches!(self.sink, Sink::Noop) && level >= self.min_level
+        self.active.load(Ordering::Relaxed) && level as u8 >= self.min_level.load(Ordering::Relaxed)
+    }
+
+    /// The current minimum level.
+    pub fn min_level(&self) -> Level {
+        Level::from_u8(self.min_level.load(Ordering::Relaxed))
     }
 
     /// Number of events written so far.
@@ -224,6 +295,16 @@ impl Journal {
     pub fn emit(&self, level: Level, component: &str, event: &str, fields: &[(&str, FieldValue)]) {
         if !self.enabled(level) {
             return;
+        }
+        // Sequence assignment, serialization, and the write all happen
+        // under the sink lock: lines land whole and in seq order even
+        // with the gps_par pool emitting from many workers. Formatting
+        // under the lock is deliberate — the journal is a telemetry
+        // path, not a hot path, and ordering is worth more here than
+        // emitter concurrency.
+        let mut sink = self.sink.lock().expect("journal sink poisoned");
+        if sink.is_noop() {
+            return; // sink swapped to Noop after the enabled() check
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let t_us = self.epoch.elapsed().as_micros() as u64;
@@ -247,13 +328,15 @@ impl Journal {
             line.push(':');
             v.write(&mut line);
         }
-        line.push_str("}}");
-        match &self.sink {
-            Sink::Noop => unreachable!("enabled() filtered Noop"),
-            Sink::Stderr => eprintln!("{line}"),
+        line.push_str("}}\n");
+        match &mut *sink {
+            Sink::Noop => unreachable!("checked above"),
+            Sink::Stderr => {
+                let mut err = std::io::stderr().lock();
+                let _ = err.write_all(line.as_bytes());
+            }
             Sink::File(w) => {
-                let mut w = w.lock().expect("journal sink poisoned");
-                let _ = writeln!(w, "{line}");
+                let _ = w.write_all(line.as_bytes());
                 let _ = w.flush();
             }
         }
@@ -492,8 +575,72 @@ mod tests {
     fn level_parse_roundtrip() {
         for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
             assert_eq!(Level::parse(l.as_str()), Some(l));
+            assert_eq!(Level::from_u8(l as u8), l);
         }
         assert_eq!(Level::parse("trace"), None);
         assert!(Level::Debug < Level::Error);
+    }
+
+    #[test]
+    fn sink_swap_redirects_and_keeps_seq() {
+        let dir = std::env::temp_dir().join(format!("gps_obs_swap_{}", std::process::id()));
+        let (p1, p2) = (dir.join("a.ndjson"), dir.join("b.ndjson"));
+        let j = Journal::file(&p1, Level::Info).unwrap();
+        j.info("c", "first", &[]);
+        j.reconfigure(&SinkKind::File(p2.clone()), Level::Info)
+            .unwrap();
+        j.info("c", "second", &[]);
+        j.reconfigure(&SinkKind::Noop, Level::Info).unwrap();
+        assert!(!j.enabled(Level::Error));
+        j.info("c", "dropped", &[]);
+        let a = parse_ndjson(&std::fs::read_to_string(&p1).unwrap()).unwrap();
+        let b = parse_ndjson(&std::fs::read_to_string(&p2).unwrap()).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a[0].seq, 0);
+        assert_eq!(b[0].seq, 1); // counter carries across the swap
+        assert_eq!(j.events_written(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: NDJSON line-atomicity under concurrent emitters. Four
+    /// threads hammer one file journal; every line must parse, and the
+    /// seq stream must be exactly 0..N in file order (assigned under the
+    /// sink lock).
+    #[test]
+    fn concurrent_emitters_never_interleave_lines() {
+        const THREADS: usize = 4;
+        const EVENTS_EACH: usize = 500;
+        let dir = std::env::temp_dir().join(format!("gps_obs_stress_{}", std::process::id()));
+        let path = dir.join("stress.ndjson");
+        let j = Journal::file(&path, Level::Debug).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let j = &j;
+                scope.spawn(move || {
+                    for k in 0..EVENTS_EACH {
+                        j.info(
+                            "stress",
+                            "tick",
+                            &[
+                                ("thread", (t as u64).into()),
+                                ("k", (k as u64).into()),
+                                ("payload", "abcdefghijklmnopqrstuvwxyz0123456789".into()),
+                            ],
+                        );
+                    }
+                });
+            }
+        });
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = parse_ndjson(&text).expect("every line parses");
+        assert_eq!(events.len(), THREADS * EVENTS_EACH);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "seq dense and in file order");
+            assert_eq!(e.event, "tick");
+            assert_eq!(e.fields.len(), 3);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

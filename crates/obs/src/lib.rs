@@ -18,6 +18,12 @@
 //! Plus [`manifest`] — per-campaign provenance records (seed, config,
 //!  output row counts) — and [`json`], the shared writer/parser.
 //!
+//! On top of the pillars sit the operable surfaces: [`exporter`] (a
+//! zero-dependency `/metrics` HTTP server in Prometheus text exposition
+//! format), [`monitor`] (online bound-violation detection against the
+//! paper's analytic tail curves), and [`report`] (the static-HTML
+//! results dashboard).
+//!
 //! # The global hub
 //!
 //! Library crates (simulators, solvers) emit through the process-global
@@ -42,15 +48,20 @@
 //! journal's `t_us` field, the manifest's `"timing"` key, and the
 //! snapshot's `"spans"` section.
 
+pub mod exporter;
 pub mod journal;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod monitor;
+pub mod report;
 pub mod span;
 
+pub use exporter::{to_prometheus_text, Exporter};
 pub use journal::{FieldValue, Journal, Level, ParsedEvent, SinkKind};
 pub use manifest::RunManifest;
 pub use metrics::{labeled, Counter, Gauge, Registry, Snapshot, SpanStats};
+pub use monitor::{BoundCurve, BoundMonitor, SeriesKind, SessionCurves};
 pub use span::Span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -131,6 +142,21 @@ impl Obs {
         Obs::new(ObsConfig::default())
     }
 
+    /// Re-points an already-built hub at a new configuration: the journal
+    /// sink and level swap in place and the timing switch follows. The
+    /// metrics registry is untouched (callers that want a clean slate
+    /// call [`Registry::reset`]). Returns `false` — leaving the journal
+    /// as it was — if a file sink cannot be opened.
+    ///
+    /// This is the escape hatch for the frozen global hub: benches and
+    /// integration checks redirect `global()` mid-process without
+    /// violating the first-`init`-wins contract.
+    pub fn reconfigure(&self, config: &ObsConfig) -> bool {
+        let ok = self.journal.reconfigure(&config.sink, config.level).is_ok();
+        self.set_timing(config.timing);
+        ok
+    }
+
     /// The journal.
     pub fn journal(&self) -> &Journal {
         &self.journal
@@ -195,6 +221,18 @@ pub fn info(component: &str, name: &str, fields: &[(&str, FieldValue)]) {
 #[inline]
 pub fn debug(component: &str, name: &str, fields: &[(&str, FieldValue)]) {
     event(Level::Debug, component, name, fields);
+}
+
+/// [`Level::Warn`] shorthand for [`event`].
+#[inline]
+pub fn warn(component: &str, name: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Warn, component, name, fields);
+}
+
+/// [`Level::Error`] shorthand for [`event`].
+#[inline]
+pub fn error(component: &str, name: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Error, component, name, fields);
 }
 
 /// Starts a span on the global hub (inert unless timing was enabled).

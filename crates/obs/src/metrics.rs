@@ -640,6 +640,110 @@ mod tests {
         assert_eq!(r.counter("n").get(), 1);
     }
 
+    fn histogram_by_name(r: &Registry, name: &str) -> HistogramSnapshot {
+        r.snapshot()
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.clone())
+            .expect("histogram present")
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        let r = Registry::new();
+        // Empty: no quantile at all.
+        let h = r.histogram("empty", 0.0, 1.0, 4);
+        let hs = histogram_by_name(&r, "empty");
+        assert_eq!(hs.total, 0);
+        assert_eq!(hs.quantile(0.5), None);
+        // Single sample: every quantile lands in its bin.
+        h.observe(0.3); // bin 1 of [0,1) with 4 bins
+        let hs = histogram_by_name(&r, "empty");
+        for q in [0.01, 0.5, 0.99] {
+            let v = hs.quantile(q).unwrap();
+            assert!((0.25..=0.5).contains(&v), "q={q} -> {v}");
+        }
+        // All-underflow mass clamps to the lower edge.
+        let u = r.histogram("under", 0.0, 1.0, 4);
+        u.observe(-5.0);
+        u.observe(-2.0);
+        let us = histogram_by_name(&r, "under");
+        assert_eq!(us.quantile(0.5), Some(0.0));
+        // All-overflow mass clamps to the upper edge.
+        let o = r.histogram("over", 0.0, 1.0, 4);
+        o.observe(7.0);
+        let os = histogram_by_name(&r, "over");
+        assert_eq!(os.quantile(0.99), Some(1.0));
+        // q outside (0,1) is a caller bug.
+        let panics = |q: f64| {
+            let hs = hs.clone();
+            std::panic::catch_unwind(move || hs.quantile(q)).is_err()
+        };
+        assert!(panics(0.0));
+        assert!(panics(1.0));
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_bins() {
+        let r = Registry::new();
+        let h = r.histogram("h", 0.0, 10.0, 10);
+        // 10 samples in bin 0, 10 in bin 9: p25 sits mid-bin-0, p75
+        // mid-bin-9, p50 at the boundary mass split.
+        for _ in 0..10 {
+            h.observe(0.5);
+            h.observe(9.5);
+        }
+        let hs = r.snapshot().histograms[0].1.clone();
+        assert!((hs.quantile(0.25).unwrap() - 0.5).abs() < 1e-12);
+        assert!((hs.quantile(0.75).unwrap() - 9.5).abs() < 1e-12);
+        // Near-p0 / near-p100 stay inside the data range.
+        assert!(hs.quantile(0.001).unwrap() >= 0.0);
+        assert!(hs.quantile(0.999).unwrap() <= 10.0);
+    }
+
+    fn summary_by_name(r: &Registry, name: &str) -> SummarySnapshot {
+        r.snapshot()
+            .summaries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.clone())
+            .expect("summary present")
+    }
+
+    #[test]
+    fn summary_quantile_edge_cases() {
+        let r = Registry::new();
+        // Empty summary: no estimates, moments at their identities.
+        let s = r.summary("s");
+        let ss = summary_by_name(&r, "s");
+        assert_eq!(ss.count, 0);
+        assert_eq!(ss.p50, None);
+        assert_eq!(ss.p90, None);
+        assert_eq!(ss.p99, None);
+        // Single sample: every estimator that reports must report it.
+        s.observe(4.25);
+        let ss = summary_by_name(&r, "s");
+        assert_eq!(ss.count, 1);
+        assert_eq!(ss.min, 4.25);
+        assert_eq!(ss.max, 4.25);
+        for q in [ss.p50, ss.p90, ss.p99].into_iter().flatten() {
+            assert_eq!(q, 4.25);
+        }
+        // All-equal samples: the P² markers cannot spread.
+        let e = r.summary("eq");
+        for _ in 0..50 {
+            e.observe(7.0);
+        }
+        let es = summary_by_name(&r, "eq");
+        assert_eq!(es.count, 50);
+        assert_eq!(es.p50, Some(7.0));
+        assert_eq!(es.p90, Some(7.0));
+        assert_eq!(es.p99, Some(7.0));
+        assert_eq!(es.min, 7.0);
+        assert_eq!(es.max, 7.0);
+    }
+
     #[test]
     fn empty_snapshot() {
         let snap = Registry::new().snapshot();

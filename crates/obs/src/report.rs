@@ -1,0 +1,722 @@
+//! Static-HTML results dashboard: renders campaign metrics snapshots,
+//! run manifests, bench results, and bound-vs-simulation curves into one
+//! self-contained `dashboard.html` — inline SVG only, no scripts, no
+//! external assets, so the artifact is committable and diffs cleanly.
+//!
+//! Everything here is a pure function of its inputs: same parsed JSON
+//! and curve data, same bytes out. The `report` experiment binary owns
+//! the filesystem scan; this module owns layout and drawing.
+//!
+//! Chart conventions (shared with the repo's ASCII plots): tail curves
+//! are drawn on a log₁₀ y-axis with empirical data first and analytic
+//! bounds after, categorical palette slots assigned in fixed order, a
+//! legend plus per-point `<title>` tooltips (the no-JS hover layer), and
+//! muted grid/axis chrome under the data ink.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+
+/// Categorical palette, light-mode steps (slots assigned in fixed
+/// order, never cycled; charts here use at most four series).
+const SERIES_LIGHT: [&str; 4] = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100"];
+/// The same four slots stepped for the dark surface.
+const SERIES_DARK: [&str; 4] = ["#3987e5", "#d95926", "#199e70", "#c98500"];
+
+/// One named curve on a chart.
+#[derive(Debug, Clone)]
+pub struct CurveSeries {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One chart: a handful of curves over a shared x-axis.
+#[derive(Debug, Clone)]
+pub struct CurveChart {
+    /// Chart heading.
+    pub title: String,
+    /// X-axis caption.
+    pub x_label: String,
+    /// Curves, palette slots assigned in order.
+    pub series: Vec<CurveSeries>,
+    /// Log₁₀ y-axis (tail probabilities) vs linear.
+    pub log_y: bool,
+}
+
+/// One bench measurement (nanoseconds per iteration).
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Bench name within the suite.
+    pub name: String,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// 10th percentile.
+    pub p10_ns: f64,
+    /// 90th percentile.
+    pub p90_ns: f64,
+}
+
+/// One bench suite (`results/bench_<name>.json`).
+#[derive(Debug, Clone)]
+pub struct BenchSuite {
+    /// Suite name.
+    pub name: String,
+    /// Entries in file order.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// One campaign: its manifest and/or metrics snapshot, as parsed JSON.
+#[derive(Debug, Clone)]
+pub struct CampaignSection {
+    /// Campaign name (`validate_single`, …).
+    pub name: String,
+    /// Parsed `<name>_manifest.json`, when present.
+    pub manifest: Option<Json>,
+    /// Parsed `<name>_metrics.json`, when present.
+    pub metrics: Option<Json>,
+}
+
+/// Everything the dashboard shows.
+#[derive(Debug, Clone, Default)]
+pub struct Dashboard {
+    /// Bound-vs-simulation charts, in display order.
+    pub charts: Vec<CurveChart>,
+    /// Campaign sections, in display order.
+    pub campaigns: Vec<CampaignSection>,
+    /// Bench suites, in display order.
+    pub benches: Vec<BenchSuite>,
+}
+
+/// Escapes text for HTML body and attribute positions.
+pub fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Compact deterministic number rendering for labels and table cells.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "–".to_string();
+    }
+    let a = v.abs();
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(1e-3..1e6).contains(&a) {
+        format!("{v:.2e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        let s = format!("{v:.4}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+/// Nanoseconds, scaled to a readable unit.
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "–".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+// ---------------------------------------------------------------------
+// SVG charts
+
+const CHART_W: f64 = 540.0;
+const CHART_H: f64 = 230.0;
+const MARGIN_L: f64 = 52.0;
+const MARGIN_R: f64 = 14.0;
+const MARGIN_T: f64 = 12.0;
+const MARGIN_B: f64 = 32.0;
+/// Probabilities below this clamp to the chart floor on log axes.
+const LOG_FLOOR: f64 = 1e-10;
+
+fn fmt_coord(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Renders one curve chart as an inline SVG string.
+pub fn svg_curve_chart(chart: &CurveChart) -> String {
+    let pts: Vec<(f64, f64)> = chart
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() {
+        return "<p class=\"empty\">no data</p>".to_string();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, _) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+    }
+    if x_max <= x_min {
+        x_max = x_min + 1.0;
+    }
+
+    // The y transform: log₁₀ with a floor, or linear from 0.
+    let to_ly = |y: f64| -> f64 {
+        if chart.log_y {
+            y.max(LOG_FLOOR).log10()
+        } else {
+            y
+        }
+    };
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, y) in &pts {
+        let ly = to_ly(y);
+        y_min = y_min.min(ly);
+        y_max = y_max.max(ly);
+    }
+    if chart.log_y {
+        y_min = y_min.floor();
+        y_max = y_max.ceil().max(y_min + 1.0);
+    } else {
+        y_min = y_min.min(0.0);
+        if y_max <= y_min {
+            y_max = y_min + 1.0;
+        }
+    }
+
+    let plot_w = CHART_W - MARGIN_L - MARGIN_R;
+    let plot_h = CHART_H - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| MARGIN_T + (1.0 - (to_ly(y) - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg viewBox=\"0 0 {CHART_W:.0} {CHART_H:.0}\" width=\"{CHART_W:.0}\" \
+         height=\"{CHART_H:.0}\" role=\"img\" aria-label=\"{}\">",
+        html_escape(&chart.title)
+    );
+
+    // Horizontal gridlines + y tick labels.
+    let ticks: Vec<f64> = if chart.log_y {
+        let decades = (y_max - y_min) as i64;
+        let step = (decades as f64 / 6.0).ceil().max(1.0) as i64;
+        (0..=decades)
+            .step_by(step as usize)
+            .map(|d| y_min + d as f64)
+            .collect()
+    } else {
+        (0..=4)
+            .map(|i| y_min + (y_max - y_min) * i as f64 / 4.0)
+            .collect()
+    };
+    for &t in &ticks {
+        let y = MARGIN_T + (1.0 - (t - y_min) / (y_max - y_min)) * plot_h;
+        let _ = write!(
+            svg,
+            "<line class=\"grid\" x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"/>",
+            fmt_coord(MARGIN_L),
+            fmt_coord(y),
+            fmt_coord(CHART_W - MARGIN_R),
+            fmt_coord(y)
+        );
+        let label = if chart.log_y {
+            format!("1e{}", t as i64)
+        } else {
+            fmt_num(t)
+        };
+        let _ = write!(
+            svg,
+            "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+            fmt_coord(MARGIN_L - 6.0),
+            fmt_coord(y + 3.5),
+            html_escape(&label)
+        );
+    }
+    // X axis baseline + ticks.
+    let base_y = MARGIN_T + plot_h;
+    let _ = write!(
+        svg,
+        "<line class=\"axis\" x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"/>",
+        fmt_coord(MARGIN_L),
+        fmt_coord(base_y),
+        fmt_coord(CHART_W - MARGIN_R),
+        fmt_coord(base_y)
+    );
+    for i in 0..=4 {
+        let xv = x_min + (x_max - x_min) * i as f64 / 4.0;
+        let _ = write!(
+            svg,
+            "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            fmt_coord(sx(xv)),
+            fmt_coord(base_y + 14.0),
+            html_escape(&fmt_num(xv))
+        );
+    }
+    let _ = write!(
+        svg,
+        "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+        fmt_coord(MARGIN_L + plot_w / 2.0),
+        fmt_coord(CHART_H - 4.0),
+        html_escape(&chart.x_label)
+    );
+
+    // Data ink: one 2px polyline per series plus hoverable point markers
+    // carrying native tooltips.
+    for (si, s) in chart.series.iter().enumerate().take(SERIES_LIGHT.len()) {
+        let finite: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if finite.len() >= 2 {
+            let path: Vec<String> = finite
+                .iter()
+                .map(|&(x, y)| format!("{},{}", fmt_coord(sx(x)), fmt_coord(sy(y))))
+                .collect();
+            let _ = write!(
+                svg,
+                "<polyline class=\"s{si}\" fill=\"none\" stroke-width=\"2\" \
+                 stroke-linejoin=\"round\" points=\"{}\"/>",
+                path.join(" ")
+            );
+        }
+        for &(x, y) in &finite {
+            let _ = write!(
+                svg,
+                "<circle class=\"s{si} pt\" cx=\"{}\" cy=\"{}\" r=\"2.5\">\
+                 <title>{}: ({}, {})</title></circle>",
+                fmt_coord(sx(x)),
+                fmt_coord(sy(y)),
+                html_escape(&s.label),
+                fmt_num(x),
+                fmt_num(y)
+            );
+        }
+    }
+    svg.push_str("</svg>");
+
+    // Legend: chip carries the hue, text stays in ink tokens.
+    let mut legend = String::from("<div class=\"legend\">");
+    for (si, s) in chart.series.iter().enumerate().take(SERIES_LIGHT.len()) {
+        let _ = write!(
+            legend,
+            "<span class=\"key\"><span class=\"chip s{si}bg\"></span>{}</span>",
+            html_escape(&s.label)
+        );
+    }
+    legend.push_str("</div>");
+
+    format!("{legend}{svg}")
+}
+
+/// Renders a bench suite as a table with an inline bar per entry
+/// (median, with a p10–p90 whisker) on a shared linear scale.
+fn bench_suite_html(suite: &BenchSuite) -> String {
+    let max = suite
+        .entries
+        .iter()
+        .map(|e| e.p90_ns.max(e.median_ns))
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let bar_w = 180.0;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<h3 id=\"bench-{}\">bench: {}</h3><table><thead><tr><th>name</th>\
+         <th>median</th><th>p10</th><th>p90</th><th>profile</th></tr></thead><tbody>",
+        html_escape(&suite.name),
+        html_escape(&suite.name)
+    );
+    for e in &suite.entries {
+        let w = (e.median_ns / max * bar_w).max(1.0);
+        let x10 = e.p10_ns / max * bar_w;
+        let x90 = e.p90_ns / max * bar_w;
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td><svg width=\"{bar_w:.0}\" height=\"14\" \
+             viewBox=\"0 0 {bar_w:.0} 14\"><rect class=\"bar\" x=\"0\" y=\"3\" \
+             width=\"{}\" height=\"8\" rx=\"2\"/><line class=\"whisker\" x1=\"{}\" \
+             y1=\"7\" x2=\"{}\" y2=\"7\"/><title>{}: median {}, p10 {}, p90 {}\
+             </title></svg></td></tr>",
+            html_escape(&e.name),
+            fmt_ns(e.median_ns),
+            fmt_ns(e.p10_ns),
+            fmt_ns(e.p90_ns),
+            fmt_coord(w),
+            fmt_coord(x10),
+            fmt_coord(x90),
+            html_escape(&e.name),
+            fmt_ns(e.median_ns),
+            fmt_ns(e.p10_ns),
+            fmt_ns(e.p90_ns),
+        );
+    }
+    out.push_str("</tbody></table>");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Metrics / manifest sections
+
+fn json_scalar(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::U64(n) => n.to_string(),
+        Json::I64(n) => n.to_string(),
+        Json::F64(f) => fmt_num(*f),
+        Json::Str(s) => s.clone(),
+        other => other.to_compact(),
+    }
+}
+
+fn kv_table(title: &str, pairs: &[(String, String)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = write!(out, "<h4>{}</h4><table><tbody>", html_escape(title));
+    for (k, v) in pairs {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td class=\"num\">{}</td></tr>",
+            html_escape(k),
+            html_escape(v)
+        );
+    }
+    out.push_str("</tbody></table>");
+    out
+}
+
+fn obj_pairs(v: Option<&Json>) -> Vec<(String, Json)> {
+    match v {
+        Some(Json::Obj(pairs)) => pairs.clone(),
+        _ => Vec::new(),
+    }
+}
+
+fn metrics_html(metrics: &Json) -> String {
+    let mut out = String::new();
+    let counters: Vec<(String, String)> = obj_pairs(metrics.get("counters"))
+        .iter()
+        .map(|(k, v)| (k.clone(), json_scalar(v)))
+        .collect();
+    out.push_str(&kv_table("counters", &counters));
+    let gauges: Vec<(String, String)> = obj_pairs(metrics.get("gauges"))
+        .iter()
+        .map(|(k, v)| (k.clone(), json_scalar(v)))
+        .collect();
+    out.push_str(&kv_table("gauges", &gauges));
+
+    let summaries = obj_pairs(metrics.get("summaries"));
+    if !summaries.is_empty() {
+        out.push_str(
+            "<h4>summaries</h4><table><thead><tr><th>name</th><th>count</th>\
+             <th>mean</th><th>min</th><th>max</th><th>p50</th><th>p90</th>\
+             <th>p99</th></tr></thead><tbody>",
+        );
+        for (name, s) in &summaries {
+            let cell = |key: &str| match s.get(key) {
+                Some(v) => json_scalar(v),
+                None => "–".to_string(),
+            };
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
+                html_escape(name),
+                cell("count"),
+                cell("mean"),
+                cell("min"),
+                cell("max"),
+                cell("p50"),
+                cell("p90"),
+                cell("p99"),
+            );
+        }
+        out.push_str("</tbody></table>");
+    }
+
+    let spans = obj_pairs(metrics.get("spans"));
+    if !spans.is_empty() {
+        out.push_str(
+            "<h4>spans (wall clock)</h4><table><thead><tr><th>path</th>\
+             <th>count</th><th>total</th><th>mean</th></tr></thead><tbody>",
+        );
+        for (name, s) in &spans {
+            let ns = |key: &str| {
+                s.get(key)
+                    .and_then(|v| v.as_f64())
+                    .map(fmt_ns)
+                    .unwrap_or_else(|| "–".to_string())
+            };
+            let count = s
+                .get("count")
+                .and_then(|v| v.as_u64())
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "–".to_string());
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td></tr>",
+                html_escape(name),
+                count,
+                ns("total_ns"),
+                ns("mean_ns"),
+            );
+        }
+        out.push_str("</tbody></table>");
+    }
+    out
+}
+
+fn manifest_html(manifest: &Json) -> String {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for key in ["campaign", "seed"] {
+        if let Some(v) = manifest.get(key) {
+            pairs.push((key.to_string(), json_scalar(v)));
+        }
+    }
+    for (k, v) in obj_pairs(manifest.get("params")) {
+        pairs.push((format!("param.{k}"), json_scalar(&v)));
+    }
+    for (k, v) in obj_pairs(manifest.get("outputs")) {
+        pairs.push((format!("output.{k}"), format!("{} rows", json_scalar(&v))));
+    }
+    kv_table("manifest", &pairs)
+}
+
+/// Renders the full dashboard document.
+pub fn render(d: &Dashboard) -> String {
+    let mut body = String::new();
+
+    if !d.charts.is_empty() {
+        body.push_str("<h2>Bound vs. simulation</h2><div class=\"charts\">");
+        for c in &d.charts {
+            let _ = write!(
+                body,
+                "<figure><figcaption>{}</figcaption>{}</figure>",
+                html_escape(&c.title),
+                svg_curve_chart(c)
+            );
+        }
+        body.push_str("</div>");
+    }
+
+    if !d.campaigns.is_empty() {
+        body.push_str("<h2>Campaigns</h2>");
+        for c in &d.campaigns {
+            let _ = write!(
+                body,
+                "<details open><summary><h3 id=\"campaign-{0}\">{0}</h3></summary>",
+                html_escape(&c.name)
+            );
+            if let Some(m) = &c.manifest {
+                body.push_str(&manifest_html(m));
+            }
+            if let Some(m) = &c.metrics {
+                body.push_str(&metrics_html(m));
+            }
+            if c.manifest.is_none() && c.metrics.is_none() {
+                body.push_str("<p class=\"empty\">no artifacts</p>");
+            }
+            body.push_str("</details>");
+        }
+    }
+
+    if !d.benches.is_empty() {
+        body.push_str("<h2>Benches</h2>");
+        for b in &d.benches {
+            body.push_str(&bench_suite_html(b));
+        }
+    }
+
+    let series_css = |palette: [&str; 4]| -> String {
+        let mut out = String::new();
+        for (i, hex) in palette.iter().enumerate() {
+            let _ = writeln!(out, "  --series-{i}: {hex};");
+        }
+        out
+    };
+
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
+         <title>GPS statistical-analysis results</title>\n<style>\n\
+         :root {{\n  color-scheme: light dark;\n  --surface: #fcfcfb;\n  --page: #f9f9f7;\n\
+         --ink: #0b0b0b;\n  --ink-2: #52514e;\n  --muted: #898781;\n  --grid: #e1e0d9;\n\
+         --axis: #c3c2b7;\n{light}}}\n\
+         @media (prefers-color-scheme: dark) {{\n:root {{\n  --surface: #1a1a19;\n\
+         --page: #0d0d0d;\n  --ink: #ffffff;\n  --ink-2: #c3c2b7;\n  --muted: #898781;\n\
+         --grid: #2c2c2a;\n  --axis: #383835;\n{dark}}}\n}}\n\
+         body {{ font: 14px/1.45 system-ui, -apple-system, \"Segoe UI\", sans-serif;\n\
+           color: var(--ink); background: var(--page); margin: 0 auto; max-width: 1180px;\n\
+           padding: 24px; }}\n\
+         h1 {{ font-size: 20px; }} h2 {{ font-size: 17px; margin-top: 28px;\n\
+           border-bottom: 1px solid var(--grid); padding-bottom: 4px; }}\n\
+         h3 {{ font-size: 15px; display: inline-block; margin: 12px 0 4px; }}\n\
+         h4 {{ font-size: 13px; color: var(--ink-2); margin: 10px 0 4px; }}\n\
+         p.note, p.empty {{ color: var(--ink-2); }}\n\
+         figure {{ background: var(--surface); border: 1px solid var(--grid);\n\
+           border-radius: 8px; padding: 10px 12px; margin: 0; }}\n\
+         figcaption {{ color: var(--ink-2); font-size: 13px; margin-bottom: 4px; }}\n\
+         .charts {{ display: flex; flex-wrap: wrap; gap: 14px; }}\n\
+         table {{ border-collapse: collapse; margin: 4px 0 10px; background: var(--surface);\n\
+           font-variant-numeric: tabular-nums; }}\n\
+         th, td {{ border: 1px solid var(--grid); padding: 2px 8px; text-align: left;\n\
+           font-size: 12.5px; }}\n\
+         th {{ color: var(--ink-2); font-weight: 600; }}\n  td.num {{ text-align: right; }}\n\
+         details {{ background: var(--surface); border: 1px solid var(--grid);\n\
+           border-radius: 8px; padding: 4px 12px 8px; margin: 10px 0; }}\n\
+         summary {{ cursor: pointer; }}\n\
+         .legend {{ display: flex; gap: 14px; font-size: 12px; color: var(--ink-2);\n\
+           margin: 2px 0 4px; flex-wrap: wrap; }}\n\
+         .key {{ display: inline-flex; align-items: center; gap: 5px; }}\n\
+         .chip {{ width: 10px; height: 10px; border-radius: 3px; display: inline-block; }}\n\
+         svg text.tick {{ fill: var(--muted); font-size: 10px;\n\
+           font-family: system-ui, sans-serif; }}\n\
+         svg line.grid {{ stroke: var(--grid); stroke-width: 1; }}\n\
+         svg line.axis {{ stroke: var(--axis); stroke-width: 1; }}\n\
+         svg rect.bar {{ fill: var(--series-0); }}\n\
+         svg line.whisker {{ stroke: var(--ink-2); stroke-width: 1.5; }}\n\
+         {series_rules}\n\
+         footer {{ color: var(--muted); font-size: 12px; margin-top: 28px; }}\n\
+         </style>\n</head>\n<body>\n\
+         <h1>Statistical Analysis of GPS — results dashboard</h1>\n\
+         <p class=\"note\">Generated by <code>report</code> from committed\n\
+         <code>results/</code> artifacts (CSV curves, metrics snapshots, manifests,\n\
+         bench JSON). Deterministic: same inputs, same bytes.</p>\n\
+         {body}\n\
+         <footer>gps-qos results dashboard · static HTML, no scripts · sources:\n\
+         results/*.csv, results/*_metrics.json, results/*_manifest.json,\n\
+         results/bench_*.json</footer>\n</body>\n</html>\n",
+        light = series_css(SERIES_LIGHT),
+        dark = series_css(SERIES_DARK),
+        series_rules = {
+            let mut rules = String::new();
+            for i in 0..SERIES_LIGHT.len() {
+                let _ = write!(
+                    rules,
+                    "svg .s{i} {{ stroke: var(--series-{i}); }}\n\
+                     svg circle.s{i} {{ fill: var(--series-{i}); stroke: var(--surface);\n\
+                       stroke-width: 1; }}\n\
+                     .s{i}bg {{ background: var(--series-{i}); }}\n"
+                );
+            }
+            rules
+        },
+        body = body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn chart() -> CurveChart {
+        CurveChart {
+            title: "session 1 backlog".to_string(),
+            x_label: "backlog b".to_string(),
+            series: vec![
+                CurveSeries {
+                    label: "empirical".to_string(),
+                    points: vec![(0.0, 1.0), (1.0, 0.1), (2.0, 0.01)],
+                },
+                CurveSeries {
+                    label: "EBB bound".to_string(),
+                    points: vec![(0.0, 1.0), (1.0, 0.5), (2.0, 0.2)],
+                },
+            ],
+            log_y: true,
+        }
+    }
+
+    #[test]
+    fn svg_chart_has_lines_legend_and_tooltips() {
+        let svg = svg_curve_chart(&chart());
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("class=\"legend\""));
+        assert!(svg.contains("empirical"));
+        assert!(svg.contains("<title>"));
+        assert!(svg.contains("1e0")); // log decade tick
+    }
+
+    #[test]
+    fn render_is_deterministic_and_escapes() {
+        let d = Dashboard {
+            charts: vec![chart()],
+            campaigns: vec![CampaignSection {
+                name: "validate_single".to_string(),
+                manifest: Some(
+                    json::parse(
+                        "{\"campaign\":\"validate_single\",\"seed\":7,\
+                         \"params\":{\"set\":\"Set<1>\"},\"outputs\":{\"a.csv\":10}}",
+                    )
+                    .unwrap(),
+                ),
+                metrics: Some(
+                    json::parse(
+                        "{\"counters\":{\"sim.measured_slots\":100},\"gauges\":{},\
+                         \"histograms\":{},\"summaries\":{\"s\":{\"count\":2,\"mean\":1.5,\
+                         \"min\":1,\"max\":2,\"p50\":1.5,\"p90\":2,\"p99\":2}}}",
+                    )
+                    .unwrap(),
+                ),
+            }],
+            benches: vec![BenchSuite {
+                name: "simulators".to_string(),
+                entries: vec![BenchEntry {
+                    name: "slotted/4src".to_string(),
+                    median_ns: 1.5e6,
+                    p10_ns: 1.4e6,
+                    p90_ns: 1.7e6,
+                }],
+            }],
+        };
+        let a = render(&d);
+        let b = render(&d);
+        assert_eq!(a, b);
+        assert!(a.contains("Set&lt;1&gt;")); // escaped param value
+        assert!(a.contains("sim.measured_slots"));
+        assert!(a.contains("1.50 ms"));
+        assert!(a.contains("bench: simulators"));
+        assert!(!a.contains("<script"));
+    }
+
+    #[test]
+    fn empty_dashboard_still_renders() {
+        let html = render(&Dashboard::default());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("</html>"));
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(2.5), "2.5");
+        assert_eq!(fmt_num(1234.0), "1234.0");
+        assert_eq!(fmt_num(0.0001), "1.00e-4");
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(2.5e3), "2.50 µs");
+        assert_eq!(fmt_ns(3.2e9), "3.20 s");
+    }
+}

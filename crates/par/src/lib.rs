@@ -31,10 +31,23 @@
 //! A panicking task does not deadlock the pool: the panic payload is
 //! captured at `join` and re-raised on the caller thread
 //! ([`std::panic::resume_unwind`]), after all other workers finished.
+//!
+//! # Pool telemetry
+//!
+//! Every fork-join bumps the global `par.tasks_executed` counter by the
+//! task count — a pure function of the workload, so it never perturbs
+//! the cross-thread-count byte-identity of metrics snapshots. The
+//! scheduling-dependent signals — the `par.pool.workers` gauge and the
+//! per-worker `par/worker_busy` span — are only recorded while
+//! `gps_obs` timing is enabled, keeping them in the same
+//! explicitly-nondeterministic tier as all other wall-clock data (the
+//! snapshot's `"spans"` section and the workers gauge feed the live
+//! exporter, not the deterministic reports).
 
 use std::panic;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Default chunk size used by [`par_map`]/[`par_for_indexed`]: small
 /// enough to balance uneven task costs, large enough to amortize the
@@ -138,6 +151,25 @@ where
     run_indexed(threads, n, chunk, f)
 }
 
+/// Records pool telemetry for one fork-join of `n` tasks on `workers`
+/// workers; returns whether per-worker busy-time spans should be taken.
+/// The counter handle is cached so the per-call cost after the first
+/// fork-join is one relaxed atomic add.
+fn pool_metrics(n: usize, workers: usize) -> bool {
+    static TASKS: OnceLock<gps_obs::Counter> = OnceLock::new();
+    TASKS
+        .get_or_init(|| gps_obs::metrics().counter("par.tasks_executed"))
+        .add(n as u64);
+    let timing = gps_obs::global().timing_enabled();
+    if timing {
+        static WORKERS: OnceLock<gps_obs::Gauge> = OnceLock::new();
+        WORKERS
+            .get_or_init(|| gps_obs::metrics().gauge("par.pool.workers"))
+            .set(workers as f64);
+    }
+    timing
+}
+
 /// The shared work loop: workers pull `chunk`-sized index ranges from an
 /// atomic cursor until exhausted. With one worker this degenerates to the
 /// exact serial `for i in 0..n` order through the same code.
@@ -150,14 +182,24 @@ where
         return;
     }
     let workers = threads.max(1).min(n);
+    let timing = pool_metrics(n, workers);
     let cursor = AtomicUsize::new(0);
-    let work = |_worker: usize| loop {
+    let drain = |_worker: usize| loop {
         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
         if start >= n {
             return;
         }
         for i in start..(start + chunk).min(n) {
             f(i);
+        }
+    };
+    let work = |worker: usize| {
+        if timing {
+            let t0 = Instant::now();
+            drain(worker);
+            gps_obs::metrics().record_span("par/worker_busy", t0.elapsed().as_nanos() as u64);
+        } else {
+            drain(worker);
         }
     };
     if workers == 1 {
@@ -279,5 +321,33 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn tasks_executed_counter_tracks_workload() {
+        // The counter is global and other tests run concurrently, so
+        // assert growth by at least this call's contribution.
+        let before = gps_obs::metrics().counter("par.tasks_executed").get();
+        let items: Vec<u64> = (0..123).collect();
+        let _ = par_map_threads(4, &items, |&x| x);
+        let after = gps_obs::metrics().counter("par.tasks_executed").get();
+        assert!(after >= before + 123, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn busy_spans_only_when_timing_enabled() {
+        // Timing defaults off: no worker-busy spans, whatever other
+        // tests have run (none of them enable timing).
+        let items: Vec<u64> = (0..16).collect();
+        let _ = par_map_threads(2, &items, |&x| x);
+        assert!(gps_obs::metrics().span_stats("par/worker_busy").is_none());
+        gps_obs::global().set_timing(true);
+        let _ = par_map_threads(2, &items, |&x| x);
+        gps_obs::global().set_timing(false);
+        let busy = gps_obs::metrics()
+            .span_stats("par/worker_busy")
+            .expect("busy span recorded under timing");
+        assert!(busy.count >= 1);
+        assert!(gps_obs::metrics().gauge("par.pool.workers").get() >= 1.0);
     }
 }

@@ -23,6 +23,7 @@ use crate::network_sim::{NetworkSlotOutput, SlottedGpsNetwork};
 use crate::slotted::{SlotOutput, SlottedGps};
 use gps_core::NetworkTopology;
 use gps_obs::metrics::{labeled, Registry};
+use gps_obs::monitor::{BoundMonitor, SeriesKind};
 use gps_sources::SlotSource;
 use gps_stats::rng::SeedSequence;
 use gps_stats::{BinnedCcdf, StreamingMoments};
@@ -350,6 +351,44 @@ pub fn run_single_node_campaign_threads<F>(
 where
     F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
 {
+    run_single_node_campaign_monitored_threads(threads, base, replications, make_sources, None)
+}
+
+/// [`run_single_node_campaign`] with an online [`BoundMonitor`]: after
+/// the parallel join, replication reports are folded in order into a
+/// running pooled report and the merged-so-far empirical tails are
+/// checked against the monitor's analytic curves after every fold (so a
+/// violation is caught at the earliest replication where the pooled
+/// evidence supports it). Pass `None` for plain campaign behavior.
+pub fn run_single_node_campaign_monitored<F>(
+    base: &SingleNodeRunConfig,
+    replications: u64,
+    make_sources: F,
+    monitor: Option<&BoundMonitor>,
+) -> Vec<SingleNodeRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    run_single_node_campaign_monitored_threads(
+        gps_par::max_threads(),
+        base,
+        replications,
+        make_sources,
+        monitor,
+    )
+}
+
+/// [`run_single_node_campaign_monitored`] with an explicit worker count.
+pub fn run_single_node_campaign_monitored_threads<F>(
+    threads: usize,
+    base: &SingleNodeRunConfig,
+    replications: u64,
+    make_sources: F,
+    monitor: Option<&BoundMonitor>,
+) -> Vec<SingleNodeRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
     gps_obs::info(
         "sim.runner",
         "single_node_campaign",
@@ -372,7 +411,51 @@ where
     for report in &reports {
         record_single_node_metrics(gps_obs::metrics(), report);
     }
+    if let Some(mon) = monitor {
+        let mut merged: Option<SingleNodeRunReport> = None;
+        for (fold, report) in reports.iter().enumerate() {
+            let pooled = match merged.take() {
+                None => report.clone(),
+                Some(prev) => merge_single_node_reports(&[prev, report.clone()]),
+            };
+            monitor_single_node_fold(mon, gps_obs::metrics(), &pooled, fold as u64);
+            merged = Some(pooled);
+        }
+    }
     reports
+}
+
+/// Checks every session of a (merged) single-node report against
+/// `monitor`'s analytic tail curves, attributing journal events and
+/// counters to replication fold `fold`. Backlog tails are weighted by
+/// the pooled slot count, delay tails by the per-session clearing-sample
+/// count. Returns the number of violating grid points.
+pub fn monitor_single_node_fold(
+    monitor: &BoundMonitor,
+    registry: &Registry,
+    merged: &SingleNodeRunReport,
+    fold: u64,
+) -> u64 {
+    let mut violations = 0;
+    for (i, s) in merged.sessions.iter().enumerate() {
+        violations += monitor.check_series(
+            registry,
+            i,
+            SeriesKind::Backlog,
+            &s.backlog.series(),
+            merged.measured_slots,
+            fold,
+        );
+        violations += monitor.check_series(
+            registry,
+            i,
+            SeriesKind::Delay,
+            &s.delay.series(),
+            s.delay.len(),
+            fold,
+        );
+    }
+    violations
 }
 
 /// Network analogue of [`run_single_node_campaign`].
@@ -397,6 +480,39 @@ pub fn run_network_campaign_threads<F>(
 where
     F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
 {
+    run_network_campaign_monitored_threads(threads, base, replications, make_sources, None)
+}
+
+/// Network analogue of [`run_single_node_campaign_monitored`].
+pub fn run_network_campaign_monitored<F>(
+    base: &NetworkRunConfig,
+    replications: u64,
+    make_sources: F,
+    monitor: Option<&BoundMonitor>,
+) -> Vec<NetworkRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    run_network_campaign_monitored_threads(
+        gps_par::max_threads(),
+        base,
+        replications,
+        make_sources,
+        monitor,
+    )
+}
+
+/// [`run_network_campaign_monitored`] with an explicit worker count.
+pub fn run_network_campaign_monitored_threads<F>(
+    threads: usize,
+    base: &NetworkRunConfig,
+    replications: u64,
+    make_sources: F,
+    monitor: Option<&BoundMonitor>,
+) -> Vec<NetworkRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
     gps_obs::info(
         "sim.runner",
         "network_campaign",
@@ -417,7 +533,50 @@ where
     for report in &reports {
         record_network_metrics(gps_obs::metrics(), report);
     }
+    if let Some(mon) = monitor {
+        let mut merged: Option<NetworkRunReport> = None;
+        for (fold, report) in reports.iter().enumerate() {
+            let pooled = match merged.take() {
+                None => report.clone(),
+                Some(prev) => merge_network_reports(&[prev, report.clone()]),
+            };
+            monitor_network_fold(mon, gps_obs::metrics(), &pooled, fold as u64);
+            merged = Some(pooled);
+        }
+    }
     reports
+}
+
+/// Network analogue of [`monitor_single_node_fold`]: checks per-session
+/// network-backlog and end-to-end clearing-delay tails of a (merged)
+/// report against the monitor's curves. Returns the number of violating
+/// grid points.
+pub fn monitor_network_fold(
+    monitor: &BoundMonitor,
+    registry: &Registry,
+    merged: &NetworkRunReport,
+    fold: u64,
+) -> u64 {
+    let mut violations = 0;
+    for i in 0..merged.backlog.len() {
+        violations += monitor.check_series(
+            registry,
+            i,
+            SeriesKind::Backlog,
+            &merged.backlog[i].series(),
+            merged.measured_slots,
+            fold,
+        );
+        violations += monitor.check_series(
+            registry,
+            i,
+            SeriesKind::Delay,
+            &merged.delay[i].series(),
+            merged.delay[i].len(),
+            fold,
+        );
+    }
+    violations
 }
 
 /// Merges replication reports into one (CCDFs and moments pooled,
@@ -671,6 +830,94 @@ mod tests {
         }
         let merged = merge_network_reports(&serial);
         assert_eq!(merged.measured_slots, 4_500);
+    }
+
+    #[test]
+    fn monitored_fold_flags_tight_curve_and_passes_loose_one() {
+        use gps_obs::monitor::{BoundCurve, SessionCurves};
+        let (bg, dg) = grids();
+        let base = SingleNodeRunConfig {
+            phis: vec![0.2, 0.25, 0.2, 0.25],
+            capacity: 1.0,
+            warmup: 200,
+            measure: 5_000,
+            seed: 3,
+            backlog_grid: bg,
+            delay_grid: dg,
+        };
+        let reports = run_single_node_campaign_threads(2, &base, 2, |_| onoff_sources());
+        let merged = merge_single_node_reports(&reports);
+
+        // A bound claiming essentially zero tail mass must be violated by
+        // any session that ever queues.
+        let tight = BoundMonitor::new(vec![
+            SessionCurves {
+                backlog: Some(BoundCurve::new(1e-9, 10.0)),
+                delay: None,
+                delay_shift: 0.0,
+            };
+            4
+        ]);
+        let reg = Registry::new();
+        let v = monitor_single_node_fold(&tight, &reg, &merged, 0);
+        assert!(v > 0, "tight bound must be flagged");
+        let snap = reg.snapshot();
+        let total = snap
+            .counters
+            .iter()
+            .find(|(name, _)| name == "obs.bound_violations")
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert_eq!(total, v);
+
+        // A vacuous bound (tail cap 1.0 everywhere) can never be violated.
+        let loose = BoundMonitor::new(vec![
+            SessionCurves {
+                backlog: Some(BoundCurve::new(10.0, 0.0)),
+                delay: Some(BoundCurve::new(10.0, 0.0)),
+                delay_shift: 0.0,
+            };
+            4
+        ]);
+        let reg2 = Registry::new();
+        assert_eq!(monitor_single_node_fold(&loose, &reg2, &merged, 0), 0);
+        assert!(reg2.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn monitored_campaign_matches_plain_campaign_reports() {
+        use gps_obs::monitor::{BoundCurve, SessionCurves};
+        let (bg, dg) = grids();
+        let base = NetworkRunConfig {
+            topology: NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]),
+            warmup: 100,
+            measure: 1_000,
+            seed: 21,
+            backlog_grid: bg,
+            delay_grid: dg,
+        };
+        let plain = run_network_campaign_threads(2, &base, 2, |_| onoff_sources());
+        let mon = BoundMonitor::new(vec![SessionCurves::default(); 4]);
+        let monitored =
+            run_network_campaign_monitored_threads(2, &base, 2, |_| onoff_sources(), Some(&mon));
+        for (a, b) in plain.iter().zip(&monitored) {
+            for i in 0..4 {
+                assert_eq!(a.backlog[i].series(), b.backlog[i].series());
+                assert_eq!(a.delay[i].series(), b.delay[i].series());
+            }
+        }
+        // Tight network curves are flagged by the per-fold check too.
+        let merged = merge_network_reports(&plain);
+        let tight = BoundMonitor::new(vec![
+            SessionCurves {
+                backlog: Some(BoundCurve::new(1e-9, 10.0)),
+                delay: Some(BoundCurve::new(1e-9, 10.0)),
+                delay_shift: 1.0,
+            };
+            4
+        ]);
+        let reg = Registry::new();
+        assert!(monitor_network_fold(&tight, &reg, &merged, 1) > 0);
     }
 
     #[test]

@@ -24,4 +24,25 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
+# Live telemetry server: run a tiny campaign with the exporter on an
+# ephemeral port and verify /metrics, /metrics.json, and /health over
+# plain TCP (the check binary is its own HTTP client — no curl needed).
+echo "==> obs_check (exporter integration)"
+GPS_OBS_SERVE=127.0.0.1:0 ./target/release/obs_check
+
+# Dashboard generator: rebuilding over unchanged results must be
+# byte-identical (the report is a pure function of the files on disk).
+echo "==> report (dashboard smoke + determinism)"
+tmp_results="$(mktemp -d)"
+trap 'rm -rf "$tmp_results"' EXIT
+cp -r results/. "$tmp_results"/
+GPS_RESULTS_DIR="$tmp_results" ./target/release/report
+hash1="$(sha256sum "$tmp_results/dashboard.html" | cut -d' ' -f1)"
+GPS_RESULTS_DIR="$tmp_results" ./target/release/report
+hash2="$(sha256sum "$tmp_results/dashboard.html" | cut -d' ' -f1)"
+if [ "$hash1" != "$hash2" ]; then
+    echo "verify.sh: dashboard.html is not deterministic ($hash1 vs $hash2)" >&2
+    exit 1
+fi
+
 echo "verify.sh: all checks passed"
