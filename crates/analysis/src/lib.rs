@@ -48,4 +48,4 @@ pub use partition_bounds::{theorem10, Theorem11};
 pub use rho_selection::{best_rho_for_delay, max_sessions_optimized_rho, rho_tradeoff, RhoPoint};
 pub use rpps::RppsNetworkBounds;
 pub use single_node::{SessionBounds, Theorem7, Theorem8};
-pub use theta_opt::optimize_tail;
+pub use theta_opt::{optimize_tail, try_optimize_tail};

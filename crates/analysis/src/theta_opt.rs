@@ -7,7 +7,7 @@
 //! objective is coercive and a golden-section search over a slightly
 //! shrunk interval is robust.
 
-use gps_ebb::numeric::golden_min;
+use gps_ebb::numeric::{try_golden_min, NumericError};
 use gps_ebb::TailBound;
 
 /// Finds the `θ ∈ (0, theta_sup)` whose bound is tightest at threshold
@@ -15,14 +15,42 @@ use gps_ebb::TailBound;
 /// infeasible `θ` (treated as `+∞`).
 ///
 /// Returns the best bound found, or `None` if the family is empty on the
-/// probed interval.
+/// probed interval. Panics on out-of-domain `theta_sup`/`x`; see
+/// [`try_optimize_tail`] for the fully typed variant.
 pub fn optimize_tail(
     theta_sup: f64,
     x: f64,
     family: impl Fn(f64) -> Option<TailBound>,
 ) -> Option<TailBound> {
-    assert!(theta_sup > 0.0, "theta_sup must be positive");
-    assert!(x >= 0.0, "threshold must be nonnegative");
+    match try_optimize_tail(theta_sup, x, family) {
+        Ok(b) => Some(b),
+        Err(NumericError::EmptyFamily) => None,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`optimize_tail`] with every failure mode expressed as a typed
+/// [`NumericError`]: bad `theta_sup`/`x` become `InvalidDomain` instead of
+/// a panic, and a family that is infeasible at every probe becomes
+/// `EmptyFamily` instead of `None`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > 0.0)` also rejects NaN
+pub fn try_optimize_tail(
+    theta_sup: f64,
+    x: f64,
+    family: impl Fn(f64) -> Option<TailBound>,
+) -> Result<TailBound, NumericError> {
+    if !(theta_sup > 0.0) || !theta_sup.is_finite() {
+        return Err(NumericError::InvalidDomain {
+            what: "theta_sup",
+            value: theta_sup,
+        });
+    }
+    if !(x >= 0.0) {
+        return Err(NumericError::InvalidDomain {
+            what: "x",
+            value: x,
+        });
+    }
     let _span = gps_obs::span("analysis/theta_opt");
     let lo = theta_sup * 1e-6;
     let hi = theta_sup * (1.0 - 1e-9);
@@ -46,23 +74,23 @@ pub fn optimize_tail(
             }
         }
     }
-    let (seed_t, _) = best_seed?;
+    let (seed_t, _) = best_seed.ok_or(NumericError::EmptyFamily)?;
     // Refine around the seed within one probe spacing.
     let span = (hi - lo) / probes as f64;
-    let (t_star, _) = golden_min(
+    let (t_star, _) = try_golden_min(
         (seed_t - span).max(lo),
         (seed_t + span).min(hi),
         1e-10,
         objective,
-    );
+    )?;
     let candidate = family(t_star);
-    // Keep whichever of seed/refined is better (golden_min could land on an
-    // infeasible pocket in pathological families).
+    // Keep whichever of seed/refined is better (golden search could land on
+    // an infeasible pocket in pathological families).
     match (candidate, family(seed_t)) {
-        (Some(a), Some(b)) => Some(if a.log_tail(x) <= b.log_tail(x) { a } else { b }),
-        (Some(a), None) => Some(a),
-        (None, Some(b)) => Some(b),
-        (None, None) => None,
+        (Some(a), Some(b)) => Ok(if a.log_tail(x) <= b.log_tail(x) { a } else { b }),
+        (Some(a), None) => Ok(a),
+        (None, Some(b)) => Ok(b),
+        (None, None) => Err(NumericError::EmptyFamily),
     }
 }
 
@@ -97,6 +125,44 @@ mod tests {
     #[test]
     fn none_when_family_empty() {
         assert!(optimize_tail(1.0, 1.0, |_| None).is_none());
+    }
+
+    #[test]
+    fn try_variant_types_each_failure() {
+        assert_eq!(
+            try_optimize_tail(1.0, 1.0, |_| None),
+            Err(NumericError::EmptyFamily)
+        );
+        assert_eq!(
+            try_optimize_tail(0.0, 1.0, |t| Some(TailBound::new(1.0, t))),
+            Err(NumericError::InvalidDomain {
+                what: "theta_sup",
+                value: 0.0
+            })
+        );
+        assert_eq!(
+            try_optimize_tail(1.0, -0.5, |t| Some(TailBound::new(1.0, t))),
+            Err(NumericError::InvalidDomain {
+                what: "x",
+                value: -0.5
+            })
+        );
+        assert!(matches!(
+            try_optimize_tail(f64::NAN, 1.0, |t| Some(TailBound::new(1.0, t))),
+            Err(NumericError::InvalidDomain {
+                what: "theta_sup",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn try_variant_agrees_with_wrapper() {
+        let family = |t: f64| Some(TailBound::new((t * t).exp(), t));
+        let a = optimize_tail(10.0, 0.8, family).unwrap();
+        let b = try_optimize_tail(10.0, 0.8, family).unwrap();
+        assert_eq!(a.prefactor.to_bits(), b.prefactor.to_bits());
+        assert_eq!(a.decay.to_bits(), b.decay.to_bits());
     }
 
     #[test]

@@ -9,29 +9,103 @@
 /// Relative tolerance used by default in the solvers.
 pub const DEFAULT_TOL: f64 = 1e-12;
 
+/// Typed failures of the numeric helpers (and of the θ-optimizers built
+/// on top of them in `gps_analysis`). These replace hot-path panics so a
+/// supervised campaign can report a numeric problem as a recoverable,
+/// per-task failure instead of aborting the join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericError {
+    /// A bracket `[lo, hi]` was reversed, empty, or NaN.
+    InvalidBracket {
+        /// Lower bracket endpoint as given.
+        lo: f64,
+        /// Upper bracket endpoint as given.
+        hi: f64,
+    },
+    /// A function evaluated non-finite where a finite value was required.
+    NonFinite {
+        /// The abscissa at which the evaluation escaped.
+        x: f64,
+    },
+    /// No sign change over the bracket, so no root is guaranteed inside.
+    NoSignChange {
+        /// Lower bracket endpoint.
+        lo: f64,
+        /// Upper bracket endpoint.
+        hi: f64,
+    },
+    /// A scalar parameter was outside its documented domain.
+    InvalidDomain {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An optimization family was infeasible everywhere it was probed.
+    EmptyFamily,
+}
+
+impl std::fmt::Display for NumericError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumericError::InvalidBracket { lo, hi } => {
+                write!(f, "invalid bracket [{lo}, {hi}]")
+            }
+            NumericError::NonFinite { x } => {
+                write!(f, "non-finite evaluation at x = {x}")
+            }
+            NumericError::NoSignChange { lo, hi } => {
+                write!(f, "no sign change on [{lo}, {hi}]: root not bracketed")
+            }
+            NumericError::InvalidDomain { what, value } => {
+                write!(f, "{what} = {value} is outside its domain")
+            }
+            NumericError::EmptyFamily => {
+                write!(f, "bound family infeasible at every probed point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
 /// Finds a root of `f` on `[lo, hi]` by bisection.
 ///
 /// Requires `f(lo)` and `f(hi)` to have opposite signs (a sign change is the
 /// caller's guarantee that a root is bracketed). Returns `None` if the
-/// bracket is invalid or either endpoint evaluates non-finite.
+/// bracket is invalid or either endpoint evaluates non-finite; see
+/// [`try_bisect`] for the variant that reports *why*.
+pub fn bisect(lo: f64, hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> Option<f64> {
+    try_bisect(lo, hi, tol, f).ok()
+}
+
+/// [`bisect`] with a typed reason for every failure mode.
 #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(lo < hi)` also rejects NaN
-pub fn bisect(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> Option<f64> {
+pub fn try_bisect(
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    f: impl Fn(f64) -> f64,
+) -> Result<f64, NumericError> {
     if !(lo < hi) {
-        return None;
+        return Err(NumericError::InvalidBracket { lo, hi });
     }
     let mut flo = f(lo);
     let fhi = f(hi);
-    if !flo.is_finite() || !fhi.is_finite() {
-        return None;
+    if !flo.is_finite() {
+        return Err(NumericError::NonFinite { x: lo });
+    }
+    if !fhi.is_finite() {
+        return Err(NumericError::NonFinite { x: hi });
     }
     if flo == 0.0 {
-        return Some(lo);
+        return Ok(lo);
     }
     if fhi == 0.0 {
-        return Some(hi);
+        return Ok(hi);
     }
     if flo.signum() == fhi.signum() {
-        return None;
+        return Err(NumericError::NoSignChange { lo, hi });
     }
     // 200 iterations halve the bracket far below f64 resolution for any
     // sane input; the tolerance check exits earlier in practice.
@@ -39,10 +113,10 @@ pub fn bisect(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> Opt
         let mid = 0.5 * (lo + hi);
         let fm = f(mid);
         if !fm.is_finite() {
-            return None;
+            return Err(NumericError::NonFinite { x: mid });
         }
         if fm == 0.0 || (hi - lo) <= tol * (1.0 + mid.abs()) {
-            return Some(mid);
+            return Ok(mid);
         }
         if fm.signum() == flo.signum() {
             lo = mid;
@@ -51,7 +125,7 @@ pub fn bisect(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> Opt
             hi = mid;
         }
     }
-    Some(0.5 * (lo + hi))
+    Ok(0.5 * (lo + hi))
 }
 
 /// Minimizes a unimodal `f` on `[lo, hi]` by golden-section search and
@@ -61,7 +135,22 @@ pub fn bisect(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> Opt
 /// bracket, which is acceptable for the bound-tightening uses here (the
 /// objectives are convex in log space on the feasible interval).
 pub fn golden_min(lo: f64, hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> (f64, f64) {
-    assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
+    try_golden_min(lo, hi, tol, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`golden_min`] with the bracket assertion turned into a typed
+/// [`NumericError`], so supervised callers can treat a bad bracket as a
+/// recoverable failure instead of a panic.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(lo <= hi)` also rejects NaN
+pub fn try_golden_min(
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    f: impl Fn(f64) -> f64,
+) -> Result<(f64, f64), NumericError> {
+    if !(lo <= hi) {
+        return Err(NumericError::InvalidBracket { lo, hi });
+    }
     const INVPHI: f64 = 0.618_033_988_749_894_8; // 1/φ
     let mut a = lo;
     let mut b = hi;
@@ -88,7 +177,7 @@ pub fn golden_min(lo: f64, hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> (f64, f
         }
     }
     let x = 0.5 * (a + b);
-    (x, f(x))
+    Ok((x, f(x)))
 }
 
 /// `ln(1 - e^{-y})` for `y > 0`, computed without catastrophic cancellation.
@@ -131,6 +220,58 @@ mod tests {
         assert!(bisect(1.0, 0.0, 1e-12, |x| x).is_none()); // reversed
         assert!(bisect(1.0, 2.0, 1e-12, |x| x).is_none()); // no sign change
         assert!(bisect(0.0, 1.0, 1e-12, |_| f64::NAN).is_none());
+    }
+
+    #[test]
+    fn try_bisect_reports_typed_reasons() {
+        assert_eq!(
+            try_bisect(1.0, 0.0, 1e-12, |x| x),
+            Err(NumericError::InvalidBracket { lo: 1.0, hi: 0.0 })
+        );
+        assert_eq!(
+            try_bisect(1.0, 2.0, 1e-12, |x| x),
+            Err(NumericError::NoSignChange { lo: 1.0, hi: 2.0 })
+        );
+        assert_eq!(
+            try_bisect(0.0, 1.0, 1e-12, |_| f64::NAN),
+            Err(NumericError::NonFinite { x: 0.0 })
+        );
+        let nan = f64::NAN;
+        assert!(matches!(
+            try_bisect(nan, 1.0, 1e-12, |x| x),
+            Err(NumericError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn try_golden_min_rejects_reversed_bracket() {
+        assert_eq!(
+            try_golden_min(1.0, 0.0, 1e-12, |x| x),
+            Err(NumericError::InvalidBracket { lo: 1.0, hi: 0.0 })
+        );
+        // Degenerate single-point bracket is allowed (returns the point).
+        let (x, fx) = try_golden_min(2.0, 2.0, 1e-12, |x| x * x).unwrap();
+        assert_eq!(x, 2.0);
+        assert_eq!(fx, 4.0);
+    }
+
+    #[test]
+    fn numeric_error_display_is_informative() {
+        let msgs = [
+            NumericError::InvalidBracket { lo: 1.0, hi: 0.0 }.to_string(),
+            NumericError::NonFinite { x: 0.5 }.to_string(),
+            NumericError::NoSignChange { lo: 0.0, hi: 1.0 }.to_string(),
+            NumericError::InvalidDomain {
+                what: "theta_sup",
+                value: -1.0,
+            }
+            .to_string(),
+            NumericError::EmptyFamily.to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(msgs[3].contains("theta_sup"));
     }
 
     #[test]

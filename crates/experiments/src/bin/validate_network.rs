@@ -9,6 +9,13 @@
 //! merged in replication order, so the output is identical at any worker
 //! count.
 //!
+//! The campaign is *supervised* (`gps_sim::supervise`): replications are
+//! checkpointed to `results/validate_network_checkpoint.ndjson`, panics
+//! are retried once with the same seed then quarantined, and `--resume`
+//! restores completed replications from the checkpoint with
+//! byte-identical output. `GPS_FAULT_TASK_PANIC=<r>[:once]` injects a
+//! panic for testing.
+//!
 //! Note on discretization: the slotted network forwards across a hop at
 //! slot boundaries, adding up to `K_i - 1 = 1` slot of pipeline latency
 //! versus the continuous fluid model; the comparison therefore allows
@@ -18,9 +25,10 @@ use gps_analysis::RppsNetworkBounds;
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, figure2_network, table1_sources, ParamSet};
 use gps_experiments::plot::{ascii_log_plot, Curve};
-use gps_experiments::{finish_obs, init_obs, measure_slots_or};
+use gps_experiments::{checkpoint_path, finish_obs, init_obs, measure_slots_or, resume_flag};
 use gps_obs::{BoundCurve, BoundMonitor, RunManifest, SessionCurves};
-use gps_sim::runner::{merge_network_reports, run_network_campaign_monitored, NetworkRunConfig};
+use gps_sim::runner::{merge_network_reports, NetworkRunConfig};
+use gps_sim::supervise::{run_supervised_network_campaign, PanicInjection, Supervisor};
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::SlotSource;
 
@@ -70,7 +78,11 @@ fn main() {
             })
             .collect(),
     );
-    let reports = run_network_campaign_monitored(
+    let supervisor = Supervisor::new()
+        .with_checkpoint(checkpoint_path("validate_network"))
+        .with_resume(resume_flag())
+        .with_inject(PanicInjection::from_env());
+    let outcome = run_supervised_network_campaign(
         &base,
         replications,
         |_r| {
@@ -79,9 +91,27 @@ fn main() {
                 .map(|s| Box::new(s) as Box<dyn SlotSource>)
                 .collect()
         },
+        &supervisor,
         Some(&monitor),
+    )
+    .expect("supervised campaign");
+    println!(
+        "supervision: {} of {} replications restored from checkpoint, {} quarantined{}",
+        outcome.restored,
+        replications,
+        outcome.quarantined.len(),
+        if outcome.quarantined.is_empty() {
+            String::new()
+        } else {
+            format!(" (indices {:?})", outcome.quarantined)
+        }
     );
-    let merged = merge_network_reports(&reports);
+    let completed = outcome.completed();
+    if completed.is_empty() {
+        eprintln!("every replication was quarantined; nothing to report");
+        std::process::exit(1);
+    }
+    let merged = merge_network_reports(&completed);
 
     let mut csv = CsvWriter::create(
         "validate_network",

@@ -13,6 +13,14 @@
 //! parallel on the `gps_par` pool (worker count from `GPS_PAR_THREADS`)
 //! and merged in replication order, so the output is identical at any
 //! worker count.
+//!
+//! The campaign is *supervised* (`gps_sim::supervise`): each replication
+//! is checkpointed to `results/validate_single_checkpoint.ndjson` as it
+//! completes, a panicking replication is retried once with the same seed
+//! and quarantined if it panics again, and `--resume` restores completed
+//! replications from the checkpoint instead of recomputing them — with
+//! byte-identical CSV and metrics output either way. Set
+//! `GPS_FAULT_TASK_PANIC=<r>[:once]` to inject a panic for testing.
 
 use gps_analysis::partition_bounds::theorem10;
 use gps_core::GpsAssignment;
@@ -20,11 +28,10 @@ use gps_ebb::TimeModel;
 use gps_experiments::csv::CsvWriter;
 use gps_experiments::paper::{characterize, table1_sources, ParamSet};
 use gps_experiments::plot::{ascii_log_plot, Curve};
-use gps_experiments::{finish_obs, init_obs, measure_slots_or};
+use gps_experiments::{checkpoint_path, finish_obs, init_obs, measure_slots_or, resume_flag};
 use gps_obs::{BoundCurve, BoundMonitor, RunManifest, SessionCurves};
-use gps_sim::runner::{
-    merge_single_node_reports, run_single_node_campaign_monitored, SingleNodeRunConfig,
-};
+use gps_sim::runner::{merge_single_node_reports, SingleNodeRunConfig};
+use gps_sim::supervise::{run_supervised_single_node_campaign, PanicInjection, Supervisor};
 use gps_sources::lnt94::queue_tail_bound;
 use gps_sources::SlotSource;
 use gps_stats::ExponentialTailFit;
@@ -73,7 +80,11 @@ fn main() {
             })
             .collect(),
     );
-    let reports = run_single_node_campaign_monitored(
+    let supervisor = Supervisor::new()
+        .with_checkpoint(checkpoint_path("validate_single"))
+        .with_resume(resume_flag())
+        .with_inject(PanicInjection::from_env());
+    let outcome = run_supervised_single_node_campaign(
         &cfg,
         replications,
         |_r| {
@@ -82,9 +93,27 @@ fn main() {
                 .map(|s| Box::new(s) as Box<dyn SlotSource>)
                 .collect::<Vec<Box<dyn SlotSource>>>()
         },
+        &supervisor,
         Some(&monitor),
+    )
+    .expect("supervised campaign");
+    println!(
+        "supervision: {} of {} replications restored from checkpoint, {} quarantined{}",
+        outcome.restored,
+        replications,
+        outcome.quarantined.len(),
+        if outcome.quarantined.is_empty() {
+            String::new()
+        } else {
+            format!(" (indices {:?})", outcome.quarantined)
+        }
     );
-    let report = merge_single_node_reports(&reports);
+    let completed = outcome.completed();
+    if completed.is_empty() {
+        eprintln!("every replication was quarantined; nothing to report");
+        std::process::exit(1);
+    }
+    let report = merge_single_node_reports(&completed);
 
     let mut csv = CsvWriter::create(
         "validate_single",

@@ -139,6 +139,19 @@ pub fn finish_obs(setup: ObsSetup, mut manifest: RunManifest) -> std::io::Result
     Ok(())
 }
 
+/// True when `--resume` was passed on the command line: supervised
+/// campaigns then restore completed replications from their checkpoint
+/// instead of discarding it and recomputing everything.
+pub fn resume_flag() -> bool {
+    std::env::args().skip(1).any(|a| a == "--resume")
+}
+
+/// Default checkpoint location for a supervised campaign:
+/// `results/<campaign>_checkpoint.ndjson` (see [`gps_sim::supervise`]).
+pub fn checkpoint_path(campaign: &str) -> PathBuf {
+    results_dir().join(format!("{campaign}_checkpoint.ndjson"))
+}
+
 /// Measurement-length override for smoke runs: `GPS_MEASURE_SLOTS` (a
 /// plain integer) replaces `default` when set and parseable.
 pub fn measure_slots_or(default: u64) -> u64 {

@@ -9,11 +9,19 @@
 //!   ([`Snapshot::to_json`]), spans included.
 //! * `/health` — `ok`, for liveness probes.
 //!
-//! The server runs on one named thread (`gps-obs-exporter`) and handles
-//! connections serially — scrape traffic is one client every few seconds,
-//! not a web workload, and a serial loop keeps shutdown exact: dropping
-//! (or [`Exporter::shutdown`]-ing) the handle sets a stop flag and makes
-//! a wake-up connection to unblock `accept`, then joins the thread.
+//! The accept loop runs on one named thread (`gps-obs-exporter`); each
+//! accepted connection is handled on its own short-lived `gps-obs-conn`
+//! thread so a slow or stalled client can never wedge `/metrics` for
+//! other scrapers. Shutdown stays exact: dropping (or
+//! [`Exporter::shutdown`]-ing) the handle sets a stop flag and makes a
+//! wake-up connection to unblock `accept`, then joins the accept thread
+//! (in-flight connection threads finish on their own, bounded by the
+//! per-connection timeouts).
+//!
+//! Malformed and hostile clients are bounded on every axis: reads and
+//! writes time out after two seconds, the request line is capped at 1 KiB
+//! (`414 URI Too Long` beyond that), and the whole request head at 8 KiB
+//! (`431 Request Header Fields Too Large`).
 //!
 //! Nothing here is on a hot path: every request takes a fresh
 //! [`Registry::snapshot`], so the exporter never holds metric locks
@@ -251,7 +259,9 @@ pub fn to_prometheus_text(snap: &Snapshot) -> String {
 // The HTTP server
 
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+const MAX_REQUEST_LINE: usize = 1024;
 
 /// A live `/metrics` server bound to one registry. Construct with
 /// [`Exporter::serve`]; the listener thread stops when the handle is
@@ -324,15 +334,23 @@ fn serve_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) 
             break;
         }
         if let Ok(stream) = conn {
-            handle_connection(stream, &registry);
+            // One short-lived thread per connection: a stalled client
+            // burns its own read timeout, not other scrapers' latency.
+            let registry = registry.clone();
+            let _ = std::thread::Builder::new()
+                .name("gps-obs-conn".to_string())
+                .spawn(move || handle_connection(stream, &registry));
         }
     }
 }
 
 fn handle_connection(mut stream: TcpStream, registry: &Registry) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
+    let mut line_too_long = false;
+    let mut head_too_large = false;
     // Read until the end of the request head; everything we serve is GET,
     // so the body (if any) is ignored.
     loop {
@@ -340,12 +358,36 @@ fn handle_connection(mut stream: TcpStream, registry: &Registry) {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+                let line_end = buf.windows(2).position(|w| w == b"\r\n");
+                if line_end.map_or(buf.len() > MAX_REQUEST_LINE, |e| e > MAX_REQUEST_LINE) {
+                    line_too_long = true;
+                    break;
+                }
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+                if buf.len() > MAX_REQUEST_BYTES {
+                    head_too_large = true;
                     break;
                 }
             }
             Err(_) => return,
         }
+    }
+    if line_too_long {
+        registry.counter("obs.exporter.requests").inc();
+        respond_and_drain(&mut stream, 414, "URI Too Long", "request line too long\n");
+        return;
+    }
+    if head_too_large {
+        registry.counter("obs.exporter.requests").inc();
+        respond_and_drain(
+            &mut stream,
+            431,
+            "Request Header Fields Too Large",
+            "request head too large\n",
+        );
+        return;
     }
     let head = String::from_utf8_lossy(&buf);
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
@@ -390,6 +432,27 @@ fn respond(stream: &mut TcpStream, status: u16, reason: &str, content_type: &str
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+}
+
+/// Responds with an error status and then drains whatever the client has
+/// already sent before the connection drops. Closing a socket with unread
+/// bytes in its receive buffer sends `RST`, which can destroy the response
+/// before the client reads it; draining (bounded by the read timeout and a
+/// byte cap) turns the close into an orderly `FIN`.
+fn respond_and_drain(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    respond(stream, status, reason, "text/plain", body);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    let mut drained = 0usize;
+    while let Ok(n) = stream.read(&mut sink) {
+        if n == 0 {
+            break;
+        }
+        drained += n;
+        if drained > 64 * 1024 {
+            break;
+        }
+    }
 }
 
 /// A minimal blocking HTTP GET against a local exporter — the in-tree
@@ -543,5 +606,77 @@ obs_span_max_ns{path=\"sim/step\"} 300
         exporter.shutdown();
         // The port is released: a fresh bind to the same address works.
         assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn stalled_connection_does_not_wedge_other_clients() {
+        let exporter = Exporter::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let addr = exporter.local_addr();
+
+        // Open a connection and send nothing: it sits in its handler
+        // thread waiting out READ_TIMEOUT (2 s).
+        let stalled = TcpStream::connect(addr).unwrap();
+
+        // Another client must still be served well before that timeout
+        // elapses — the serial loop this replaced would block ~2 s here.
+        let start = std::time::Instant::now();
+        let (status, body) = http_get(addr, "/health").unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "stalled peer delayed a healthy scrape by {elapsed:?}"
+        );
+
+        drop(stalled);
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn overlong_request_line_gets_414() {
+        let exporter = Exporter::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let addr = exporter.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        let request = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(4 * 1024));
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 414 "),
+            "got: {}",
+            response.lines().next().unwrap_or("")
+        );
+
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_head_gets_431() {
+        let exporter = Exporter::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let addr = exporter.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        // Short request line, then enough short header lines to blow the
+        // 8 KiB head cap before the terminating blank line.
+        let mut request = String::from("GET /health HTTP/1.1\r\n");
+        for i in 0..200 {
+            request.push_str(&format!("X-Pad-{i}: {}\r\n", "b".repeat(64)));
+        }
+        request.push_str("\r\n");
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 431 "),
+            "got: {}",
+            response.lines().next().unwrap_or("")
+        );
+
+        exporter.shutdown();
     }
 }

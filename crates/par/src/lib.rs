@@ -32,6 +32,37 @@
 //! captured at `join` and re-raised on the caller thread
 //! ([`std::panic::resume_unwind`]), after all other workers finished.
 //!
+//! # Supervision
+//!
+//! The fail-fast behavior above is right for programming errors but wrong
+//! for long measurement campaigns, where one poisoned task would discard
+//! millions of healthy replications. The fallible variants —
+//! [`par_try_map`], [`par_try_map_indexed`], and the retrying
+//! [`par_try_map_indexed_retry`] — catch each task's panic with
+//! [`std::panic::catch_unwind`] and return a [`TaskOutcome`] per index
+//! instead of aborting the join:
+//!
+//! * `TaskOutcome::Ok(r)` — the task produced a value (possibly after
+//!   retries);
+//! * `TaskOutcome::Failed(e)` — the task returned a typed error. Typed
+//!   failures are deterministic (a pure function of the task's inputs),
+//!   so they are **never retried**;
+//! * `TaskOutcome::Panicked(msg)` — the task panicked on every permitted
+//!   attempt and is *quarantined*: the slot keeps the final panic message
+//!   and the caller decides what to do with the hole.
+//!
+//! The [`RetryPolicy`] is deterministic by construction: a fixed attempt
+//! budget, the attempt number passed to the task (so it can re-derive any
+//! per-attempt state from its seed), and **no wall-clock backoff** — a
+//! replayed campaign makes byte-identical retry decisions. Every caught
+//! panic, retry, recovery, and quarantine is surfaced through `gps_obs`
+//! (`par.tasks_panicked` / `par.tasks_retried` / `par.tasks_recovered` /
+//! `par.tasks_quarantined` / `par.tasks_failed` counters plus `warn`
+//! journal events), so a supervised campaign leaves an audit trail of
+//! exactly which indices were bumpy. These counters are pure functions of
+//! the workload and its injected faults — like `par.tasks_executed`, they
+//! never depend on worker count or scheduling.
+//!
 //! # Pool telemetry
 //!
 //! Every fork-join bumps the global `par.tasks_executed` counter by the
@@ -149,6 +180,273 @@ where
     F: Fn(usize) + Sync,
 {
     run_indexed(threads, n, chunk, f)
+}
+
+// ---------------------------------------------------------------------
+// Supervised (fallible) fork-join
+
+/// Outcome of one supervised task (see the crate-level *Supervision*
+/// section).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome<R, E> {
+    /// The task produced a value, possibly after retried panics.
+    Ok(R),
+    /// The task returned a typed error. Typed failures are deterministic
+    /// — a pure function of the task's inputs — so they are not retried.
+    Failed(E),
+    /// The task panicked on every permitted attempt (the final panic
+    /// message is kept) and its slot is quarantined.
+    Panicked(String),
+}
+
+impl<R, E> TaskOutcome<R, E> {
+    /// True for [`TaskOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TaskOutcome::Ok(_))
+    }
+
+    /// The produced value, if any.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Borrows the produced value, if any.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One slot of a supervised fork-join: the outcome plus how many
+/// attempts it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskReport<R, E> {
+    /// What the task ultimately produced.
+    pub outcome: TaskOutcome<R, E>,
+    /// Attempts actually made (1 = the first try settled it).
+    pub attempts: u32,
+}
+
+/// Deterministic retry policy for supervised maps: a fixed attempt
+/// budget and nothing else — no wall-clock backoff, no jitter — so a
+/// replayed campaign makes byte-identical retry decisions. Only panics
+/// are retried; typed [`TaskOutcome::Failed`] errors are deterministic
+/// and retrying them cannot change the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per task, including the first (must be ≥ 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    /// One retry after the first panic — enough to absorb transient
+    /// environmental failures without masking systematic ones.
+    fn default() -> Self {
+        Self { max_attempts: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retry() -> Self {
+        Self { max_attempts: 1 }
+    }
+}
+
+/// Cached handles for the supervision counters (see crate docs).
+struct SupervisionCounters {
+    panicked: gps_obs::Counter,
+    retried: gps_obs::Counter,
+    recovered: gps_obs::Counter,
+    quarantined: gps_obs::Counter,
+    failed: gps_obs::Counter,
+}
+
+fn supervision_counters() -> &'static SupervisionCounters {
+    static C: OnceLock<SupervisionCounters> = OnceLock::new();
+    C.get_or_init(|| {
+        let m = gps_obs::metrics();
+        SupervisionCounters {
+            panicked: m.counter("par.tasks_panicked"),
+            retried: m.counter("par.tasks_retried"),
+            recovered: m.counter("par.tasks_recovered"),
+            quarantined: m.counter("par.tasks_quarantined"),
+            failed: m.counter("par.tasks_failed"),
+        }
+    })
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads,
+/// which is what `panic!` produces; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Fallible [`par_map`]: maps `f` over `items`, catching per-task panics
+/// instead of aborting the join. No retries; see
+/// [`par_try_map_indexed_retry`] for the retrying variant.
+pub fn par_try_map<T, R, E, F>(items: &[T], f: F) -> Vec<TaskOutcome<R, E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    par_try_map_indexed(items, |_, item| f(item))
+}
+
+/// Fallible [`par_map_indexed`] (no retries).
+pub fn par_try_map_indexed<T, R, E, F>(items: &[T], f: F) -> Vec<TaskOutcome<R, E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_try_map_indexed_threads(max_threads(), items, f)
+}
+
+/// [`par_try_map_indexed`] with an explicit worker count.
+pub fn par_try_map_indexed_threads<T, R, E, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<TaskOutcome<R, E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_try_map_indexed_retry_threads(threads, items, RetryPolicy::no_retry(), |i, _attempt, t| {
+        f(i, t)
+    })
+    .into_iter()
+    .map(|r| r.outcome)
+    .collect()
+}
+
+/// Supervised map with deterministic retry: `f(index, attempt, item)` is
+/// called with `attempt = 0` first; every caught panic consumes one
+/// attempt until [`RetryPolicy::max_attempts`] is exhausted, at which
+/// point the slot is quarantined as [`TaskOutcome::Panicked`]. Typed
+/// `Err` returns are final immediately. Results come back in submission
+/// order, independent of worker count.
+pub fn par_try_map_indexed_retry<T, R, E, F>(
+    items: &[T],
+    policy: RetryPolicy,
+    f: F,
+) -> Vec<TaskReport<R, E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, u32, &T) -> Result<R, E> + Sync,
+{
+    par_try_map_indexed_retry_threads(max_threads(), items, policy, f)
+}
+
+/// [`par_try_map_indexed_retry`] with an explicit worker count.
+pub fn par_try_map_indexed_retry_threads<T, R, E, F>(
+    threads: usize,
+    items: &[T],
+    policy: RetryPolicy,
+    f: F,
+) -> Vec<TaskReport<R, E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, u32, &T) -> Result<R, E> + Sync,
+{
+    assert!(policy.max_attempts >= 1, "need at least one attempt");
+    par_map_indexed_threads(threads, items, |i, item| supervise_one(i, item, policy, &f))
+}
+
+/// Runs one task under the retry policy, catching panics per attempt and
+/// recording supervision telemetry.
+fn supervise_one<T, R, E, F>(i: usize, item: &T, policy: RetryPolicy, f: &F) -> TaskReport<R, E>
+where
+    F: Fn(usize, u32, &T) -> Result<R, E> + Sync,
+{
+    let counters = supervision_counters();
+    let mut attempts = 0u32;
+    loop {
+        let attempt = attempts;
+        attempts += 1;
+        match panic::catch_unwind(panic::AssertUnwindSafe(|| f(i, attempt, item))) {
+            Ok(Ok(r)) => {
+                if attempt > 0 {
+                    counters.recovered.inc();
+                    gps_obs::warn(
+                        "par",
+                        "task_recovered",
+                        &[
+                            ("index", i.into()),
+                            ("attempts", u64::from(attempts).into()),
+                        ],
+                    );
+                }
+                return TaskReport {
+                    outcome: TaskOutcome::Ok(r),
+                    attempts,
+                };
+            }
+            Ok(Err(e)) => {
+                counters.failed.inc();
+                gps_obs::warn(
+                    "par",
+                    "task_failed",
+                    &[("index", i.into()), ("attempt", u64::from(attempt).into())],
+                );
+                return TaskReport {
+                    outcome: TaskOutcome::Failed(e),
+                    attempts,
+                };
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                counters.panicked.inc();
+                gps_obs::warn(
+                    "par",
+                    "task_panicked",
+                    &[
+                        ("index", i.into()),
+                        ("attempt", u64::from(attempt).into()),
+                        ("message", message.as_str().into()),
+                    ],
+                );
+                if attempts >= policy.max_attempts {
+                    counters.quarantined.inc();
+                    gps_obs::warn(
+                        "par",
+                        "task_quarantined",
+                        &[
+                            ("index", i.into()),
+                            ("attempts", u64::from(attempts).into()),
+                            ("message", message.as_str().into()),
+                        ],
+                    );
+                    return TaskReport {
+                        outcome: TaskOutcome::Panicked(message),
+                        attempts,
+                    };
+                }
+                counters.retried.inc();
+            }
+        }
+    }
 }
 
 /// Records pool telemetry for one fork-join of `n` tasks on `workers`
@@ -332,6 +630,123 @@ mod tests {
         let _ = par_map_threads(4, &items, |&x| x);
         let after = gps_obs::metrics().counter("par.tasks_executed").get();
         assert!(after >= before + 123, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn try_map_isolates_panics_and_typed_failures() {
+        let items: Vec<u32> = (0..32).collect();
+        for threads in [1, 4] {
+            let out = par_try_map_indexed_threads(threads, &items, |_, &x| {
+                if x == 7 {
+                    panic!("task 7 blew up");
+                }
+                if x == 11 {
+                    return Err(format!("task {x} declined"));
+                }
+                Ok(x * 2)
+            });
+            assert_eq!(out.len(), 32, "threads {threads}");
+            for (i, o) in out.iter().enumerate() {
+                match (i as u32, o) {
+                    (7, TaskOutcome::Panicked(msg)) => assert!(msg.contains("task 7 blew up")),
+                    (11, TaskOutcome::Failed(e)) => assert_eq!(e, "task 11 declined"),
+                    (x, TaskOutcome::Ok(r)) => assert_eq!(*r, x * 2),
+                    (x, o) => panic!("index {x}: unexpected outcome {o:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_transient_panics_with_attempt_number() {
+        let items: Vec<u32> = (0..8).collect();
+        let out = par_try_map_indexed_retry_threads(
+            3,
+            &items,
+            RetryPolicy { max_attempts: 3 },
+            |_, attempt, &x| -> Result<u32, String> {
+                // Index 5 panics on its first two attempts, then succeeds —
+                // the recovery is deterministic in (index, attempt) alone.
+                if x == 5 && attempt < 2 {
+                    panic!("transient failure, attempt {attempt}");
+                }
+                Ok(x + 100 * attempt)
+            },
+        );
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                assert_eq!(r.attempts, 3);
+                assert_eq!(r.outcome, TaskOutcome::Ok(5 + 200));
+            } else {
+                assert_eq!(r.attempts, 1);
+                assert_eq!(r.outcome, TaskOutcome::Ok(i as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_with_final_message() {
+        let items = [0u8, 1, 2];
+        let out = par_try_map_indexed_retry_threads(
+            2,
+            &items,
+            RetryPolicy { max_attempts: 2 },
+            |_, attempt, &x| -> Result<u8, String> {
+                if x == 1 {
+                    panic!("always broken (attempt {attempt})");
+                }
+                Ok(x)
+            },
+        );
+        assert_eq!(out[0].outcome, TaskOutcome::Ok(0));
+        assert_eq!(out[2].outcome, TaskOutcome::Ok(2));
+        assert_eq!(out[1].attempts, 2);
+        match &out[1].outcome {
+            TaskOutcome::Panicked(msg) => assert!(msg.contains("attempt 1"), "got {msg}"),
+            o => panic!("expected quarantine, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_failures_are_never_retried() {
+        let tries = AtomicU64::new(0);
+        let items = [42u8];
+        let out = par_try_map_indexed_retry_threads(
+            1,
+            &items,
+            RetryPolicy { max_attempts: 5 },
+            |_, _, _| -> Result<(), &'static str> {
+                tries.fetch_add(1, Ordering::Relaxed);
+                Err("deterministic failure")
+            },
+        );
+        assert_eq!(tries.load(Ordering::Relaxed), 1);
+        assert_eq!(out[0].attempts, 1);
+        assert_eq!(out[0].outcome, TaskOutcome::Failed("deterministic failure"));
+    }
+
+    #[test]
+    fn supervision_counters_track_outcomes() {
+        let m = gps_obs::metrics();
+        let before_p = m.counter("par.tasks_panicked").get();
+        let before_q = m.counter("par.tasks_quarantined").get();
+        let before_r = m.counter("par.tasks_recovered").get();
+        let items = [0u8, 1, 2, 3];
+        let _ = par_try_map_indexed_retry_threads(
+            2,
+            &items,
+            RetryPolicy { max_attempts: 2 },
+            |_, attempt, &x| -> Result<u8, String> {
+                match x {
+                    1 => panic!("permanent"),                 // 2 panics, 1 quarantine
+                    2 if attempt == 0 => panic!("transient"), // 1 panic, 1 recovery
+                    _ => Ok(x),
+                }
+            },
+        );
+        assert!(m.counter("par.tasks_panicked").get() >= before_p + 3);
+        assert!(m.counter("par.tasks_quarantined").get() > before_q);
+        assert!(m.counter("par.tasks_recovered").get() > before_r);
     }
 
     #[test]

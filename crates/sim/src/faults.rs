@@ -32,11 +32,56 @@ impl Default for FaultConfig {
     }
 }
 
+/// A [`FaultConfig`] field outside its documented domain, carrying the
+/// offending value so campaign configs can be rejected without panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultConfigError {
+    /// `drop_chance` outside `[0, 1]` (or NaN).
+    DropChance(f64),
+    /// `duplicate_chance` outside `[0, 1]` (or NaN).
+    DuplicateChance(f64),
+    /// `rate_scale` negative or non-finite.
+    RateScale(f64),
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultConfigError::DropChance(v) => {
+                write!(f, "drop_chance = {v} must be a probability in [0, 1]")
+            }
+            FaultConfigError::DuplicateChance(v) => {
+                write!(f, "duplicate_chance = {v} must be a probability in [0, 1]")
+            }
+            FaultConfigError::RateScale(v) => {
+                write!(f, "rate_scale = {v} must be finite and nonnegative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
 impl FaultConfig {
+    /// Checks every field against its domain, reporting the first
+    /// violation as a typed [`FaultConfigError`].
+    pub fn try_validate(&self) -> Result<(), FaultConfigError> {
+        if !(0.0..=1.0).contains(&self.drop_chance) {
+            return Err(FaultConfigError::DropChance(self.drop_chance));
+        }
+        if !(0.0..=1.0).contains(&self.duplicate_chance) {
+            return Err(FaultConfigError::DuplicateChance(self.duplicate_chance));
+        }
+        if !(self.rate_scale >= 0.0 && self.rate_scale.is_finite()) {
+            return Err(FaultConfigError::RateScale(self.rate_scale));
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.drop_chance));
-        assert!((0.0..=1.0).contains(&self.duplicate_chance));
-        assert!(self.rate_scale >= 0.0 && self.rate_scale.is_finite());
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -294,6 +339,48 @@ mod tests {
             f2.next_slot(&mut rng2);
         }
         assert_eq!(f2.counts(), c);
+    }
+
+    #[test]
+    fn try_validate_types_each_field() {
+        assert_eq!(FaultConfig::default().try_validate(), Ok(()));
+        let bad_drop = FaultConfig {
+            drop_chance: 1.5,
+            ..Default::default()
+        };
+        assert_eq!(
+            bad_drop.try_validate(),
+            Err(FaultConfigError::DropChance(1.5))
+        );
+        let bad_dup = FaultConfig {
+            duplicate_chance: -0.1,
+            ..Default::default()
+        };
+        assert_eq!(
+            bad_dup.try_validate(),
+            Err(FaultConfigError::DuplicateChance(-0.1))
+        );
+        let bad_scale = FaultConfig {
+            rate_scale: f64::INFINITY,
+            ..Default::default()
+        };
+        assert_eq!(
+            bad_scale.try_validate(),
+            Err(FaultConfigError::RateScale(f64::INFINITY))
+        );
+        let nan_drop = FaultConfig {
+            drop_chance: f64::NAN,
+            ..Default::default()
+        };
+        assert!(matches!(
+            nan_drop.try_validate(),
+            Err(FaultConfigError::DropChance(_))
+        ));
+        assert!(bad_drop
+            .try_validate()
+            .unwrap_err()
+            .to_string()
+            .contains("drop_chance"));
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   bursts, rate scaling) for robustness experiments, in the spirit of
 //!   smoltcp's `--drop-chance`-style example knobs;
 //! * [`runner`] — seeded measurement campaigns producing per-session
-//!   backlog/delay CCDFs ready to compare against analytical bounds.
+//!   backlog/delay CCDFs ready to compare against analytical bounds;
+//! * [`supervise`] — supervised campaigns: per-replication panic
+//!   isolation with deterministic retry, typed [`supervise::SimError`]
+//!   failures, quarantine accounting, and crash-safe NDJSON
+//!   checkpoint/resume that keeps results byte-identical.
 //!
 //! Throughout: slot = the paper's discrete time unit; amounts are fluid
 //! volumes; capacities are per-slot (rate × slot).
@@ -41,9 +45,10 @@ pub mod packet_network;
 pub mod pgps;
 pub mod runner;
 pub mod slotted;
+pub mod supervise;
 
 pub use ct_runner::{run_ct_fluid, CtRunConfig, CtRunReport};
-pub use faults::FaultySource;
+pub use faults::{FaultConfig, FaultConfigError, FaultySource};
 pub use fluid_event::FluidGps;
 pub use fluid_rates::RateFluidGps;
 pub use network_sim::{NetworkSlotOutput, SlottedGpsNetwork};
@@ -55,3 +60,7 @@ pub use runner::{
     SingleNodeRunReport,
 };
 pub use slotted::{SlotOutput, SlottedGps};
+pub use supervise::{
+    resume_network_campaign, resume_single_node_campaign, run_supervised_network_campaign,
+    run_supervised_single_node_campaign, CampaignOutcome, PanicInjection, SimError, Supervisor,
+};

@@ -34,13 +34,44 @@ fn perron_counters() -> &'static (Counter, Counter) {
     })
 }
 
+/// Power iteration on a periodic (or otherwise non-primitive) matrix never
+/// settles; this typed error reports how far it got so supervised callers
+/// can quarantine the task instead of aborting the campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceError {
+    /// Number of power iterations performed before giving up.
+    pub iterations: u64,
+    /// Final L1 distance between successive normalized iterates.
+    pub residual: f64,
+}
+
+impl std::fmt::Display for ConvergenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Perron iteration failed to converge after {} iterations (residual {:.3e})",
+            self.iterations, self.residual
+        )
+    }
+}
+
+impl std::error::Error for ConvergenceError {}
+
 /// Perron (dominant) eigenpair of a nonnegative irreducible matrix,
 /// computed by power iteration.
 ///
 /// Returns `(z, h)` with `h` normalized so `max_s h_s = 1`. Panics if the
 /// iteration fails to converge in 100k steps (does not happen for the
-/// primitive matrices arising from aperiodic chains with `θ > 0`).
+/// primitive matrices arising from aperiodic chains with `θ > 0`); see
+/// [`try_perron`] for the fallible variant supervised campaigns use.
 pub fn perron(m: &[Vec<f64>]) -> (f64, Vec<f64>) {
+    try_perron(m).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`perron`] returning a typed [`ConvergenceError`] instead of panicking
+/// when the power iteration fails to settle (e.g. for periodic matrices,
+/// whose iterates oscillate forever).
+pub fn try_perron(m: &[Vec<f64>]) -> Result<(f64, Vec<f64>), ConvergenceError> {
     let n = m.len();
     assert!(n > 0);
     let _span = gps_obs::span("sources/perron");
@@ -48,7 +79,9 @@ pub fn perron(m: &[Vec<f64>]) -> (f64, Vec<f64>) {
     calls.inc();
     let mut h = vec![1.0; n];
     let mut z = 1.0;
-    for it in 0..100_000u64 {
+    let mut diff = f64::INFINITY;
+    const MAX_ITERS: u64 = 100_000;
+    for it in 0..MAX_ITERS {
         let mut next = vec![0.0; n];
         for (i, row) in m.iter().enumerate() {
             debug_assert_eq!(row.len(), n);
@@ -61,17 +94,23 @@ pub fn perron(m: &[Vec<f64>]) -> (f64, Vec<f64>) {
         for x in &mut next {
             *x /= norm;
         }
-        let diff: f64 = next.iter().zip(&h).map(|(a, b)| (a - b).abs()).sum();
+        diff = next.iter().zip(&h).map(|(a, b)| (a - b).abs()).sum();
         let z_new = norm;
         let converged = diff < 1e-14 && (z_new - z).abs() < 1e-14 * z_new.max(1.0);
         h = next;
         z = z_new;
         if converged {
             iters.add(it + 1);
-            return (z, h);
+            return Ok((z, h));
         }
     }
-    panic!("Perron iteration failed to converge");
+    // Count the exhausted budget too, so the iteration counter reflects
+    // work performed even on the failure path.
+    iters.add(MAX_ITERS);
+    Err(ConvergenceError {
+        iterations: MAX_ITERS,
+        residual: diff,
+    })
 }
 
 /// The MGF matrix `M(θ) = P · diag(e^{θ λ_s})` of a source.
@@ -150,6 +189,25 @@ mod tests {
         // Right eigenvector of a stochastic matrix is constant.
         assert!((h[0] - h[1]).abs() < 1e-8);
         assert!((h[0] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn try_perron_reports_nonconvergence_on_periodic_matrix() {
+        // The 2-cycle permutation matrix is irreducible but periodic:
+        // power iterates oscillate between (1, 1/2)-type states forever
+        // (eigenvalues ±√2 tie in modulus), so the iteration cannot settle.
+        let m = vec![vec![0.0, 2.0], vec![1.0, 0.0]];
+        let err = try_perron(&m).unwrap_err();
+        assert_eq!(err.iterations, 100_000);
+        assert!(err.residual > 0.0, "residual should be nonzero: {err}");
+        assert!(err.to_string().contains("failed to converge"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to converge")]
+    fn perron_wrapper_panics_on_nonconvergence() {
+        let m = vec![vec![0.0, 2.0], vec![1.0, 0.0]];
+        let _ = perron(&m);
     }
 
     #[test]

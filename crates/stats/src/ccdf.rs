@@ -178,6 +178,40 @@ impl BinnedCcdf {
         &self.thresholds
     }
 
+    /// Raw exceedance counts, one per grid threshold. Together with
+    /// [`BinnedCcdf::len`] and the grid these fully determine the CCDF, so
+    /// checkpointing can round-trip it exactly via [`BinnedCcdf::from_parts`].
+    pub fn exceed_counts(&self) -> &[u64] {
+        &self.exceed
+    }
+
+    /// Reconstructs a CCDF from its raw parts (inverse of
+    /// [`BinnedCcdf::thresholds`] / [`BinnedCcdf::exceed_counts`] /
+    /// [`BinnedCcdf::len`]).
+    ///
+    /// Returns `None` when the parts cannot have come from a real CCDF:
+    /// mismatched lengths, a non-strictly-increasing grid, exceedance
+    /// counts that increase along the grid, or a top count above `total`.
+    pub fn from_parts(thresholds: Vec<f64>, exceed: Vec<u64>, total: u64) -> Option<Self> {
+        if thresholds.is_empty() || thresholds.len() != exceed.len() {
+            return None;
+        }
+        if !thresholds.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        if !exceed.windows(2).all(|w| w[0] >= w[1]) {
+            return None;
+        }
+        if exceed[0] > total {
+            return None;
+        }
+        Some(Self {
+            thresholds,
+            exceed,
+            total,
+        })
+    }
+
     /// Tail probability at grid index `i`: `P̂{X >= thresholds[i]}`.
     pub fn tail_at(&self, i: usize) -> f64 {
         if self.total == 0 {
@@ -318,6 +352,34 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn binned_rejects_bad_grid() {
         let _ = BinnedCcdf::new(vec![1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn binned_from_parts_round_trips() {
+        let mut b = BinnedCcdf::linear(0.0, 5.0, 6);
+        for i in 0..40 {
+            b.push((i % 7) as f64);
+        }
+        let rebuilt =
+            BinnedCcdf::from_parts(b.thresholds().to_vec(), b.exceed_counts().to_vec(), b.len())
+                .unwrap();
+        assert_eq!(rebuilt.thresholds(), b.thresholds());
+        assert_eq!(rebuilt.exceed_counts(), b.exceed_counts());
+        assert_eq!(rebuilt.len(), b.len());
+    }
+
+    #[test]
+    fn binned_from_parts_rejects_inconsistent_parts() {
+        // Length mismatch.
+        assert!(BinnedCcdf::from_parts(vec![0.0, 1.0], vec![3], 5).is_none());
+        // Grid not strictly increasing.
+        assert!(BinnedCcdf::from_parts(vec![1.0, 1.0], vec![3, 2], 5).is_none());
+        // Exceedance counts increasing along the grid.
+        assert!(BinnedCcdf::from_parts(vec![0.0, 1.0], vec![2, 3], 5).is_none());
+        // Top count above total.
+        assert!(BinnedCcdf::from_parts(vec![0.0, 1.0], vec![6, 2], 5).is_none());
+        // Empty grid.
+        assert!(BinnedCcdf::from_parts(vec![], vec![], 0).is_none());
     }
 
     #[test]

@@ -111,6 +111,27 @@ impl StreamingMoments {
         self.max
     }
 
+    /// The centered sum of squares `M2 = Σ(x - mean)²`. Exposed so
+    /// checkpointing can round-trip the accumulator exactly via
+    /// [`StreamingMoments::from_parts`].
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Reconstructs an accumulator from its raw state (inverse of the
+    /// `count`/`mean`/`m2`/`min`/`max` accessors). The caller vouches the
+    /// parts came from a real accumulator — no statistical consistency
+    /// check is possible from the summary alone.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one, as if all its observations
     /// had been pushed here (Chan et al.'s parallel variant of Welford).
     ///
@@ -227,6 +248,20 @@ mod tests {
         assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-10);
         assert_eq!(a.min(), whole.min());
         assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut m = StreamingMoments::new();
+        for x in [3.0, -1.0, 4.0, -1.5, 9.0] {
+            m.push(x);
+        }
+        let r = StreamingMoments::from_parts(m.count(), m.mean(), m.m2(), m.min(), m.max());
+        assert_eq!(r, m);
+        // Empty round-trips too (±inf extrema preserved).
+        let e = StreamingMoments::new();
+        let re = StreamingMoments::from_parts(e.count(), e.mean(), e.m2(), e.min(), e.max());
+        assert_eq!(re, e);
     }
 
     #[test]

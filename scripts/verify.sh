@@ -30,11 +30,44 @@ cargo fmt --all --check
 echo "==> obs_check (exporter integration)"
 GPS_OBS_SERVE=127.0.0.1:0 ./target/release/obs_check
 
+# Supervised campaigns: a run that loses a replication to an injected
+# panic must complete (quarantining it), and a resume of its checkpoint
+# without the fault must reproduce the straight-through CSV and metrics
+# byte-for-byte.
+echo "==> supervised-campaign smoke (quarantine + checkpoint/resume)"
+sup_a="$(mktemp -d)"
+sup_b="$(mktemp -d)"
+trap 'rm -rf "$sup_a" "$sup_b"' EXIT
+GPS_RESULTS_DIR="$sup_a" GPS_MEASURE_SLOTS=200000 \
+    ./target/release/validate_single --quiet > "$sup_a/stdout.txt"
+GPS_RESULTS_DIR="$sup_b" GPS_MEASURE_SLOTS=200000 GPS_FAULT_TASK_PANIC=3 \
+    ./target/release/validate_single --quiet > "$sup_b/stdout.txt"
+if ! grep -q "1 quarantined" "$sup_b/stdout.txt"; then
+    echo "verify.sh: injected panic was not quarantined" >&2
+    exit 1
+fi
+GPS_RESULTS_DIR="$sup_b" GPS_MEASURE_SLOTS=200000 \
+    ./target/release/validate_single --quiet --resume > "$sup_b/stdout_resume.txt"
+if ! grep -q "7 of 8 replications restored" "$sup_b/stdout_resume.txt"; then
+    echo "verify.sh: resume did not restore the checkpointed replications" >&2
+    exit 1
+fi
+cmp "$sup_a/validate_single.csv" "$sup_b/validate_single.csv"
+cmp "$sup_a/validate_single_metrics.json" "$sup_b/validate_single_metrics.json"
+GPS_RESULTS_DIR="$sup_a" ./target/release/report
+GPS_RESULTS_DIR="$sup_b" ./target/release/report
+hash_a="$(sha256sum "$sup_a/dashboard.html" | cut -d' ' -f1)"
+hash_b="$(sha256sum "$sup_b/dashboard.html" | cut -d' ' -f1)"
+if [ "$hash_a" != "$hash_b" ]; then
+    echo "verify.sh: resumed-run dashboard differs from straight-through ($hash_a vs $hash_b)" >&2
+    exit 1
+fi
+
 # Dashboard generator: rebuilding over unchanged results must be
 # byte-identical (the report is a pure function of the files on disk).
 echo "==> report (dashboard smoke + determinism)"
 tmp_results="$(mktemp -d)"
-trap 'rm -rf "$tmp_results"' EXIT
+trap 'rm -rf "$tmp_results" "$sup_a" "$sup_b"' EXIT
 cp -r results/. "$tmp_results"/
 GPS_RESULTS_DIR="$tmp_results" ./target/release/report
 hash1="$(sha256sum "$tmp_results/dashboard.html" | cut -d' ' -f1)"

@@ -55,6 +55,10 @@ pub mod prelude {
         merge_network_reports, merge_single_node_reports, run_network, run_network_campaign,
         run_single_node, run_single_node_campaign, NetworkRunConfig, SingleNodeRunConfig,
     };
+    pub use gps_sim::supervise::{
+        resume_network_campaign, resume_single_node_campaign, run_supervised_network_campaign,
+        run_supervised_single_node_campaign, CampaignOutcome, PanicInjection, SimError, Supervisor,
+    };
     pub use gps_sim::{
         FaultySource, FifoServer, FluidGps, Packet, PgpsServer, PriorityServer, SlottedGps,
         SlottedGpsNetwork,
