@@ -1,23 +1,28 @@
-//! Serial-vs-parallel wall time for the campaign engine.
+//! Serial-vs-parallel wall time for the chunked campaign engine.
 //!
 //! Runs the same replication campaigns through
 //! `run_single_node_campaign_threads` / `run_network_campaign_threads`
-//! at 1, 2, and 4 workers (explicit thread counts, independent of
+//! at 1, 2, 4, and 8 workers (explicit thread counts, independent of
 //! `GPS_PAR_THREADS`), so the JSON report pins both the serial baseline
-//! and the parallel speedup on the current host. Span timing is enabled,
-//! so per-phase span statistics fold into the report.
+//! and the parallel speedup on the current host. A final group times the
+//! memory-bounded merged campaign on a million-replication configuration
+//! (tiny per-replication work, so the bench measures engine overhead:
+//! chunk scheduling, scratch reuse, fold contention). Span timing is
+//! enabled, so per-phase span statistics fold into the report.
 //!
 //! Note: the speedup at k workers is bounded by the machine's core
-//! count; on a single-core host all three variants should be ~equal
-//! (the determinism tests, not this bench, are the correctness gate).
+//! count; on a single-core host all variants should be ~equal (the
+//! scaling/determinism tests, not this bench, are the correctness gate).
 
 use gps_bench::harness::{black_box, BenchHarness};
 use gps_core::NetworkTopology;
 use gps_sim::runner::{
-    run_network_campaign_threads, run_single_node_campaign_threads, NetworkRunConfig,
-    SingleNodeRunConfig,
+    run_network_campaign_threads, run_single_node_campaign_merged_threads,
+    run_single_node_campaign_threads, NetworkRunConfig, SingleNodeRunConfig,
 };
 use gps_sources::{OnOffSource, SlotSource};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn make_sources() -> Vec<Box<dyn SlotSource>> {
     OnOffSource::paper_table1()
@@ -38,7 +43,7 @@ fn bench_single_node(h: &mut BenchHarness) {
         delay_grid: (0..60).map(|i| i as f64).collect(),
     };
     let slots = replications * base.measure;
-    for threads in [1usize, 2, 4] {
+    for threads in THREAD_COUNTS {
         h.bench_elems(
             &format!("single_node_campaign/8x20k_{threads}thread"),
             slots,
@@ -65,7 +70,7 @@ fn bench_network(h: &mut BenchHarness) {
         delay_grid: (0..60).map(|i| i as f64).collect(),
     };
     let slots = replications * base.measure;
-    for threads in [1usize, 2, 4] {
+    for threads in THREAD_COUNTS {
         h.bench_elems(
             &format!("network_campaign/fig2_8x10k_{threads}thread"),
             slots,
@@ -81,10 +86,45 @@ fn bench_network(h: &mut BenchHarness) {
     }
 }
 
+/// Million-replication configuration through the memory-bounded merged
+/// campaign: 10^6 replications of 10 measured slots each (10^7 slots per
+/// iteration). Per-replication work is deliberately tiny so the number
+/// is dominated by the engine itself — chunk scheduling, per-worker
+/// scratch reuse, and the ordered partial-report merge.
+fn bench_million(h: &mut BenchHarness) {
+    let replications = 1_000_000u64;
+    let base = SingleNodeRunConfig {
+        phis: vec![0.2, 0.25, 0.2, 0.25],
+        capacity: 1.0,
+        warmup: 0,
+        measure: 10,
+        seed: 0x1E6,
+        backlog_grid: (0..8).map(|i| i as f64 * 0.5).collect(),
+        delay_grid: (0..8).map(|i| i as f64).collect(),
+    };
+    let slots = replications * base.measure;
+    for threads in [1usize, gps_par::max_threads().max(2)] {
+        h.bench_elems(
+            &format!("merged_campaign/1e6x10_{threads}thread"),
+            slots,
+            || {
+                black_box(run_single_node_campaign_merged_threads(
+                    threads,
+                    None,
+                    &base,
+                    replications,
+                    |_r| make_sources(),
+                ))
+            },
+        );
+    }
+}
+
 fn main() {
     gps_obs::global().set_timing(true);
     let mut h = BenchHarness::new("campaign_par");
     bench_single_node(&mut h);
     bench_network(&mut h);
+    bench_million(&mut h);
     h.finish().expect("write bench report");
 }

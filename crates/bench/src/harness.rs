@@ -118,6 +118,32 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Gregorian civil date from days since 1970-01-01 (Howard Hinnant's
+/// `civil_from_days` algorithm), so history lines can be dated without
+/// any external time dependency.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    (y, m, d)
+}
+
+/// Today's UTC date as `YYYY-MM-DD`.
+fn utc_date_today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 /// The directory bench JSON lands in: `GPS_RESULTS_DIR` when set, else the
 /// workspace-level `results/` next to the crates.
 fn results_dir() -> PathBuf {
@@ -270,12 +296,57 @@ impl BenchHarness {
         std::fs::write(path, self.to_json())
     }
 
-    /// Writes the report to `results/bench_<suite>.json` and returns the
-    /// path. Call this at the end of each bench `main`.
+    /// One dated NDJSON ledger line summarizing this run: date, suite,
+    /// and the median/p10/p90 of every bench. Appended to
+    /// `results/bench_history.ndjson` by [`finish`](Self::finish) so the
+    /// pinned `bench_<suite>.json` snapshots keep a queryable trail of
+    /// when each number was produced and what it replaced.
+    pub fn history_line(&self) -> String {
+        let mut line = format!(
+            "{{\"date\": \"{}\", \"suite\": \"{}\", \"benches\": [",
+            utc_date_today(),
+            json_escape(&self.suite)
+        );
+        for (k, r) in self.results.iter().enumerate() {
+            if k > 0 {
+                line.push_str(", ");
+            }
+            line.push_str(&format!(
+                "{{\"name\": \"{}\", \"median_ns\": {:.3}, \"p10_ns\": {:.3}, \"p90_ns\": {:.3}}}",
+                json_escape(&r.name),
+                r.median_ns,
+                r.p10_ns,
+                r.p90_ns,
+            ));
+        }
+        line.push_str("]}");
+        line
+    }
+
+    /// Appends the [`history_line`](Self::history_line) to an explicit
+    /// ledger path (parent directories are created).
+    pub fn append_history_to(&self, path: &Path) -> std::io::Result<()> {
+        use std::io::Write;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.history_line())
+    }
+
+    /// Writes the report to `results/bench_<suite>.json`, appends a dated
+    /// summary line to `results/bench_history.ndjson`, and returns the
+    /// report path. Call this at the end of each bench `main`.
     pub fn finish(self) -> std::io::Result<PathBuf> {
-        let path = results_dir().join(format!("bench_{}.json", self.suite));
+        let dir = results_dir();
+        let path = dir.join(format!("bench_{}.json", self.suite));
         self.write_json_to(&path)?;
-        println!("wrote {}", path.display());
+        let ledger = dir.join("bench_history.ndjson");
+        self.append_history_to(&ledger)?;
+        println!("wrote {} (history: {})", path.display(), ledger.display());
         Ok(path)
     }
 }
@@ -351,6 +422,49 @@ mod tests {
         assert!(json.contains("\"spans\""));
         assert!(json.contains("\"bench_selftest/phase\""));
         assert!(json.contains("\"count\""));
+    }
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+        assert_eq!(civil_from_days(20_667), (2026, 8, 2));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn history_line_is_one_dated_json_record() {
+        let mut h = BenchHarness::with_config("histtest", quick());
+        h.bench("alpha", || black_box(1u32));
+        h.bench("beta", || black_box(2u32));
+        let line = h.history_line();
+        assert!(!line.contains('\n'), "ledger lines must be single-line");
+        assert!(line.contains("\"suite\": \"histtest\""));
+        assert!(line.contains("\"name\": \"alpha\""));
+        assert!(line.contains("\"name\": \"beta\""));
+        // Dated with a plausible YYYY-MM-DD prefix.
+        let date = line
+            .split("\"date\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("date field");
+        assert_eq!(date.len(), 10);
+        assert_eq!(date.as_bytes()[4], b'-');
+        assert_eq!(date.as_bytes()[7], b'-');
+
+        // Appending twice yields two ledger lines.
+        let dir = std::env::temp_dir().join(format!("gps_bench_hist_{}", std::process::id()));
+        let path = dir.join("bench_history.ndjson");
+        std::fs::remove_file(&path).ok();
+        h.append_history_to(&path).unwrap();
+        h.append_history_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        for l in body.lines() {
+            assert!(l.starts_with("{\"date\": \"") && l.ends_with("]}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

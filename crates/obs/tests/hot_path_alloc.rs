@@ -1,0 +1,129 @@
+//! The observability hot path must stay off the allocator and off every
+//! lock when nothing is listening: a disabled journal `emit` and cached
+//! `Counter`/`Gauge` handles are what campaign workers hammer millions
+//! of times per second, so a single stray allocation (or a snapshot that
+//! depends on worker interleaving) is a scaling bug.
+//!
+//! The proof is a counting global allocator with *per-thread* counters:
+//! each worker measures its own allocation delta across the hot loop, so
+//! the assertion is immune to what other test threads are doing.
+
+use gps_obs::metrics::Registry;
+use gps_obs::{Journal, Level};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Barrier;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations made by the current thread since it started.
+fn thread_allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: TLS may already be torn down during thread exit.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const WORKERS: usize = 4;
+const ITERS: u64 = 20_000;
+
+#[test]
+fn disabled_journal_and_cached_handles_never_allocate() {
+    let journal = Journal::noop();
+    let registry = Registry::new();
+    let barrier = Barrier::new(WORKERS);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let (journal, registry, barrier) = (&journal, &registry, &barrier);
+                s.spawn(move || {
+                    // Handle acquisition may allocate (name interning);
+                    // the steady-state loop below must not.
+                    let counter = registry.counter("hot.events");
+                    let gauge = registry.gauge("hot.level");
+                    barrier.wait();
+                    let before = thread_allocs();
+                    for i in 0..ITERS {
+                        journal.emit(
+                            Level::Info,
+                            "sim.hot",
+                            "slot",
+                            &[("slot", i.into()), ("busy", true.into())],
+                        );
+                        counter.inc();
+                        gauge.set(i as f64);
+                    }
+                    thread_allocs() - before
+                })
+            })
+            .collect();
+        for h in handles {
+            let allocs = h.join().expect("worker panicked");
+            assert_eq!(
+                allocs, 0,
+                "disabled-sink hot path allocated {allocs} times in {ITERS} iterations"
+            );
+        }
+    });
+
+    // The updates all landed despite never touching the allocator.
+    assert_eq!(journal.events_written(), 0, "noop sink must swallow events");
+    assert_eq!(registry.counter("hot.events").get(), WORKERS as u64 * ITERS);
+}
+
+#[test]
+fn concurrent_updates_snapshot_identically_to_serial() {
+    let concurrent = Registry::new();
+    std::thread::scope(|s| {
+        for t in 0..WORKERS {
+            let concurrent = &concurrent;
+            s.spawn(move || {
+                let shared = concurrent.counter("camp.replications");
+                let own = concurrent.counter(&format!("camp.worker.{t}"));
+                let gauge = concurrent.gauge("camp.load");
+                for i in 0..ITERS {
+                    shared.inc();
+                    own.add(3);
+                    gauge.set(0.75 + (i % 2) as f64); // last write wins: 1.75
+                }
+            });
+        }
+    });
+
+    let serial = Registry::new();
+    serial
+        .counter("camp.replications")
+        .add(WORKERS as u64 * ITERS);
+    for t in 0..WORKERS {
+        serial.counter(&format!("camp.worker.{t}")).add(3 * ITERS);
+    }
+    serial.gauge("camp.load").set(1.75);
+
+    assert_eq!(
+        concurrent.snapshot().to_json_without_spans(),
+        serial.snapshot().to_json_without_spans(),
+        "worker interleaving leaked into the metrics snapshot"
+    );
+}

@@ -26,6 +26,24 @@
 //!   worker drains the shared index counter in submission order);
 //! * `k` — at most `k` workers (never more than there are tasks).
 //!
+//! # Task granularity (chunking)
+//!
+//! Workers pull *chunks* of consecutive indices from a shared atomic
+//! cursor, not single indices: with `R` tasks on `w` workers the default
+//! chunk is `max(1, R / (w * DEFAULT_CHUNKS_PER_WORKER))`, overridable
+//! via the `GPS_PAR_CHUNK` environment variable or the `_chunked_`
+//! API variants. Chunking amortizes the cursor fetch, the per-result
+//! collection lock (one push of a whole batch per chunk instead of one
+//! per task), and — through the `scratch` variants — per-task setup:
+//! [`par_map_indexed_scratch_threads`] hands every worker a private
+//! scratch value built once per fork-join and reused across all chunks
+//! it drains.
+//!
+//! Chunking is *never* load-bearing for correctness: each task's output
+//! is still placed by its submission index, so any chunk size (and any
+//! worker count) produces the same `Vec` — `scripts/verify.sh` runs the
+//! whole suite with `GPS_PAR_CHUNK=1` to pin that.
+//!
 //! # Panics
 //!
 //! A panicking task does not deadlock the pool: the panic payload is
@@ -80,10 +98,37 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Default chunk size used by [`par_map`]/[`par_for_indexed`]: small
-/// enough to balance uneven task costs, large enough to amortize the
-/// atomic fetch for fine-grained sweeps.
-const DEFAULT_CHUNK: usize = 1;
+/// How many chunks each worker gets on average under the default
+/// granularity: `chunk = max(1, n / (workers * DEFAULT_CHUNKS_PER_WORKER))`.
+/// A handful of chunks per worker keeps the pool load-balanced against
+/// uneven task costs while still amortizing the shared cursor fetch and
+/// the collection lock over many tasks.
+pub const DEFAULT_CHUNKS_PER_WORKER: usize = 4;
+
+/// Resolves the chunk size for a fork-join of `n` tasks on `workers`
+/// workers: the `GPS_PAR_CHUNK` environment variable if set to a positive
+/// integer, else `max(1, n / (workers * DEFAULT_CHUNKS_PER_WORKER))`.
+/// Chunk size never affects results (see the crate docs), only how much
+/// per-task overhead gets amortized.
+pub fn chunk_size(n: usize, workers: usize) -> usize {
+    match std::env::var("GPS_PAR_CHUNK")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&c| c > 0)
+    {
+        Some(c) => c,
+        None => (n / (workers.max(1) * DEFAULT_CHUNKS_PER_WORKER)).max(1),
+    }
+}
+
+/// A 64-byte-aligned wrapper that gives a per-chunk fold accumulator its
+/// own cache line(s), so partial results accumulated by different workers
+/// never false-share while the fold is hot. Campaign folds wrap their
+/// per-chunk partials (`BinnedCcdf` + `StreamingMoments` aggregates) in
+/// this before handing them back through the collection lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[repr(align(64))]
+pub struct CacheAligned<T>(pub T);
 
 /// Resolves the worker count from the `GPS_PAR_THREADS` environment
 /// variable (see the crate docs for the convention). Always at least 1.
@@ -141,20 +186,95 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_indexed_chunked_threads(threads, None, items, f)
+}
+
+/// [`par_map_indexed_threads`] with an explicit chunk size (`None` =
+/// [`chunk_size`] default). Chunk size never changes the returned `Vec`;
+/// the scaling tests sweep it across {1, default, n} to pin that.
+pub fn par_map_indexed_chunked_threads<T, R, F>(
+    threads: usize,
+    chunk: Option<usize>,
+    items: &[T],
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_scratch_chunked_threads(
+        threads,
+        chunk,
+        items,
+        || (),
+        |_scratch, i, item| f(i, item),
+    )
+}
+
+/// [`par_map_indexed_scratch_chunked_threads`] with the default chunk
+/// size.
+pub fn par_map_indexed_scratch_threads<T, R, S, I, F>(
+    threads: usize,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    par_map_indexed_scratch_chunked_threads(threads, None, items, init, f)
+}
+
+/// The funnel all maps drain through: maps `f(&mut scratch, index, item)`
+/// over `items` with per-worker scratch state. `init` runs once per
+/// worker per fork-join; the scratch value it builds is reused across
+/// every chunk that worker drains, so expensive per-task setup (simulator
+/// state, output buffers) amortizes to once per worker. Each chunk's
+/// results are batched locally and pushed under the collection lock
+/// *once per chunk*, then placed by submission index after the join —
+/// output order is independent of worker count, chunk size, and
+/// scheduling.
+pub fn par_map_indexed_scratch_chunked_threads<T, R, S, I, F>(
+    threads: usize,
+    chunk: Option<usize>,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let n = items.len();
+    let workers = threads.max(1).min(n.max(1));
+    let chunk = chunk.unwrap_or_else(|| chunk_size(n, workers));
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    let collected = Mutex::new(Vec::with_capacity(n));
-    run_indexed(threads, n, DEFAULT_CHUNK, |i| {
-        let r = f(i, &items[i]);
+    let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(
+        n.checked_div(chunk).unwrap_or(0).saturating_add(1),
+    ));
+    run_ranges(threads, n, chunk, &init, |scratch, range| {
+        let start = range.start;
+        let mut batch = Vec::with_capacity(range.len());
+        for i in range {
+            batch.push(f(scratch, i, &items[i]));
+        }
         collected
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push((i, r));
+            .push((start, batch));
     });
     let produced = collected.into_inner().unwrap_or_else(|e| e.into_inner());
-    for (i, r) in produced {
-        slots[i] = Some(r);
+    for (start, batch) in produced {
+        for (k, r) in batch.into_iter().enumerate() {
+            slots[start + k] = Some(r);
+        }
     }
     slots
         .into_iter()
@@ -370,8 +490,31 @@ where
     E: Send,
     F: Fn(usize, u32, &T) -> Result<R, E> + Sync,
 {
+    par_try_map_indexed_retry_chunked_threads(threads, None, items, policy, f)
+}
+
+/// [`par_try_map_indexed_retry_threads`] with an explicit chunk size
+/// (`None` = [`chunk_size`] default). Supervision stays per *task*, not
+/// per chunk: each index inside a chunk is independently caught, retried,
+/// and (if exhausted) quarantined, so chunked supervised campaigns
+/// restore/retry/quarantine identically to per-task ones.
+pub fn par_try_map_indexed_retry_chunked_threads<T, R, E, F>(
+    threads: usize,
+    chunk: Option<usize>,
+    items: &[T],
+    policy: RetryPolicy,
+    f: F,
+) -> Vec<TaskReport<R, E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, u32, &T) -> Result<R, E> + Sync,
+{
     assert!(policy.max_attempts >= 1, "need at least one attempt");
-    par_map_indexed_threads(threads, items, |i, item| supervise_one(i, item, policy, &f))
+    par_map_indexed_chunked_threads(threads, chunk, items, |i, item| {
+        supervise_one(i, item, policy, &f)
+    })
 }
 
 /// Runs one task under the retry policy, catching panics per attempt and
@@ -475,6 +618,23 @@ fn run_indexed<F>(threads: usize, n: usize, chunk: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    run_ranges(threads, n, chunk, &|| (), |_scratch, range| {
+        for i in range {
+            f(i);
+        }
+    });
+}
+
+/// The range engine underneath every fork-join: workers pull
+/// `chunk`-sized index ranges from an atomic cursor until exhausted,
+/// calling `body(&mut scratch, range)` per range with a per-worker
+/// scratch value built once by `init`. With one worker this degenerates
+/// to the exact serial `for` order through the same code path.
+fn run_ranges<S, I, B>(threads: usize, n: usize, chunk: usize, init: &I, body: B)
+where
+    I: Fn() -> S + Sync,
+    B: Fn(&mut S, std::ops::Range<usize>) + Sync,
+{
     assert!(chunk > 0, "chunk size must be positive");
     if n == 0 {
         return;
@@ -482,13 +642,14 @@ where
     let workers = threads.max(1).min(n);
     let timing = pool_metrics(n, workers);
     let cursor = AtomicUsize::new(0);
-    let drain = |_worker: usize| loop {
-        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-        if start >= n {
-            return;
-        }
-        for i in start..(start + chunk).min(n) {
-            f(i);
+    let drain = |_worker: usize| {
+        let mut scratch = init();
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                return;
+            }
+            body(&mut scratch, start..(start + chunk).min(n));
         }
     };
     let work = |worker: usize| {
@@ -747,6 +908,108 @@ mod tests {
         assert!(m.counter("par.tasks_panicked").get() >= before_p + 3);
         assert!(m.counter("par.tasks_quarantined").get() > before_q);
         assert!(m.counter("par.tasks_recovered").get() > before_r);
+    }
+
+    #[test]
+    fn chunk_size_default_granularity() {
+        // verify.sh runs one pass with GPS_PAR_CHUNK=1; the default-math
+        // assertions only hold when the override is absent.
+        if std::env::var("GPS_PAR_CHUNK").is_ok() {
+            return;
+        }
+        assert_eq!(chunk_size(64, 4), 4); // 64 / (4*4)
+        assert_eq!(chunk_size(1_000_000, 8), 31_250);
+        assert_eq!(chunk_size(3, 8), 1); // never zero
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(16, 0), 4); // workers clamped to >= 1
+    }
+
+    #[test]
+    fn chunked_map_is_chunk_invariant() {
+        let items: Vec<u64> = (0..193).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 4] {
+            for chunk in [Some(1), Some(7), Some(64), Some(193), Some(10_000), None] {
+                let out =
+                    par_map_indexed_chunked_threads(threads, chunk, &items, |_, &x| x * 3 + 1);
+                assert_eq!(out, want, "threads {threads} chunk {chunk:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused_across_chunks() {
+        let inits = AtomicU64::new(0);
+        let items: Vec<u64> = (0..100).collect();
+        let threads = 4;
+        // chunk 5 → 20 chunks; scratch must be built at most once per
+        // worker, not once per chunk, and each worker's tally of items
+        // processed through its scratch must sum to n.
+        let out = par_map_indexed_scratch_chunked_threads(
+            threads,
+            Some(5),
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64 // per-worker running count
+            },
+            |count, _, &x| {
+                *count += 1;
+                (x, *count)
+            },
+        );
+        let built = inits.load(Ordering::Relaxed);
+        assert!(
+            built as usize <= threads,
+            "scratch built {built} times for {threads} workers"
+        );
+        assert_eq!(out.len(), 100);
+        // Values are placed by submission index regardless of which
+        // worker/chunk produced them.
+        for (i, &(x, count)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+            assert!(count >= 1);
+        }
+        // Exactly one "first item through a fresh scratch" per worker
+        // that got work — reuse across chunks means count keeps growing
+        // instead of resetting at chunk boundaries.
+        let firsts = out.iter().filter(|&&(_, c)| c == 1).count();
+        assert!(firsts <= threads, "more fresh-scratch items than workers");
+    }
+
+    #[test]
+    fn chunked_retry_matches_per_task_supervision() {
+        let items: Vec<u32> = (0..40).collect();
+        let run = |chunk: Option<usize>| {
+            par_try_map_indexed_retry_chunked_threads(
+                3,
+                chunk,
+                &items,
+                RetryPolicy { max_attempts: 2 },
+                |_, attempt, &x| -> Result<u32, String> {
+                    match x {
+                        13 => panic!("permanent fault"),
+                        21 if attempt == 0 => panic!("transient fault"),
+                        29 => Err("typed failure".to_string()),
+                        _ => Ok(x * 2),
+                    }
+                },
+            )
+        };
+        let per_task = run(Some(1));
+        for chunk in [None, Some(8), Some(40)] {
+            assert_eq!(run(chunk), per_task, "chunk {chunk:?}");
+        }
+        assert_eq!(per_task[21].attempts, 2);
+        assert!(matches!(per_task[13].outcome, TaskOutcome::Panicked(_)));
+        assert!(matches!(per_task[29].outcome, TaskOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn cache_aligned_is_a_cache_line() {
+        assert_eq!(std::mem::align_of::<CacheAligned<u8>>(), 64);
+        let c = CacheAligned(41u64);
+        assert_eq!(c.0 + 1, 42);
     }
 
     #[test]

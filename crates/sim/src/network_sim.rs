@@ -18,7 +18,6 @@
 
 use crate::slotted::{SlotOutput, SlottedGps};
 use gps_core::{NetworkTopology, NodeId};
-use gps_obs::metrics::Counter;
 use std::collections::VecDeque;
 
 /// Slotted simulation of a GPS network.
@@ -36,8 +35,11 @@ pub struct SlottedGpsNetwork {
     cum_entered: Vec<f64>,
     cum_left: Vec<f64>,
     pending: Vec<VecDeque<(u64, f64)>>,
-    // Global-registry slot tally: one relaxed atomic inc per step.
-    slots_ctr: Counter,
+    /// Slots already flushed to the global `sim.network.slots` counter by
+    /// [`flush_slot_metrics`](Self::flush_slot_metrics). Batching the
+    /// tally (instead of one shared atomic inc per step) keeps parallel
+    /// campaign workers from ping-ponging the counter's cache line.
+    slots_flushed: u64,
     /// Per node, per local session: this slot's arrivals (scratch).
     node_arrivals: Vec<Vec<f64>>,
     /// Per-node server output buffer (scratch).
@@ -103,7 +105,7 @@ impl SlottedGpsNetwork {
             cum_entered: vec![0.0; n],
             cum_left: vec![0.0; n],
             pending: vec![VecDeque::new(); n],
-            slots_ctr: gps_obs::metrics().counter("sim.network.slots"),
+            slots_flushed: 0,
             node_arrivals,
             node_out: SlotOutput::new(),
         }
@@ -112,6 +114,49 @@ impl SlottedGpsNetwork {
     /// Current slot.
     pub fn slot(&self) -> u64 {
         self.slot
+    }
+
+    /// Resets the simulator to its just-constructed state (slot 0, empty
+    /// queues everywhere, nothing in flight) without releasing buffers,
+    /// so campaign workers can reuse one network across replications.
+    /// The flushed-slot watermark also resets: a reset simulator is
+    /// observationally identical to a freshly constructed one, including
+    /// its future [`flush_slot_metrics`](Self::flush_slot_metrics)
+    /// contributions.
+    pub fn reset(&mut self) {
+        for server in self.servers.iter_mut().flatten() {
+            server.reset();
+        }
+        for f in &mut self.inflight {
+            f.clear();
+        }
+        self.slot = 0;
+        self.slots_flushed = 0;
+        self.cum_entered.fill(0.0);
+        self.cum_left.fill(0.0);
+        for p in &mut self.pending {
+            p.clear();
+        }
+    }
+
+    /// True if this simulator was built over an identical topology, i.e.
+    /// a [`reset`](Self::reset) makes it interchangeable with
+    /// `SlottedGpsNetwork::new(topology.clone())`.
+    pub fn same_topology(&self, topology: &NetworkTopology) -> bool {
+        self.topology == *topology
+    }
+
+    /// Adds the slots stepped since the last flush (or construction/
+    /// reset) to the global `sim.network.slots` counter. The campaign
+    /// runner calls this once per replication — batching the tally out of
+    /// the per-slot hot path — so the counter's final value is the same
+    /// as when every step incremented it individually.
+    pub fn flush_slot_metrics(&mut self) {
+        let pending = self.slot - self.slots_flushed;
+        if pending > 0 {
+            gps_obs::metrics().counter("sim.network.slots").add(pending);
+            self.slots_flushed = self.slot;
+        }
     }
 
     /// Network backlog of session `i` right now: queued at nodes plus in
@@ -150,7 +195,6 @@ impl SlottedGpsNetwork {
     pub fn step_into(&mut self, source_arrivals: &[f64], out: &mut NetworkSlotOutput) {
         let n = self.topology.num_sessions();
         assert_eq!(source_arrivals.len(), n);
-        self.slots_ctr.inc();
         // Per node, per local session: this slot's arrivals.
         for (ids, arr) in self.local_ids.iter().zip(&mut self.node_arrivals) {
             arr.clear();
@@ -329,5 +373,55 @@ mod tests {
         // 1 at slot 1 where it shares with session 1's unit: 0.5 each ->
         // leaves over slots 1-2: cleared at slot 2: delay 2.
         assert_eq!(worst, 2);
+    }
+
+    #[test]
+    fn reset_is_bit_identical_to_fresh_network() {
+        let topo = NetworkTopology::paper_figure2([0.2, 0.25, 0.2, 0.25]);
+        let pattern = |t: u64| {
+            [
+                if t.is_multiple_of(5) { 0.9 } else { 0.0 },
+                if t % 4 == 1 { 0.8 } else { 0.0 },
+                if t % 5 == 2 { 0.7 } else { 0.0 },
+                if t % 4 == 3 { 0.9 } else { 0.0 },
+            ]
+        };
+        let mut reused = SlottedGpsNetwork::new(topo.clone());
+        for t in 0..37 {
+            reused.step(&pattern(t));
+        }
+        reused.reset();
+        assert_eq!(reused.slot(), 0);
+        let mut fresh = SlottedGpsNetwork::new(topo.clone());
+        for t in 0..53 {
+            let a = reused.step(&pattern(t));
+            let b = fresh.step(&pattern(t));
+            assert_eq!(a, b, "slot {t}: reset network diverges from fresh");
+        }
+        assert!(reused.same_topology(&topo));
+        assert!(!reused.same_topology(&NetworkTopology::paper_figure2([0.1, 0.25, 0.2, 0.25])));
+    }
+
+    #[test]
+    fn slot_counter_flushes_batched_not_per_step() {
+        let ctr = gps_obs::metrics().counter("sim.network.slots");
+        let before = ctr.get();
+        let mut net = SlottedGpsNetwork::new(line_network());
+        for _ in 0..7 {
+            net.step(&[0.0, 0.0]);
+        }
+        // Nothing hits the global registry until the flush...
+        // (other tests may run concurrently, so only assert our own
+        // contribution after flushing.)
+        net.flush_slot_metrics();
+        assert!(ctr.get() >= before + 7);
+        // ...and a second flush with no new slots adds nothing from us.
+        net.flush_slot_metrics();
+        for _ in 0..3 {
+            net.step(&[0.0, 0.0]);
+        }
+        let mid = ctr.get();
+        net.flush_slot_metrics();
+        assert!(ctr.get() >= mid + 3);
     }
 }

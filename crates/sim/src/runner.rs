@@ -25,7 +25,7 @@ use gps_core::NetworkTopology;
 use gps_obs::metrics::{labeled, Registry};
 use gps_obs::monitor::{BoundMonitor, SeriesKind};
 use gps_sources::SlotSource;
-use gps_stats::rng::SeedSequence;
+use gps_stats::rng::{SeedSequence, Xoshiro256pp};
 use gps_stats::{BinnedCcdf, StreamingMoments};
 
 /// Configuration of a single-node measurement run.
@@ -83,11 +83,47 @@ pub fn run_single_node(
     report
 }
 
+/// Reusable per-worker state for single-node runs: the slotted server,
+/// the per-slot arrival and output buffers, and the per-source RNG
+/// streams. A campaign worker holds one of these across all the
+/// replications (chunks) it drains, so per-replication setup shrinks to
+/// a [`SlottedGps::reset`] plus RNG reseeding — no heap allocation. The
+/// server is rebuilt only when the config shape (weights/capacity)
+/// actually changes between calls.
+#[derive(Debug, Default)]
+pub struct SingleNodeScratch {
+    server: Option<SlottedGps>,
+    arrivals: Vec<f64>,
+    out: SlotOutput,
+    rngs: Vec<Xoshiro256pp>,
+}
+
+impl SingleNodeScratch {
+    /// An empty scratch, ready for [`run_single_node_core_scratch`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// [`run_single_node`] without the global-registry metrics fold — the
 /// building block campaign workers run in parallel. Callers that want
 /// metrics record the returned report afterwards (in a deterministic
 /// order) via [`record_single_node_metrics`].
 pub fn run_single_node_core(
+    sources: &mut [Box<dyn SlotSource>],
+    config: &SingleNodeRunConfig,
+) -> SingleNodeRunReport {
+    let mut scratch = SingleNodeScratch::new();
+    run_single_node_core_scratch(&mut scratch, sources, config)
+}
+
+/// [`run_single_node_core`] over caller-owned scratch state. The report
+/// is a pure function of `(sources, config)` — a reused scratch produces
+/// bit-identical output to a fresh one (a reset server is
+/// indistinguishable from a new server; every buffer is overwritten
+/// before use), which the campaign determinism tests pin.
+pub fn run_single_node_core_scratch(
+    scratch: &mut SingleNodeScratch,
     sources: &mut [Box<dyn SlotSource>],
     config: &SingleNodeRunConfig,
 ) -> SingleNodeRunReport {
@@ -106,14 +142,29 @@ pub fn run_single_node_core(
     );
     let _run_span = gps_obs::span("sim/run_single_node");
     let seeds = SeedSequence::new(config.seed);
-    let mut rngs: Vec<_> = (0..n).map(|i| seeds.rng("source", i as u64)).collect();
-    for (s, rng) in sources.iter_mut().zip(&mut rngs) {
+    scratch.rngs.clear();
+    scratch
+        .rngs
+        .extend((0..n).map(|i| seeds.rng("source", i as u64)));
+    let rngs = &mut scratch.rngs;
+    for (s, rng) in sources.iter_mut().zip(rngs.iter_mut()) {
         s.reset(rng);
     }
 
-    let mut server = SlottedGps::new(config.phis.clone(), config.capacity);
-    let mut arrivals = vec![0.0; n];
-    let mut out = SlotOutput::new();
+    let reusable = scratch
+        .server
+        .as_ref()
+        .is_some_and(|s| s.same_shape(&config.phis, config.capacity));
+    if reusable {
+        scratch.server.as_mut().expect("server present").reset();
+    } else {
+        scratch.server = Some(SlottedGps::new(config.phis.clone(), config.capacity));
+    }
+    let server = scratch.server.as_mut().expect("server present");
+    scratch.arrivals.clear();
+    scratch.arrivals.resize(n, 0.0);
+    let arrivals = &mut scratch.arrivals;
+    let out = &mut scratch.out;
 
     // Warmup.
     {
@@ -122,7 +173,7 @@ pub fn run_single_node_core(
             for i in 0..n {
                 arrivals[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            server.step_into(&arrivals, &mut out);
+            server.step_into(arrivals, out);
         }
     }
 
@@ -142,7 +193,7 @@ pub fn run_single_node_core(
             for i in 0..n {
                 arrivals[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            server.step_into(&arrivals, &mut out);
+            server.step_into(arrivals, out);
             for i in 0..n {
                 let q = server.backlog(i);
                 reports[i].backlog.push(q);
@@ -232,9 +283,38 @@ pub fn run_network(
     report
 }
 
+/// Network analogue of [`SingleNodeScratch`]: the network simulator and
+/// per-slot buffers a campaign worker reuses across replications. The
+/// simulator is rebuilt only when the topology actually changes.
+#[derive(Debug, Default)]
+pub struct NetworkScratch {
+    net: Option<SlottedGpsNetwork>,
+    arrivals: Vec<f64>,
+    out: NetworkSlotOutput,
+    rngs: Vec<Xoshiro256pp>,
+}
+
+impl NetworkScratch {
+    /// An empty scratch, ready for [`run_network_core_scratch`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// [`run_network`] without the global-registry metrics fold (see
 /// [`run_single_node_core`]).
 pub fn run_network_core(
+    sources: &mut [Box<dyn SlotSource>],
+    config: &NetworkRunConfig,
+) -> NetworkRunReport {
+    let mut scratch = NetworkScratch::new();
+    run_network_core_scratch(&mut scratch, sources, config)
+}
+
+/// [`run_network_core`] over caller-owned scratch state; bit-identical
+/// to the fresh-scratch path (see [`run_single_node_core_scratch`]).
+pub fn run_network_core_scratch(
+    scratch: &mut NetworkScratch,
     sources: &mut [Box<dyn SlotSource>],
     config: &NetworkRunConfig,
 ) -> NetworkRunReport {
@@ -253,14 +333,29 @@ pub fn run_network_core(
     );
     let _run_span = gps_obs::span("sim/run_network");
     let seeds = SeedSequence::new(config.seed);
-    let mut rngs: Vec<_> = (0..n).map(|i| seeds.rng("source", i as u64)).collect();
-    for (s, rng) in sources.iter_mut().zip(&mut rngs) {
+    scratch.rngs.clear();
+    scratch
+        .rngs
+        .extend((0..n).map(|i| seeds.rng("source", i as u64)));
+    let rngs = &mut scratch.rngs;
+    for (s, rng) in sources.iter_mut().zip(rngs.iter_mut()) {
         s.reset(rng);
     }
 
-    let mut net = SlottedGpsNetwork::new(config.topology.clone());
-    let mut arrivals = vec![0.0; n];
-    let mut out = NetworkSlotOutput::new();
+    let reusable = scratch
+        .net
+        .as_ref()
+        .is_some_and(|net| net.same_topology(&config.topology));
+    if reusable {
+        scratch.net.as_mut().expect("network present").reset();
+    } else {
+        scratch.net = Some(SlottedGpsNetwork::new(config.topology.clone()));
+    }
+    let net = scratch.net.as_mut().expect("network present");
+    scratch.arrivals.clear();
+    scratch.arrivals.resize(n, 0.0);
+    let arrivals = &mut scratch.arrivals;
+    let out = &mut scratch.out;
 
     {
         let _warmup_span = gps_obs::span("warmup");
@@ -268,7 +363,7 @@ pub fn run_network_core(
             for i in 0..n {
                 arrivals[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            net.step_into(&arrivals, &mut out);
+            net.step_into(arrivals, out);
         }
     }
 
@@ -286,7 +381,7 @@ pub fn run_network_core(
             for i in 0..n {
                 arrivals[i] = sources[i].next_slot(&mut rngs[i]);
             }
-            net.step_into(&arrivals, &mut out);
+            net.step_into(arrivals, out);
             for i in 0..n {
                 backlog[i].push(out.network_backlogs[i]);
             }
@@ -297,6 +392,10 @@ pub fn run_network_core(
             }
         }
     }
+    // One batched add instead of one shared atomic inc per slot: same
+    // final `sim.network.slots` value, no counter cache-line ping-pong
+    // between campaign workers.
+    net.flush_slot_metrics();
     let report = NetworkRunReport {
         backlog,
         delay,
@@ -354,6 +453,31 @@ where
     run_single_node_campaign_monitored_threads(threads, base, replications, make_sources, None)
 }
 
+/// [`run_single_node_campaign_threads`] with an explicit chunk size for
+/// the worker task queue. `None` uses the [`gps_par::chunk_size`]
+/// default (which honors `GPS_PAR_CHUNK`). The chunk size only shapes
+/// scheduling: reports are byte-identical for every `(threads, chunk)`
+/// combination.
+pub fn run_single_node_campaign_chunked_threads<F>(
+    threads: usize,
+    chunk: Option<usize>,
+    base: &SingleNodeRunConfig,
+    replications: u64,
+    make_sources: F,
+) -> Vec<SingleNodeRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    run_single_node_campaign_monitored_chunked_threads(
+        threads,
+        chunk,
+        base,
+        replications,
+        make_sources,
+        None,
+    )
+}
+
 /// [`run_single_node_campaign`] with an online [`BoundMonitor`]: after
 /// the parallel join, replication reports are folded in order into a
 /// running pooled report and the merged-so-far empirical tails are
@@ -389,6 +513,31 @@ pub fn run_single_node_campaign_monitored_threads<F>(
 where
     F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
 {
+    run_single_node_campaign_monitored_chunked_threads(
+        threads,
+        None,
+        base,
+        replications,
+        make_sources,
+        monitor,
+    )
+}
+
+/// The full single-node campaign: explicit worker count, explicit chunk
+/// size (`None` → [`gps_par::chunk_size`] default), optional online
+/// bound monitor. Every other single-node campaign entry point funnels
+/// into this one.
+pub fn run_single_node_campaign_monitored_chunked_threads<F>(
+    threads: usize,
+    chunk: Option<usize>,
+    base: &SingleNodeRunConfig,
+    replications: u64,
+    make_sources: F,
+    monitor: Option<&BoundMonitor>,
+) -> Vec<SingleNodeRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
     gps_obs::info(
         "sim.runner",
         "single_node_campaign",
@@ -400,12 +549,18 @@ where
     );
     let _span = gps_obs::span("sim/single_node_campaign");
     let reps: Vec<u64> = (0..replications).collect();
-    let reports = gps_par::par_map_threads(threads, &reps, |&r| {
-        let mut cfg = base.clone();
-        cfg.seed = base.seed.wrapping_add(r);
-        let mut sources = make_sources(r);
-        run_single_node_core(&mut sources, &cfg)
-    });
+    let reports = gps_par::par_map_indexed_scratch_chunked_threads(
+        threads,
+        chunk,
+        &reps,
+        SingleNodeScratch::new,
+        |scratch, _, &r| {
+            let mut cfg = base.clone();
+            cfg.seed = base.seed.wrapping_add(r);
+            let mut sources = make_sources(r);
+            run_single_node_core_scratch(scratch, &mut sources, &cfg)
+        },
+    );
     // Metrics fold happens after the join, in replication order, so the
     // snapshot is independent of worker scheduling.
     for report in &reports {
@@ -483,6 +638,27 @@ where
     run_network_campaign_monitored_threads(threads, base, replications, make_sources, None)
 }
 
+/// Network analogue of [`run_single_node_campaign_chunked_threads`].
+pub fn run_network_campaign_chunked_threads<F>(
+    threads: usize,
+    chunk: Option<usize>,
+    base: &NetworkRunConfig,
+    replications: u64,
+    make_sources: F,
+) -> Vec<NetworkRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    run_network_campaign_monitored_chunked_threads(
+        threads,
+        chunk,
+        base,
+        replications,
+        make_sources,
+        None,
+    )
+}
+
 /// Network analogue of [`run_single_node_campaign_monitored`].
 pub fn run_network_campaign_monitored<F>(
     base: &NetworkRunConfig,
@@ -513,6 +689,31 @@ pub fn run_network_campaign_monitored_threads<F>(
 where
     F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
 {
+    run_network_campaign_monitored_chunked_threads(
+        threads,
+        None,
+        base,
+        replications,
+        make_sources,
+        monitor,
+    )
+}
+
+/// The full network campaign: explicit worker count, explicit chunk
+/// size (`None` → [`gps_par::chunk_size`] default), optional online
+/// bound monitor. Every other network campaign entry point funnels into
+/// this one.
+pub fn run_network_campaign_monitored_chunked_threads<F>(
+    threads: usize,
+    chunk: Option<usize>,
+    base: &NetworkRunConfig,
+    replications: u64,
+    make_sources: F,
+    monitor: Option<&BoundMonitor>,
+) -> Vec<NetworkRunReport>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
     gps_obs::info(
         "sim.runner",
         "network_campaign",
@@ -524,12 +725,18 @@ where
     );
     let _span = gps_obs::span("sim/network_campaign");
     let reps: Vec<u64> = (0..replications).collect();
-    let reports = gps_par::par_map_threads(threads, &reps, |&r| {
-        let mut cfg = base.clone();
-        cfg.seed = base.seed.wrapping_add(r);
-        let mut sources = make_sources(r);
-        run_network_core(&mut sources, &cfg)
-    });
+    let reports = gps_par::par_map_indexed_scratch_chunked_threads(
+        threads,
+        chunk,
+        &reps,
+        NetworkScratch::new,
+        |scratch, _, &r| {
+            let mut cfg = base.clone();
+            cfg.seed = base.seed.wrapping_add(r);
+            let mut sources = make_sources(r);
+            run_network_core_scratch(scratch, &mut sources, &cfg)
+        },
+    );
     for report in &reports {
         record_network_metrics(gps_obs::metrics(), report);
     }
@@ -611,6 +818,111 @@ pub fn merge_single_node_reports(reports: &[SingleNodeRunReport]) -> SingleNodeR
         sessions,
         measured_slots: total_slots,
     }
+}
+
+/// Memory-bounded single-node campaign for very large replication
+/// counts: instead of materializing all `R` reports, each worker folds
+/// its chunk of replications into one pooled partial report in place,
+/// and the partials are merged in chunk order after the join.
+///
+/// Memory is `O(workers)` reports instead of `O(R)`, which is what makes
+/// million-replication campaigns practical. Determinism contract:
+///
+/// * At a **fixed** explicit `chunk`, the result is byte-identical for
+///   every worker count (chunk boundaries, and therefore the float fold
+///   order, are a pure function of `(replications, chunk)`).
+/// * With `chunk = None` the default chunk depends on the worker count,
+///   so the pooled Welford moments and throughput can differ in the last
+///   bits across thread counts; the pooled CCDF tails are exact `u64`
+///   counts and never differ from [`run_single_node_campaign`] followed
+///   by [`merge_single_node_reports`].
+///
+/// The in-chunk fold reproduces [`merge_single_node_reports`]'s float
+/// operation order over the chunk slice exactly (volume is accumulated
+/// and divided once at chunk end), so a fixed-chunk merged campaign is
+/// bit-identical to merging per-chunk slices of the `Vec` campaign.
+/// Partials are cache-line aligned ([`gps_par::CacheAligned`]) so
+/// adjacent workers never false-share an accumulator line.
+pub fn run_single_node_campaign_merged_threads<F>(
+    threads: usize,
+    chunk: Option<usize>,
+    base: &SingleNodeRunConfig,
+    replications: u64,
+    make_sources: F,
+) -> SingleNodeRunReport
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    assert!(replications > 0, "merged campaign needs >= 1 replication");
+    let workers = threads.max(1);
+    let chunk = chunk
+        .unwrap_or_else(|| gps_par::chunk_size(replications as usize, workers))
+        .max(1);
+    gps_obs::info(
+        "sim.runner",
+        "single_node_campaign_merged",
+        &[
+            ("replications", replications.into()),
+            ("threads", (workers as u64).into()),
+            ("chunk", (chunk as u64).into()),
+            ("base_seed", base.seed.into()),
+        ],
+    );
+    let _span = gps_obs::span("sim/single_node_campaign_merged");
+    let ranges: Vec<(u64, u64)> = (0..replications)
+        .step_by(chunk)
+        .map(|s| (s, (s + chunk as u64).min(replications)))
+        .collect();
+    let partials = gps_par::par_map_indexed_scratch_threads(
+        threads,
+        &ranges,
+        SingleNodeScratch::new,
+        |scratch, _, &(start, end)| {
+            // Left-fold the chunk in replication order, tracking served
+            // volume separately so the float op order matches
+            // `merge_single_node_reports` over the chunk slice.
+            let mut acc: Option<(SingleNodeRunReport, Vec<f64>)> = None;
+            for r in start..end {
+                let mut cfg = base.clone();
+                cfg.seed = base.seed.wrapping_add(r);
+                let mut sources = make_sources(r);
+                let rep = run_single_node_core_scratch(scratch, &mut sources, &cfg);
+                match &mut acc {
+                    None => {
+                        let vol = rep
+                            .sessions
+                            .iter()
+                            .map(|s| s.throughput * rep.measured_slots as f64)
+                            .collect();
+                        acc = Some((rep, vol));
+                    }
+                    Some((merged, vol)) => {
+                        assert_eq!(
+                            rep.sessions.len(),
+                            merged.sessions.len(),
+                            "mismatched session counts"
+                        );
+                        for (i, s) in rep.sessions.iter().enumerate() {
+                            merged.sessions[i].backlog.merge(&s.backlog);
+                            merged.sessions[i].delay.merge(&s.delay);
+                            merged.sessions[i].backlog_moments.merge(&s.backlog_moments);
+                            vol[i] += s.throughput * rep.measured_slots as f64;
+                        }
+                        merged.measured_slots += rep.measured_slots;
+                    }
+                }
+            }
+            let (mut merged, vol) = acc.expect("chunk ranges are non-empty");
+            for (s, v) in merged.sessions.iter_mut().zip(&vol) {
+                s.throughput = v / merged.measured_slots as f64;
+            }
+            gps_par::CacheAligned(merged)
+        },
+    );
+    let partials: Vec<SingleNodeRunReport> = partials.into_iter().map(|c| c.0).collect();
+    let merged = merge_single_node_reports(&partials);
+    record_single_node_metrics(gps_obs::metrics(), &merged);
+    merged
 }
 
 /// Merges network replication reports (per-session CCDFs pooled, slots

@@ -728,6 +728,35 @@ pub fn run_supervised_single_node_campaign_threads<F>(
 where
     F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
 {
+    run_supervised_single_node_campaign_chunked_threads(
+        threads,
+        None,
+        base,
+        replications,
+        make_sources,
+        supervisor,
+        monitor,
+    )
+}
+
+/// [`run_supervised_single_node_campaign_threads`] with an explicit
+/// chunk size for the worker task queue (`None` →
+/// [`gps_par::chunk_size`] default). Chunking only shapes scheduling:
+/// restore, retry, and quarantine behavior are identical for every
+/// `(threads, chunk)` combination.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_single_node_campaign_chunked_threads<F>(
+    threads: usize,
+    chunk: Option<usize>,
+    base: &SingleNodeRunConfig,
+    replications: u64,
+    make_sources: F,
+    supervisor: &Supervisor,
+    monitor: Option<&BoundMonitor>,
+) -> Result<CampaignOutcome<SingleNodeRunReport>, SimError>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
     gps_obs::info(
         "sim.supervise",
         "single_node_campaign",
@@ -763,8 +792,9 @@ where
         })
         .count() as u64;
     let reps: Vec<u64> = (0..replications).collect();
-    let tasks = gps_par::par_try_map_indexed_retry_threads(
+    let tasks = gps_par::par_try_map_indexed_retry_chunked_threads(
         threads,
+        chunk,
         &reps,
         supervisor.retry,
         |_, attempt, &r| -> Result<SingleNodeRunReport, SimError> {
@@ -869,6 +899,32 @@ pub fn run_supervised_network_campaign_threads<F>(
 where
     F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
 {
+    run_supervised_network_campaign_chunked_threads(
+        threads,
+        None,
+        base,
+        replications,
+        make_sources,
+        supervisor,
+        monitor,
+    )
+}
+
+/// Network analogue of
+/// [`run_supervised_single_node_campaign_chunked_threads`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_network_campaign_chunked_threads<F>(
+    threads: usize,
+    chunk: Option<usize>,
+    base: &NetworkRunConfig,
+    replications: u64,
+    make_sources: F,
+    supervisor: &Supervisor,
+    monitor: Option<&BoundMonitor>,
+) -> Result<CampaignOutcome<NetworkRunReport>, SimError>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
     gps_obs::info(
         "sim.supervise",
         "network_campaign",
@@ -899,8 +955,9 @@ where
         .filter(|&r| network_report_from_json(base, &restored_map[r]).is_some())
         .count() as u64;
     let reps: Vec<u64> = (0..replications).collect();
-    let tasks = gps_par::par_try_map_indexed_retry_threads(
+    let tasks = gps_par::par_try_map_indexed_retry_chunked_threads(
         threads,
+        chunk,
         &reps,
         supervisor.retry,
         |_, attempt, &r| -> Result<NetworkRunReport, SimError> {

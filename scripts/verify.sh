@@ -8,15 +8,21 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --workspace --release --offline"
 cargo build --workspace --release --offline
 
-# The test suite runs twice: once with the parallel campaign engine
-# pinned to its exact serial fallback (GPS_PAR_THREADS=1), once with the
-# env unset (worker count = available parallelism). Both must pass and —
-# via tests/determinism.rs — produce identical campaign outputs.
+# The test suite runs three times across the scheduling matrix: the
+# exact serial fallback (GPS_PAR_THREADS=1), a multi-worker pass with
+# single-replication chunks (GPS_PAR_THREADS=4 GPS_PAR_CHUNK=1, maximal
+# scheduling freedom), and with both knobs unset (worker count =
+# available parallelism, default chunking). All three must pass and —
+# via tests/determinism.rs and tests/campaign_scaling.rs — produce
+# identical campaign outputs.
 echo "==> GPS_PAR_THREADS=1 cargo test --workspace -q --offline"
 GPS_PAR_THREADS=1 cargo test --workspace -q --offline
 
-echo "==> cargo test --workspace -q --offline (GPS_PAR_THREADS unset)"
-env -u GPS_PAR_THREADS cargo test --workspace -q --offline
+echo "==> GPS_PAR_THREADS=4 GPS_PAR_CHUNK=1 cargo test --workspace -q --offline"
+GPS_PAR_THREADS=4 GPS_PAR_CHUNK=1 cargo test --workspace -q --offline
+
+echo "==> cargo test --workspace -q --offline (GPS_PAR_THREADS/GPS_PAR_CHUNK unset)"
+env -u GPS_PAR_THREADS -u GPS_PAR_CHUNK cargo test --workspace -q --offline
 
 echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -62,6 +68,19 @@ if [ "$hash_a" != "$hash_b" ]; then
     echo "verify.sh: resumed-run dashboard differs from straight-through ($hash_a vs $hash_b)" >&2
     exit 1
 fi
+
+# Bench-history ledger: every pinned bench snapshot must have at least
+# one dated line in results/bench_history.ndjson recording when its
+# numbers were produced (the harness appends one on every finish()).
+echo "==> bench-history ledger covers every pinned bench JSON"
+for bench_json in results/bench_*.json; do
+    suite="$(basename "$bench_json" .json)"
+    suite="${suite#bench_}"
+    if ! grep -q "\"suite\": \"$suite\"" results/bench_history.ndjson 2>/dev/null; then
+        echo "verify.sh: $bench_json has no history line in results/bench_history.ndjson" >&2
+        exit 1
+    fi
+done
 
 # Dashboard generator: rebuilding over unchanged results must be
 # byte-identical (the report is a pure function of the files on disk).
