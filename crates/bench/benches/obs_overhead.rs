@@ -1,22 +1,27 @@
 //! Overhead of the observability layer on the campaign hot path.
 //!
-//! The same single-node campaign workload runs under four setups:
+//! The same single-node campaign workload runs under five setups:
 //!
 //! * `uninstrumented` — a hand-rolled copy of the measurement loop with
 //!   no `gps_obs` call sites at all (the floor);
 //! * `noop_journal` — the real campaign runner with the hub in its
-//!   production default (Noop sink, timing off): every event/span call
-//!   site present but inert;
+//!   production default (Noop sink, timing off, flight recorder off):
+//!   every event/span/trace call site present but inert;
 //! * `stderr_journal` — journal events enabled at Info, written to
 //!   stderr through the locked line-atomic sink;
 //! * `serving` — Noop journal, but with the live `/metrics` exporter
 //!   bound to an ephemeral loopback port for the duration (idle scraper:
-//!   measures the cost of merely having the server thread up).
+//!   measures the cost of merely having the server thread up);
+//! * `traced` — Noop journal with the flight recorder in timing mode:
+//!   chunk begin/end, span, and checkpoint events stream into the
+//!   per-thread rings (reset each iteration so the ring never saturates).
 //!
 //! The contract this pins: a disabled hub is free — `noop_journal` must
-//! stay within 2% of `uninstrumented`. To keep the gate robust against
+//! stay within 2% of `uninstrumented` (that setup includes the disabled
+//! trace call sites on the chunk path). To keep the gate robust against
 //! scheduler noise on shared hosts, it fails only when *both* the median
-//! and the p10 ratios exceed the budget.
+//! and the p10 ratios exceed the budget. `traced` is reported but not
+//! gated: it is the price of *opting in*.
 
 use gps_bench::harness::{black_box, BenchHarness};
 use gps_obs::journal::SinkKind;
@@ -147,6 +152,15 @@ fn main() {
         Exporter::serve("127.0.0.1:0", gps_obs::metrics().clone()).expect("bind exporter");
     h.bench_elems("obs_overhead/serving", slots, || run_campaign(&base));
     exporter.shutdown();
+
+    // Flight recorder armed in timing mode (the opt-in profiling cost).
+    gps_obs::trace::configure(gps_obs::TraceMode::Timing);
+    h.bench_elems("obs_overhead/traced", slots, || {
+        gps_obs::trace::reset();
+        run_campaign(&base);
+    });
+    gps_obs::trace::configure(gps_obs::TraceMode::Off);
+    gps_obs::trace::reset();
 
     let median_ratio = h.results()[1].median_ns / h.results()[0].median_ns;
     let p10_ratio = h.results()[1].p10_ns / h.results()[0].p10_ns;

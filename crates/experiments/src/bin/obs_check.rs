@@ -1,7 +1,10 @@
-//! Integration check for the live telemetry server: runs a tiny campaign
-//! with the exporter bound to an ephemeral port, fetches `/metrics`,
-//! `/metrics.json`, and `/health` over plain TCP (no external HTTP
-//! client), and verifies the responses. Exits nonzero on any failure —
+//! Integration check for the live telemetry server and the flight
+//! recorder: runs a tiny campaign with the exporter bound to an ephemeral
+//! port and tracing armed, fetches `/metrics`, `/metrics.json`,
+//! `/health`, and the live `/progress` tracker over plain TCP (no
+//! external HTTP client), verifies the responses and the scheduler
+//! accounting gauges, and round-trips the exported Chrome trace through
+//! the in-tree JSON parser. Exits nonzero on any failure —
 //! `scripts/verify.sh` runs this instead of depending on `curl`.
 
 use gps_experiments::{init_obs, serve_addr_from_args};
@@ -25,6 +28,10 @@ fn main() {
         std::env::set_var("GPS_OBS_SERVE", "127.0.0.1:0");
     }
     let setup = init_obs("obs_check", true);
+    // Exercise the full instrumented path: span timing (scheduler
+    // accounting + progress gauges) and the timeline flight recorder.
+    gps_obs::global().set_timing(true);
+    gps_obs::trace::configure(gps_obs::TraceMode::Timing);
     let addr = match setup.exporter_addr() {
         Some(a) => a,
         None => {
@@ -72,6 +79,16 @@ fn main() {
                 body.contains("# TYPE") && body.contains("sim_measured_slots_total"),
                 &format!("{} bytes, no expected families", body.len()),
             );
+            ok &= check(
+                "/metrics progress gauges",
+                body.contains("sim_progress_done") && body.contains("sim_progress_total"),
+                "missing sim_progress_* gauges",
+            );
+            ok &= check(
+                "/metrics pool accounting",
+                body.contains("par_pool_workers") && body.contains("par_worker_busy_ns"),
+                "missing par.pool/par.worker gauges",
+            );
         }
         Err(e) => ok = check("/metrics", false, &e.to_string()),
     }
@@ -94,10 +111,69 @@ fn main() {
         }
         Err(e) => ok = check("/metrics.json", false, &e.to_string()),
     }
+    match http_get(addr, "/progress") {
+        Ok((status, body)) => {
+            ok &= check(
+                "/progress status",
+                status == 200,
+                &format!("status {status}"),
+            );
+            let parsed = gps_obs::json::parse(&body);
+            let field = |k: &str| parsed.as_ref().ok().and_then(|d| d.get(k)?.as_u64());
+            ok &= check(
+                "/progress campaign",
+                parsed
+                    .as_ref()
+                    .ok()
+                    .and_then(|d| d.get("campaign")?.as_str().map(str::to_string))
+                    .as_deref()
+                    == Some("single_node"),
+                &body,
+            );
+            ok &= check(
+                "/progress counts",
+                field("total") == Some(2) && field("done") == Some(2),
+                &body,
+            );
+        }
+        Err(e) => ok = check("/progress", false, &e.to_string()),
+    }
     match http_get(addr, "/nope") {
         Ok((status, _)) => ok &= check("unknown path -> 404", status == 404, &format!("{status}")),
         Err(e) => ok = check("unknown path", false, &e.to_string()),
     }
+
+    // Round-trip the flight recorder: export the Chrome trace collected
+    // during the campaign, write it out, and re-parse it with the in-tree
+    // JSON parser the way the report generator does.
+    let trace_path = std::env::temp_dir().join(format!("obs_check_trace_{}.json", addr.port()));
+    match gps_obs::trace::export_json("obs_check") {
+        Some(body) => {
+            std::fs::write(&trace_path, &body).expect("write trace file");
+            let text = std::fs::read_to_string(&trace_path).expect("read trace file");
+            let events = gps_obs::json::parse(&text).ok().and_then(|doc| {
+                if let Some(gps_obs::json::Json::Arr(evs)) = doc.get("traceEvents") {
+                    Some(evs.len())
+                } else {
+                    None
+                }
+            });
+            ok &= check(
+                "trace file parses",
+                events.is_some(),
+                "traceEvents missing or not an array",
+            );
+            ok &= check(
+                "trace has events",
+                events.unwrap_or(0) > 0,
+                "empty traceEvents",
+            );
+            std::fs::remove_file(&trace_path).ok();
+        }
+        None => ok = check("trace export", false, "export_json returned None"),
+    }
+    gps_obs::trace::configure(gps_obs::TraceMode::Off);
+    gps_obs::trace::reset();
 
     // Drop the setup without finish_obs: this check must not overwrite any
     // campaign's results files. The exporter shuts down on drop.

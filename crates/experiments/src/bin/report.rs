@@ -12,7 +12,8 @@
 use gps_experiments::results_dir;
 use gps_obs::json::{self, Json};
 use gps_obs::report::{
-    render, BenchEntry, BenchSuite, CampaignSection, CurveChart, CurveSeries, Dashboard,
+    render, timeline_from_chrome_trace, BenchEntry, BenchSuite, CampaignSection, CurveChart,
+    CurveSeries, Dashboard,
 };
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -249,14 +250,28 @@ fn main() {
         }
     }
 
+    // Flight-recorder timelines (timing-mode traces only; counts-mode
+    // digests have no timestamps and are skipped by the decoder).
+    for f in &entries {
+        if f.ends_with("_trace.json") {
+            if let Some(t) = load_json(&dir.join(f))
+                .as_ref()
+                .and_then(timeline_from_chrome_trace)
+            {
+                dash.timelines.push(t);
+            }
+        }
+    }
+
     let html = render(&dash);
     let out = dir.join("dashboard.html");
     std::fs::write(&out, &html).expect("write dashboard");
     println!(
-        "dashboard: {} charts, {} campaigns, {} bench suites -> {}",
+        "dashboard: {} charts, {} campaigns, {} bench suites, {} timelines -> {}",
         dash.charts.len(),
         dash.campaigns.len(),
         dash.benches.len(),
+        dash.timelines.len(),
         out.display()
     );
 }

@@ -64,10 +64,15 @@ pub fn serve_addr_from_args() -> Option<String> {
 ///   `noop`, the shorthand `file` (= `results/<campaign>_journal.ndjson`),
 ///   or an explicit path;
 /// * `GPS_OBS_LEVEL` / `GPS_OBS_TIMING` select verbosity and span timing;
+/// * `GPS_OBS_TRACE` arms the flight recorder ([`gps_obs::trace`]) —
+///   `1`/`timing` for per-worker timelines, `counts` for the deterministic
+///   counts-only digest; [`finish_obs`] exports the collected events to
+///   `results/<campaign>_trace.json`;
 /// * `--serve <addr>` on the command line or `GPS_OBS_SERVE=<addr>` starts
 ///   the live telemetry server ([`gps_obs::exporter`]) on `addr` for the
-///   duration of the campaign (shut down by [`finish_obs`] after the final
-///   metrics snapshot is written).
+///   duration of the campaign — `/metrics`, `/metrics.json`, `/health`, and
+///   the live `/progress` campaign tracker (shut down by [`finish_obs`]
+///   after the final metrics snapshot is written).
 pub fn init_obs(campaign: &str, quiet: bool) -> ObsSetup {
     let mut cfg = ObsConfig::from_env_or(ObsConfig {
         sink: SinkKind::Stderr,
@@ -88,6 +93,7 @@ pub fn init_obs(campaign: &str, quiet: bool) -> ObsSetup {
         journal_path = Some(path);
     }
     gps_obs::init(cfg);
+    gps_obs::trace::init_from_env();
     gps_obs::info("campaign", "start", &[("name", campaign.into())]);
     let exporter = serve_addr_from_args().and_then(|addr| {
         match Exporter::serve(&addr, gps_obs::metrics().clone()) {
@@ -124,6 +130,11 @@ pub fn finish_obs(setup: ObsSetup, mut manifest: RunManifest) -> std::io::Result
             dir.join(format!("{}_metrics.json", setup.campaign)),
             snap.to_json(),
         )?;
+    }
+    if let Some(body) = gps_obs::trace::export_json(&setup.campaign) {
+        let path = dir.join(format!("{}_trace.json", setup.campaign));
+        std::fs::write(&path, body)?;
+        manifest.trace(&path.display().to_string());
     }
     gps_obs::info(
         "campaign",

@@ -7,6 +7,9 @@
 //!   format v0.0.4 (see [`to_prometheus_text`]).
 //! * `/metrics.json` — the existing deterministic snapshot JSON
 //!   ([`Snapshot::to_json`]), spans included.
+//! * `/progress` — the live campaign progress document
+//!   ([`crate::progress::Progress::to_json`]): replications
+//!   done/restored/retried/quarantined, chunk count, throughput, ETA.
 //! * `/health` — `ok`, for liveness probes.
 //!
 //! The accept loop runs on one named thread (`gps-obs-exporter`); each
@@ -418,6 +421,10 @@ fn handle_connection(mut stream: TcpStream, registry: &Registry) {
             let body = registry.snapshot().to_json();
             respond(&mut stream, 200, "OK", "application/json", &body);
         }
+        "/progress" => {
+            let body = crate::progress::global_progress().to_json();
+            respond(&mut stream, 200, "OK", "application/json", &body);
+        }
         "/health" => respond(&mut stream, 200, "OK", "text/plain", "ok\n"),
         _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
     }
@@ -596,6 +603,18 @@ obs_span_max_ns{path=\"sim/step\"} 300
                 .and_then(|v| v.as_u64()),
             Some(3)
         );
+
+        crate::progress::global_progress().begin_campaign("exporter_test", 10);
+        crate::progress::global_progress().add_done(4);
+        let (status, body) = http_get(addr, "/progress").unwrap();
+        assert_eq!(status, 200);
+        let doc = crate::json::parse(&body).expect("progress json parses");
+        assert_eq!(
+            doc.get("campaign").and_then(|v| v.as_str()),
+            Some("exporter_test")
+        );
+        assert_eq!(doc.get("total").and_then(|v| v.as_u64()), Some(10));
+        assert_eq!(doc.get("done").and_then(|v| v.as_u64()), Some(4));
 
         let (status, _) = http_get(addr, "/nope").unwrap();
         assert_eq!(status, 404);

@@ -19,10 +19,12 @@
 //!  output row counts) — and [`json`], the shared writer/parser.
 //!
 //! On top of the pillars sit the operable surfaces: [`exporter`] (a
-//! zero-dependency `/metrics` HTTP server in Prometheus text exposition
-//! format), [`monitor`] (online bound-violation detection against the
-//! paper's analytic tail curves), and [`report`] (the static-HTML
-//! results dashboard).
+//! zero-dependency `/metrics` + `/progress` HTTP server in Prometheus
+//! text exposition format), [`monitor`] (online bound-violation
+//! detection against the paper's analytic tail curves), [`report`] (the
+//! static-HTML results dashboard), [`trace`] (the `GPS_OBS_TRACE`
+//! flight recorder exporting Chrome trace-event JSON), and [`progress`]
+//! (the live campaign progress tracker behind `/progress`).
 //!
 //! # The global hub
 //!
@@ -54,15 +56,19 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod monitor;
+pub mod progress;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use exporter::{to_prometheus_text, Exporter};
 pub use journal::{FieldValue, Journal, Level, ParsedEvent, SinkKind};
 pub use manifest::RunManifest;
 pub use metrics::{labeled, Counter, Gauge, Registry, Snapshot, SpanStats};
 pub use monitor::{BoundCurve, BoundMonitor, SeriesKind, SessionCurves};
+pub use progress::{global_progress, Progress};
 pub use span::Span;
+pub use trace::{TraceKind, TraceMode, TraceScope};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

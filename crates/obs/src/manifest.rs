@@ -20,6 +20,7 @@ pub struct RunManifest {
     config: BTreeMap<String, Json>,
     outputs: Vec<(String, u64)>,
     journal: Option<String>,
+    trace: Option<String>,
     wall_ms: Option<f64>,
 }
 
@@ -33,6 +34,7 @@ impl RunManifest {
             config: BTreeMap::new(),
             outputs: Vec::new(),
             journal: None,
+            trace: None,
             wall_ms: None,
         }
     }
@@ -57,6 +59,13 @@ impl RunManifest {
     /// Records the journal file this run wrote, if any.
     pub fn journal(&mut self, file: &str) {
         self.journal = Some(file.to_string());
+    }
+
+    /// Records the flight-recorder trace file this run exported, if any.
+    /// The key is omitted entirely when tracing was off, so untraced
+    /// manifests are byte-identical to those from before tracing existed.
+    pub fn trace(&mut self, file: &str) {
+        self.trace = Some(file.to_string());
     }
 
     /// Records elapsed wall-clock milliseconds (the one timing field).
@@ -111,6 +120,9 @@ impl RunManifest {
                 },
             ),
         ];
+        if let Some(f) = &self.trace {
+            root.push(("trace".into(), Json::Str(f.clone())));
+        }
         if let Some(ms) = self.wall_ms {
             root.push((
                 "timing".into(),
@@ -181,6 +193,18 @@ mod tests {
         };
         assert_eq!(strip(&a), strip(&b));
         assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn trace_key_present_only_when_traced() {
+        assert!(!sample().to_json().contains("\"trace\""));
+        let mut t = sample();
+        t.trace("validate_single_trace.json");
+        let v = json::parse(&t.to_json()).unwrap();
+        assert_eq!(
+            v.get("trace").unwrap().as_str(),
+            Some("validate_single_trace.json")
+        );
     }
 
     #[test]

@@ -77,6 +77,42 @@ pub struct CampaignSection {
     pub metrics: Option<Json>,
 }
 
+/// One executed interval on a worker lane, decoded from a paired
+/// begin/end pair of Chrome trace events.
+#[derive(Debug, Clone)]
+pub struct TraceSlice {
+    /// Event name (`chunk`, `sim/single_node_campaign`, …).
+    pub name: String,
+    /// Start, microseconds since the timeline origin.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+/// One worker lane of a campaign timeline.
+#[derive(Debug, Clone)]
+pub struct TraceLane {
+    /// Lane label (`main`, `worker-1`, …).
+    pub name: String,
+    /// Chrome `tid` the lane was recorded under.
+    pub tid: u64,
+    /// Executed slices in start order.
+    pub slices: Vec<TraceSlice>,
+}
+
+/// One campaign's flight-recorder timeline (`<name>_trace.json`).
+#[derive(Debug, Clone)]
+pub struct TraceTimeline {
+    /// Campaign the trace belongs to.
+    pub campaign: String,
+    /// Lanes sorted by `tid` (main first, then workers).
+    pub lanes: Vec<TraceLane>,
+    /// Horizontal extent of the timeline, microseconds.
+    pub span_us: f64,
+    /// Events the bounded ring dropped while recording.
+    pub dropped: u64,
+}
+
 /// Everything the dashboard shows.
 #[derive(Debug, Clone, Default)]
 pub struct Dashboard {
@@ -86,6 +122,8 @@ pub struct Dashboard {
     pub campaigns: Vec<CampaignSection>,
     /// Bench suites, in display order.
     pub benches: Vec<BenchSuite>,
+    /// Flight-recorder timelines, in display order.
+    pub timelines: Vec<TraceTimeline>,
 }
 
 /// Escapes text for HTML body and attribute positions.
@@ -325,6 +363,250 @@ pub fn svg_curve_chart(chart: &CurveChart) -> String {
     format!("{legend}{svg}")
 }
 
+// ---------------------------------------------------------------------
+// Flight-recorder timelines
+
+const TL_W: f64 = 860.0;
+const TL_LANE_H: f64 = 18.0;
+const TL_GAP: f64 = 5.0;
+/// Left margin: lane labels.
+const TL_L: f64 = 84.0;
+/// Right margin: the per-lane utilization bar.
+const TL_R: f64 = 150.0;
+const TL_T: f64 = 8.0;
+const TL_B: f64 = 26.0;
+const UTIL_BAR_W: f64 = 90.0;
+
+/// Decodes a timing-mode Chrome trace document (`<campaign>_trace.json`)
+/// into a [`TraceTimeline`]: `thread_name` metadata labels the lanes and
+/// begin/end pairs become slices, matched per `tid` with a stack (the
+/// recorder emits properly nested events per lane). Returns `None` for
+/// counts-mode digests and anything else without a `traceEvents` array.
+pub fn timeline_from_chrome_trace(doc: &Json) -> Option<TraceTimeline> {
+    use std::collections::BTreeMap;
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return None;
+    };
+    let other = doc.get("otherData");
+    let campaign = other
+        .and_then(|o| o.get("campaign"))
+        .and_then(|v| v.as_str())
+        .unwrap_or("")
+        .to_string();
+    let dropped = other
+        .and_then(|o| o.get("dropped"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+
+    let mut lane_names: BTreeMap<u64, String> = BTreeMap::new();
+    let mut stacks: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+    let mut slices: BTreeMap<u64, Vec<TraceSlice>> = BTreeMap::new();
+    let (mut origin, mut end) = (f64::INFINITY, f64::NEG_INFINITY);
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        let tid = e.get("tid").and_then(|v| v.as_u64()).unwrap_or(0);
+        if ph == "M" {
+            if e.get("name").and_then(|v| v.as_str()) == Some("thread_name") {
+                if let Some(n) = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                {
+                    lane_names.insert(tid, n.to_string());
+                }
+            }
+            continue;
+        }
+        let Some(ts) = e.get("ts").and_then(|v| v.as_f64()) else {
+            continue;
+        };
+        origin = origin.min(ts);
+        end = end.max(ts);
+        match ph {
+            "B" => {
+                let name = e
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string();
+                stacks.entry(tid).or_default().push((name, ts));
+            }
+            "E" => {
+                if let Some((name, t0)) = stacks.entry(tid).or_default().pop() {
+                    slices.entry(tid).or_default().push(TraceSlice {
+                        name,
+                        start_us: t0,
+                        dur_us: (ts - t0).max(0.0),
+                    });
+                }
+            }
+            _ => {} // instants mark the axis extent but draw no slice
+        }
+    }
+    if !origin.is_finite() {
+        return None;
+    }
+    // One lane per tid that either announced a name or closed a slice.
+    let tids: std::collections::BTreeSet<u64> = lane_names
+        .keys()
+        .copied()
+        .chain(slices.keys().copied())
+        .collect();
+    let lanes = tids
+        .into_iter()
+        .map(|tid| {
+            let mut s = slices.remove(&tid).unwrap_or_default();
+            for sl in &mut s {
+                sl.start_us -= origin;
+            }
+            s.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+            TraceLane {
+                name: lane_names
+                    .get(&tid)
+                    .cloned()
+                    .unwrap_or_else(|| format!("tid-{tid}")),
+                tid,
+                slices: s,
+            }
+        })
+        .collect();
+    Some(TraceTimeline {
+        campaign,
+        lanes,
+        span_us: (end - origin).max(1e-3),
+        dropped,
+    })
+}
+
+/// Renders a flight-recorder timeline as an inline SVG: one horizontal
+/// lane per worker with its executed slices as rectangles (tooltip =
+/// name, start, duration), plus a busy-fraction utilization bar per lane
+/// on the right. Palette slots are assigned to slice names in order of
+/// first appearance (extras share the last slot; tooltips disambiguate).
+pub fn svg_trace_timeline(t: &TraceTimeline) -> String {
+    if t.lanes.is_empty() {
+        return "<p class=\"empty\">no timeline data</p>".to_string();
+    }
+    let rows = t.lanes.len() as f64;
+    let height = TL_T + rows * (TL_LANE_H + TL_GAP) - TL_GAP + TL_B;
+    let plot_w = TL_W - TL_L - TL_R;
+    let sx = |us: f64| TL_L + (us / t.span_us).clamp(0.0, 1.0) * plot_w;
+
+    let slot_of = |name: &str, slots: &mut Vec<String>| -> usize {
+        match slots.iter().position(|n| n == name) {
+            Some(i) => i.min(SERIES_LIGHT.len() - 1),
+            None => {
+                slots.push(name.to_string());
+                (slots.len() - 1).min(SERIES_LIGHT.len() - 1)
+            }
+        }
+    };
+    let mut slots: Vec<String> = Vec::new();
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg viewBox=\"0 0 {TL_W:.0} {height:.0}\" width=\"{TL_W:.0}\" \
+         height=\"{height:.0}\" role=\"img\" aria-label=\"{} worker timeline\">",
+        html_escape(&t.campaign)
+    );
+    let base_y = TL_T + rows * (TL_LANE_H + TL_GAP) - TL_GAP;
+    // Time axis: baseline plus five ticks across the span.
+    let _ = write!(
+        svg,
+        "<line class=\"axis\" x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"/>",
+        fmt_coord(TL_L),
+        fmt_coord(base_y + 3.0),
+        fmt_coord(TL_L + plot_w),
+        fmt_coord(base_y + 3.0)
+    );
+    for i in 0..=4 {
+        let us = t.span_us * i as f64 / 4.0;
+        let _ = write!(
+            svg,
+            "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            fmt_coord(sx(us)),
+            fmt_coord(base_y + 16.0),
+            html_escape(&fmt_ns(us * 1e3))
+        );
+    }
+
+    for (li, lane) in t.lanes.iter().enumerate() {
+        let y = TL_T + li as f64 * (TL_LANE_H + TL_GAP);
+        let _ = write!(
+            svg,
+            "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+            fmt_coord(TL_L - 6.0),
+            fmt_coord(y + TL_LANE_H / 2.0 + 3.5),
+            html_escape(&lane.name)
+        );
+        let _ = write!(
+            svg,
+            "<rect class=\"lanebg\" x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" rx=\"2\"/>",
+            fmt_coord(TL_L),
+            fmt_coord(y),
+            fmt_coord(plot_w),
+            fmt_coord(TL_LANE_H)
+        );
+        let mut busy_us = 0.0;
+        for s in &lane.slices {
+            busy_us += s.dur_us;
+            let x = sx(s.start_us);
+            let w = (sx(s.start_us + s.dur_us) - x).max(0.75);
+            let si = slot_of(&s.name, &mut slots);
+            let _ = write!(
+                svg,
+                "<rect class=\"f{si}\" x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" rx=\"1\">\
+                 <title>{} @ {} for {}</title></rect>",
+                fmt_coord(x),
+                fmt_coord(y + 2.0),
+                fmt_coord(w),
+                fmt_coord(TL_LANE_H - 4.0),
+                html_escape(&s.name),
+                fmt_ns(s.start_us * 1e3),
+                fmt_ns(s.dur_us * 1e3)
+            );
+        }
+        // Utilization: the lane's busy fraction of the whole span.
+        let frac = (busy_us / t.span_us).clamp(0.0, 1.0);
+        let ux = TL_W - TL_R + 14.0;
+        let _ = write!(
+            svg,
+            "<rect class=\"utilbg\" x=\"{}\" y=\"{}\" width=\"{UTIL_BAR_W:.0}\" \
+             height=\"8\" rx=\"2\"/><rect class=\"utilbar\" x=\"{}\" y=\"{}\" \
+             width=\"{}\" height=\"8\" rx=\"2\"><title>{}: busy {} of {} ({}%)\
+             </title></rect><text class=\"tick\" x=\"{}\" y=\"{}\">{}%</text>",
+            fmt_coord(ux),
+            fmt_coord(y + TL_LANE_H / 2.0 - 4.0),
+            fmt_coord(ux),
+            fmt_coord(y + TL_LANE_H / 2.0 - 4.0),
+            fmt_coord((frac * UTIL_BAR_W).max(0.5)),
+            html_escape(&lane.name),
+            fmt_ns(busy_us * 1e3),
+            fmt_ns(t.span_us * 1e3),
+            (frac * 100.0).round(),
+            fmt_coord(ux + UTIL_BAR_W + 6.0),
+            fmt_coord(y + TL_LANE_H / 2.0 + 3.5),
+            (frac * 100.0).round()
+        );
+    }
+    svg.push_str("</svg>");
+
+    let mut legend = String::from("<div class=\"legend\">");
+    for (si, name) in slots.iter().take(SERIES_LIGHT.len()).enumerate() {
+        let _ = write!(
+            legend,
+            "<span class=\"key\"><span class=\"chip s{si}bg\"></span>{}</span>",
+            html_escape(name)
+        );
+    }
+    let _ = write!(
+        legend,
+        "<span class=\"key\"><span class=\"chip utilchip\"></span>utilization</span></div>"
+    );
+    format!("{legend}{svg}")
+}
+
 /// Renders a bench suite as a table with an inline bar per entry
 /// (median, with a p10–p90 whisker) on a shared linear scale.
 fn bench_suite_html(suite: &BenchSuite) -> String {
@@ -521,6 +803,27 @@ pub fn render(d: &Dashboard) -> String {
         body.push_str("</div>");
     }
 
+    if !d.timelines.is_empty() {
+        body.push_str("<h2>Flight-recorder timelines</h2><div class=\"charts\">");
+        for t in &d.timelines {
+            let caption = if t.dropped > 0 {
+                format!(
+                    "{}: worker timeline ({} events dropped by the bounded ring)",
+                    t.campaign, t.dropped
+                )
+            } else {
+                format!("{}: worker timeline", t.campaign)
+            };
+            let _ = write!(
+                body,
+                "<figure><figcaption>{}</figcaption>{}</figure>",
+                html_escape(&caption),
+                svg_trace_timeline(t)
+            );
+        }
+        body.push_str("</div>");
+    }
+
     if !d.campaigns.is_empty() {
         body.push_str("<h2>Campaigns</h2>");
         for c in &d.campaigns {
@@ -597,6 +900,10 @@ pub fn render(d: &Dashboard) -> String {
          svg line.axis {{ stroke: var(--axis); stroke-width: 1; }}\n\
          svg rect.bar {{ fill: var(--series-0); }}\n\
          svg line.whisker {{ stroke: var(--ink-2); stroke-width: 1.5; }}\n\
+         svg rect.lanebg {{ fill: var(--grid); opacity: .45; }}\n\
+         svg rect.utilbg {{ fill: var(--grid); }}\n\
+         svg rect.utilbar {{ fill: var(--series-2); }}\n\
+         .utilchip {{ background: var(--series-2); }}\n\
          {series_rules}\n\
          footer {{ color: var(--muted); font-size: 12px; margin-top: 28px; }}\n\
          </style>\n</head>\n<body>\n\
@@ -618,6 +925,7 @@ pub fn render(d: &Dashboard) -> String {
                     "svg .s{i} {{ stroke: var(--series-{i}); }}\n\
                      svg circle.s{i} {{ fill: var(--series-{i}); stroke: var(--surface);\n\
                        stroke-width: 1; }}\n\
+                     svg rect.f{i} {{ fill: var(--series-{i}); }}\n\
                      .s{i}bg {{ background: var(--series-{i}); }}\n"
                 );
             }
@@ -691,6 +999,7 @@ mod tests {
                     p90_ns: 1.7e6,
                 }],
             }],
+            timelines: Vec::new(),
         };
         let a = render(&d);
         let b = render(&d);
@@ -700,6 +1009,83 @@ mod tests {
         assert!(a.contains("1.50 ms"));
         assert!(a.contains("bench: simulators"));
         assert!(!a.contains("<script"));
+    }
+
+    fn sample_trace_doc() -> Json {
+        json::parse(
+            "{\"traceEvents\":[\
+             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+              \"args\":{\"name\":\"main\"}},\
+             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+              \"args\":{\"name\":\"worker-0\"}},\
+             {\"name\":\"sim/campaign\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":0.0,\
+              \"pid\":1,\"tid\":0,\"args\":{\"items\":0}},\
+             {\"name\":\"chunk\",\"cat\":\"worker_chunk\",\"ph\":\"B\",\"ts\":10.5,\
+              \"pid\":1,\"tid\":1,\"args\":{\"items\":4}},\
+             {\"name\":\"chunk\",\"cat\":\"worker_chunk\",\"ph\":\"E\",\"ts\":60.5,\
+              \"pid\":1,\"tid\":1},\
+             {\"name\":\"checkpoint_write\",\"cat\":\"checkpoint_write\",\"ph\":\"i\",\
+              \"ts\":61.0,\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"items\":0}},\
+             {\"name\":\"sim/campaign\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":100.0,\
+              \"pid\":1,\"tid\":0}],\
+             \"displayTimeUnit\":\"ms\",\
+             \"otherData\":{\"campaign\":\"demo\",\"dropped\":3}}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn timeline_decodes_lanes_slices_and_drops() {
+        let t = timeline_from_chrome_trace(&sample_trace_doc()).expect("timeline");
+        assert_eq!(t.campaign, "demo");
+        assert_eq!(t.dropped, 3);
+        assert_eq!(t.lanes.len(), 2);
+        assert_eq!(t.lanes[0].name, "main");
+        assert_eq!(t.lanes[1].name, "worker-0");
+        assert_eq!(t.lanes[0].slices.len(), 1);
+        assert!((t.lanes[0].slices[0].dur_us - 100.0).abs() < 1e-9);
+        let chunk = &t.lanes[1].slices[0];
+        assert_eq!(chunk.name, "chunk");
+        assert!((chunk.start_us - 10.5).abs() < 1e-9);
+        assert!((chunk.dur_us - 50.0).abs() < 1e-9);
+        assert!((t.span_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_rejects_counts_digest() {
+        let counts = json::parse(
+            "{\"trace\":\"counts\",\"campaign\":\"demo\",\"events\":[\
+             {\"kind\":\"worker_chunk\",\"name\":\"chunk\",\"items\":640}]}",
+        )
+        .unwrap();
+        assert!(timeline_from_chrome_trace(&counts).is_none());
+    }
+
+    #[test]
+    fn timeline_svg_has_lanes_utilization_and_tooltips() {
+        let t = timeline_from_chrome_trace(&sample_trace_doc()).unwrap();
+        let svg = svg_trace_timeline(&t);
+        assert_eq!(svg, svg_trace_timeline(&t), "renderer must be pure");
+        assert!(svg.contains(">main</text>"));
+        assert!(svg.contains(">worker-0</text>"));
+        assert!(svg.contains("class=\"lanebg\""));
+        assert!(svg.contains("class=\"utilbar\""));
+        assert!(svg.contains("<title>chunk @"));
+        // worker-0 is busy 50 µs of the 100 µs span.
+        assert!(svg.contains(">50%</text>"), "missing utilization: {svg}");
+        assert!(svg.contains("utilization"));
+    }
+
+    #[test]
+    fn dashboard_renders_timeline_section() {
+        let t = timeline_from_chrome_trace(&sample_trace_doc()).unwrap();
+        let html = render(&Dashboard {
+            timelines: vec![t],
+            ..Dashboard::default()
+        });
+        assert!(html.contains("Flight-recorder timelines"));
+        assert!(html.contains("demo: worker timeline (3 events dropped"));
+        assert!(html.contains("rect.f0"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! budget is the design constraint here).
 
 use crate::metrics::Registry;
+use crate::trace;
 use std::cell::RefCell;
 use std::time::Instant;
 
@@ -32,6 +33,9 @@ pub struct Span {
 struct ActiveSpan {
     registry: Registry,
     start: Instant,
+    /// Mirrors the scope into the flight recorder when tracing is on;
+    /// held only for its Drop (the end event).
+    _trace: trace::TraceScope,
 }
 
 impl Span {
@@ -46,6 +50,7 @@ impl Span {
             active: Some(ActiveSpan {
                 registry: registry.clone(),
                 start: Instant::now(),
+                _trace: trace::scope(trace::TraceKind::SpanScope, label, 0),
             }),
         }
     }

@@ -74,6 +74,14 @@ fn disabled_journal_and_cached_handles_never_allocate() {
                         );
                         counter.inc();
                         gauge.set(i as f64);
+                        // The disabled flight recorder is one relaxed
+                        // load and an early return — no ring buffer, no
+                        // interning, no allocation.
+                        gps_obs::trace::begin(gps_obs::TraceKind::WorkerChunk, "chunk", i);
+                        gps_obs::trace::end(gps_obs::TraceKind::WorkerChunk, "chunk");
+                        gps_obs::trace::instant(gps_obs::TraceKind::CheckpointWrite, "ckpt", i);
+                        let _scope =
+                            gps_obs::trace::scope(gps_obs::TraceKind::MonitorFold, "fold", i);
                     }
                     thread_allocs() - before
                 })

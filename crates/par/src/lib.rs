@@ -94,7 +94,7 @@
 //! exporter, not the deterministic reports).
 
 use std::panic;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -625,11 +625,70 @@ where
     });
 }
 
+/// Per-worker accounting slots for one fork-join, filled only when span
+/// timing or the flight recorder is on. Cache-line padded so workers
+/// flushing their totals never false-share.
+#[derive(Debug, Default)]
+struct WorkerAccount {
+    /// Wall-clock spent inside `body` (chunk execution).
+    busy_ns: AtomicU64,
+    /// Wall-clock spent claiming ranges off the shared cursor — the
+    /// contention signal of the chunked engine.
+    wait_ns: AtomicU64,
+    /// Chunks this worker claimed.
+    chunks: AtomicU64,
+    /// Indices this worker processed (sum of chunk lengths).
+    items: AtomicU64,
+}
+
+/// Publishes the per-worker and load-imbalance gauges for one finished
+/// fork-join: `par.worker.{busy,idle,wait}_ns{worker=w}` and
+/// `par.worker.chunks{worker=w}` per worker, plus `par.pool.wall_ns` and
+/// `par.pool.imbalance_permille` (1000 × max worker busy / mean worker
+/// busy; 1000 ⇒ perfectly balanced). Timing-gated by the caller, like
+/// `par.pool.workers`: the values are wall-clock-dependent and must stay
+/// out of the deterministic metrics snapshot.
+fn publish_pool_accounts(accounts: &[CacheAligned<WorkerAccount>], wall_ns: u64) {
+    let m = gps_obs::metrics();
+    let mut busy_sum = 0u64;
+    let mut busy_max = 0u64;
+    for (w, acc) in accounts.iter().enumerate() {
+        let busy = acc.0.busy_ns.load(Ordering::Relaxed);
+        let wait = acc.0.wait_ns.load(Ordering::Relaxed);
+        let idle = wall_ns.saturating_sub(busy + wait);
+        busy_sum += busy;
+        busy_max = busy_max.max(busy);
+        let worker = w.to_string();
+        let labels: &[(&str, &str)] = &[("worker", &worker)];
+        m.gauge(&gps_obs::labeled("par.worker.busy_ns", labels))
+            .set(busy as f64);
+        m.gauge(&gps_obs::labeled("par.worker.wait_ns", labels))
+            .set(wait as f64);
+        m.gauge(&gps_obs::labeled("par.worker.idle_ns", labels))
+            .set(idle as f64);
+        m.gauge(&gps_obs::labeled("par.worker.chunks", labels))
+            .set(acc.0.chunks.load(Ordering::Relaxed) as f64);
+    }
+    let busy_mean = busy_sum / accounts.len().max(1) as u64;
+    m.gauge("par.pool.wall_ns").set(wall_ns as f64);
+    if let Some(permille) = busy_max.saturating_mul(1000).checked_div(busy_mean) {
+        m.gauge("par.pool.imbalance_permille").set(permille as f64);
+    }
+}
+
 /// The range engine underneath every fork-join: workers pull
 /// `chunk`-sized index ranges from an atomic cursor until exhausted,
 /// calling `body(&mut scratch, range)` per range with a per-worker
 /// scratch value built once by `init`. With one worker this degenerates
 /// to the exact serial `for` order through the same code path.
+///
+/// When span timing or the `GPS_OBS_TRACE` flight recorder is on, the
+/// drain loop additionally accounts per-worker busy / cursor-wait time,
+/// chunks claimed, and items processed, records one `par/chunk` span per
+/// chunk (max/mean chunk wall-clock fall out of the span stats), emits a
+/// begin/end trace event per chunk on the worker's lane, and bumps the
+/// live progress tracker's chunk counter. With both off, the drain loop
+/// is exactly the bare cursor-and-call path it always was.
 fn run_ranges<S, I, B>(threads: usize, n: usize, chunk: usize, init: &I, body: B)
 where
     I: Fn() -> S + Sync,
@@ -641,7 +700,17 @@ where
     }
     let workers = threads.max(1).min(n);
     let timing = pool_metrics(n, workers);
+    let tracing = gps_obs::trace::enabled();
+    let instrumented = timing || tracing;
     let cursor = AtomicUsize::new(0);
+    let accounts: Vec<CacheAligned<WorkerAccount>> = if instrumented {
+        (0..workers)
+            .map(|_| CacheAligned(WorkerAccount::default()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let t_pool = Instant::now();
     let drain = |_worker: usize| {
         let mut scratch = init();
         loop {
@@ -652,11 +721,48 @@ where
             body(&mut scratch, start..(start + chunk).min(n));
         }
     };
+    // The accounted drain: same claim/call structure, plus per-chunk
+    // clocks, trace events, and progress ticks.
+    let drain_accounted = |worker: usize| {
+        let mut scratch = init();
+        let acc = &accounts[worker].0;
+        let mut t_prev = Instant::now();
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            let t_claim = Instant::now();
+            acc.wait_ns
+                .fetch_add((t_claim - t_prev).as_nanos() as u64, Ordering::Relaxed);
+            if start >= n {
+                return;
+            }
+            let range = start..(start + chunk).min(n);
+            let len = range.len() as u64;
+            gps_obs::trace::begin(gps_obs::TraceKind::WorkerChunk, "chunk", len);
+            body(&mut scratch, range);
+            let t_done = Instant::now();
+            gps_obs::trace::end(gps_obs::TraceKind::WorkerChunk, "chunk");
+            let chunk_ns = (t_done - t_claim).as_nanos() as u64;
+            acc.busy_ns.fetch_add(chunk_ns, Ordering::Relaxed);
+            acc.chunks.fetch_add(1, Ordering::Relaxed);
+            acc.items.fetch_add(len, Ordering::Relaxed);
+            if timing {
+                gps_obs::metrics().record_span("par/chunk", chunk_ns);
+            }
+            gps_obs::global_progress().add_chunk();
+            t_prev = t_done;
+        }
+    };
     let work = |worker: usize| {
-        if timing {
+        if instrumented {
+            gps_obs::trace::set_lane(worker as u16 + 1);
             let t0 = Instant::now();
-            drain(worker);
-            gps_obs::metrics().record_span("par/worker_busy", t0.elapsed().as_nanos() as u64);
+            drain_accounted(worker);
+            if timing {
+                gps_obs::metrics().record_span("par/worker_busy", t0.elapsed().as_nanos() as u64);
+            }
+            // The serial path runs on the caller's thread; give its
+            // later events (folds, exports) the main lane back.
+            gps_obs::trace::set_lane(0);
         } else {
             drain(worker);
         }
@@ -666,6 +772,9 @@ where
         // serial path, so `GPS_PAR_THREADS=1` costs nothing over a plain
         // loop and trivially preserves submission order.
         work(0);
+        if instrumented && timing {
+            publish_pool_accounts(&accounts, t_pool.elapsed().as_nanos() as u64);
+        }
         return;
     }
     let panics = std::thread::scope(|scope| {
@@ -675,6 +784,9 @@ where
             .filter_map(|h| h.join().err())
             .collect::<Vec<_>>()
     });
+    if instrumented && timing {
+        publish_pool_accounts(&accounts, t_pool.elapsed().as_nanos() as u64);
+    }
     if let Some(payload) = panics.into_iter().next() {
         panic::resume_unwind(payload);
     }

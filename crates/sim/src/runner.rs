@@ -548,6 +548,7 @@ where
         ],
     );
     let _span = gps_obs::span("sim/single_node_campaign");
+    gps_obs::global_progress().begin_campaign("single_node", replications);
     let reps: Vec<u64> = (0..replications).collect();
     let reports = gps_par::par_map_indexed_scratch_chunked_threads(
         threads,
@@ -558,7 +559,9 @@ where
             let mut cfg = base.clone();
             cfg.seed = base.seed.wrapping_add(r);
             let mut sources = make_sources(r);
-            run_single_node_core_scratch(scratch, &mut sources, &cfg)
+            let report = run_single_node_core_scratch(scratch, &mut sources, &cfg);
+            gps_obs::global_progress().add_done(1);
+            report
         },
     );
     // Metrics fold happens after the join, in replication order, so the
@@ -569,6 +572,8 @@ where
     if let Some(mon) = monitor {
         let mut merged: Option<SingleNodeRunReport> = None;
         for (fold, report) in reports.iter().enumerate() {
+            let _t =
+                gps_obs::trace::scope(gps_obs::TraceKind::MonitorFold, "monitor_fold", fold as u64);
             let pooled = match merged.take() {
                 None => report.clone(),
                 Some(prev) => merge_single_node_reports(&[prev, report.clone()]),
@@ -576,6 +581,9 @@ where
             monitor_single_node_fold(mon, gps_obs::metrics(), &pooled, fold as u64);
             merged = Some(pooled);
         }
+    }
+    if gps_obs::global().timing_enabled() {
+        gps_obs::global_progress().publish_gauges(gps_obs::metrics());
     }
     reports
 }
@@ -724,6 +732,7 @@ where
         ],
     );
     let _span = gps_obs::span("sim/network_campaign");
+    gps_obs::global_progress().begin_campaign("network", replications);
     let reps: Vec<u64> = (0..replications).collect();
     let reports = gps_par::par_map_indexed_scratch_chunked_threads(
         threads,
@@ -734,7 +743,9 @@ where
             let mut cfg = base.clone();
             cfg.seed = base.seed.wrapping_add(r);
             let mut sources = make_sources(r);
-            run_network_core_scratch(scratch, &mut sources, &cfg)
+            let report = run_network_core_scratch(scratch, &mut sources, &cfg);
+            gps_obs::global_progress().add_done(1);
+            report
         },
     );
     for report in &reports {
@@ -743,6 +754,8 @@ where
     if let Some(mon) = monitor {
         let mut merged: Option<NetworkRunReport> = None;
         for (fold, report) in reports.iter().enumerate() {
+            let _t =
+                gps_obs::trace::scope(gps_obs::TraceKind::MonitorFold, "monitor_fold", fold as u64);
             let pooled = match merged.take() {
                 None => report.clone(),
                 Some(prev) => merge_network_reports(&[prev, report.clone()]),
@@ -750,6 +763,9 @@ where
             monitor_network_fold(mon, gps_obs::metrics(), &pooled, fold as u64);
             merged = Some(pooled);
         }
+    }
+    if gps_obs::global().timing_enabled() {
+        gps_obs::global_progress().publish_gauges(gps_obs::metrics());
     }
     reports
 }
@@ -869,6 +885,7 @@ where
         ],
     );
     let _span = gps_obs::span("sim/single_node_campaign_merged");
+    gps_obs::global_progress().begin_campaign("single_node_merged", replications);
     let ranges: Vec<(u64, u64)> = (0..replications)
         .step_by(chunk)
         .map(|s| (s, (s + chunk as u64).min(replications)))
@@ -887,6 +904,7 @@ where
                 cfg.seed = base.seed.wrapping_add(r);
                 let mut sources = make_sources(r);
                 let rep = run_single_node_core_scratch(scratch, &mut sources, &cfg);
+                gps_obs::global_progress().add_done(1);
                 match &mut acc {
                     None => {
                         let vol = rep
@@ -922,6 +940,9 @@ where
     let partials: Vec<SingleNodeRunReport> = partials.into_iter().map(|c| c.0).collect();
     let merged = merge_single_node_reports(&partials);
     record_single_node_metrics(gps_obs::metrics(), &merged);
+    if gps_obs::global().timing_enabled() {
+        gps_obs::global_progress().publish_gauges(gps_obs::metrics());
+    }
     merged
 }
 

@@ -591,6 +591,11 @@ impl Checkpoint {
         ]);
         let mut text = line.to_compact();
         text.push('\n');
+        gps_obs::trace::instant(
+            gps_obs::TraceKind::CheckpointWrite,
+            "checkpoint_write",
+            replication,
+        );
         let mut file = self.file.lock().expect("checkpoint mutex poisoned");
         if let Err(e) = file.write_all(text.as_bytes()) {
             gps_obs::warn(
@@ -630,6 +635,7 @@ fn account_outcomes<R>(
             TaskOutcome::Ok(_) => {}
             TaskOutcome::Panicked(message) => {
                 quarantined.push(r as u64);
+                gps_obs::global_progress().add_quarantined(1);
                 let m = gps_obs::metrics();
                 m.counter("sim.campaign.quarantined").inc();
                 let rep = r.to_string();
@@ -650,6 +656,7 @@ fn account_outcomes<R>(
                 );
             }
             TaskOutcome::Failed(e) => {
+                gps_obs::global_progress().add_done(1);
                 gps_obs::metrics().counter("sim.campaign.failed").inc();
                 gps_obs::warn(
                     "sim.supervise",
@@ -772,6 +779,7 @@ where
         ],
     );
     let _span = gps_obs::span("sim/supervised_single_node_campaign");
+    gps_obs::global_progress().begin_campaign("supervised_single_node", replications);
     let opened = match &supervisor.checkpoint {
         Some(path) => {
             let fp = fingerprint_single_node(base);
@@ -800,8 +808,17 @@ where
         |_, attempt, &r| -> Result<SingleNodeRunReport, SimError> {
             if let Some(payload) = restored_map.get(&r) {
                 if let Some(report) = single_node_report_from_json(base, payload) {
+                    gps_obs::trace::instant(
+                        gps_obs::TraceKind::CheckpointRestore,
+                        "checkpoint_restore",
+                        r,
+                    );
+                    gps_obs::global_progress().add_restored(1);
                     return Ok(report);
                 }
+            }
+            if attempt > 1 {
+                gps_obs::global_progress().add_retried(1);
             }
             if let Some(inj) = &supervisor.inject {
                 inj.arm(r, attempt);
@@ -814,6 +831,7 @@ where
             if let Some(c) = &ckpt {
                 c.append(r, single_node_report_to_json(&report));
             }
+            gps_obs::global_progress().add_done(1);
             Ok(report)
         },
     );
@@ -831,6 +849,7 @@ where
             let TaskOutcome::Ok(report) = &t.outcome else {
                 continue;
             };
+            let _t = gps_obs::trace::scope(gps_obs::TraceKind::MonitorFold, "monitor_fold", fold);
             let pooled = match merged.take() {
                 None => report.clone(),
                 Some(prev) => merge_single_node_reports(&[prev, report.clone()]),
@@ -839,6 +858,9 @@ where
             merged = Some(pooled);
             fold += 1;
         }
+    }
+    if gps_obs::global().timing_enabled() {
+        gps_obs::global_progress().publish_gauges(gps_obs::metrics());
     }
     Ok(CampaignOutcome {
         tasks,
@@ -940,6 +962,7 @@ where
         ],
     );
     let _span = gps_obs::span("sim/supervised_network_campaign");
+    gps_obs::global_progress().begin_campaign("supervised_network", replications);
     let opened = match &supervisor.checkpoint {
         Some(path) => {
             let fp = fingerprint_network(base);
@@ -963,8 +986,17 @@ where
         |_, attempt, &r| -> Result<NetworkRunReport, SimError> {
             if let Some(payload) = restored_map.get(&r) {
                 if let Some(report) = network_report_from_json(base, payload) {
+                    gps_obs::trace::instant(
+                        gps_obs::TraceKind::CheckpointRestore,
+                        "checkpoint_restore",
+                        r,
+                    );
+                    gps_obs::global_progress().add_restored(1);
                     return Ok(report);
                 }
+            }
+            if attempt > 1 {
+                gps_obs::global_progress().add_retried(1);
             }
             if let Some(inj) = &supervisor.inject {
                 inj.arm(r, attempt);
@@ -976,6 +1008,7 @@ where
             if let Some(c) = &ckpt {
                 c.append(r, network_report_to_json(&report));
             }
+            gps_obs::global_progress().add_done(1);
             Ok(report)
         },
     );
@@ -993,6 +1026,7 @@ where
             let TaskOutcome::Ok(report) = &t.outcome else {
                 continue;
             };
+            let _t = gps_obs::trace::scope(gps_obs::TraceKind::MonitorFold, "monitor_fold", fold);
             let pooled = match merged.take() {
                 None => report.clone(),
                 Some(prev) => merge_network_reports(&[prev, report.clone()]),
@@ -1001,6 +1035,9 @@ where
             merged = Some(pooled);
             fold += 1;
         }
+    }
+    if gps_obs::global().timing_enabled() {
+        gps_obs::global_progress().publish_gauges(gps_obs::metrics());
     }
     Ok(CampaignOutcome {
         tasks,

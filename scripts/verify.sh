@@ -30,11 +30,31 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
-# Live telemetry server: run a tiny campaign with the exporter on an
-# ephemeral port and verify /metrics, /metrics.json, and /health over
-# plain TCP (the check binary is its own HTTP client — no curl needed).
-echo "==> obs_check (exporter integration)"
-GPS_OBS_SERVE=127.0.0.1:0 ./target/release/obs_check
+# Live telemetry server + flight recorder: run a tiny campaign with the
+# exporter on an ephemeral port and tracing armed, and verify /metrics,
+# /metrics.json, /health, the live /progress tracker, the scheduler
+# accounting gauges, and the exported Chrome trace over plain TCP (the
+# check binary is its own HTTP client — no curl needed).
+echo "==> obs_check (exporter + flight-recorder integration)"
+GPS_OBS_TRACE=1 GPS_OBS_SERVE=127.0.0.1:0 ./target/release/obs_check
+
+# Flight recorder, counts mode: the digest is part of the determinism
+# contract — the same campaign traced under maximally different
+# scheduling (1 worker vs 4 workers with single-replication chunks)
+# must export byte-identical trace files.
+echo "==> flight-recorder counts digest (schedule invariance)"
+tr_a="$(mktemp -d)"
+tr_b="$(mktemp -d)"
+trap 'rm -rf "$tr_a" "$tr_b"' EXIT
+GPS_RESULTS_DIR="$tr_a" GPS_MEASURE_SLOTS=50000 GPS_OBS_TRACE=counts GPS_PAR_THREADS=1 \
+    ./target/release/validate_single --quiet > /dev/null
+GPS_RESULTS_DIR="$tr_b" GPS_MEASURE_SLOTS=50000 GPS_OBS_TRACE=counts GPS_PAR_THREADS=4 GPS_PAR_CHUNK=1 \
+    ./target/release/validate_single --quiet > /dev/null
+if [ ! -s "$tr_a/validate_single_trace.json" ]; then
+    echo "verify.sh: counts-mode run produced no trace file" >&2
+    exit 1
+fi
+cmp "$tr_a/validate_single_trace.json" "$tr_b/validate_single_trace.json"
 
 # Supervised campaigns: a run that loses a replication to an injected
 # panic must complete (quarantining it), and a resume of its checkpoint
@@ -43,7 +63,7 @@ GPS_OBS_SERVE=127.0.0.1:0 ./target/release/obs_check
 echo "==> supervised-campaign smoke (quarantine + checkpoint/resume)"
 sup_a="$(mktemp -d)"
 sup_b="$(mktemp -d)"
-trap 'rm -rf "$sup_a" "$sup_b"' EXIT
+trap 'rm -rf "$tr_a" "$tr_b" "$sup_a" "$sup_b"' EXIT
 GPS_RESULTS_DIR="$sup_a" GPS_MEASURE_SLOTS=200000 \
     ./target/release/validate_single --quiet > "$sup_a/stdout.txt"
 GPS_RESULTS_DIR="$sup_b" GPS_MEASURE_SLOTS=200000 GPS_FAULT_TASK_PANIC=3 \
@@ -86,7 +106,7 @@ done
 # byte-identical (the report is a pure function of the files on disk).
 echo "==> report (dashboard smoke + determinism)"
 tmp_results="$(mktemp -d)"
-trap 'rm -rf "$tmp_results" "$sup_a" "$sup_b"' EXIT
+trap 'rm -rf "$tmp_results" "$tr_a" "$tr_b" "$sup_a" "$sup_b"' EXIT
 cp -r results/. "$tmp_results"/
 GPS_RESULTS_DIR="$tmp_results" ./target/release/report
 hash1="$(sha256sum "$tmp_results/dashboard.html" | cut -d' ' -f1)"
