@@ -57,9 +57,17 @@ pub fn rpps_admits(
     delay_bound.tail(target.delay) <= target.epsilon
 }
 
+/// Cap on the exponential bracket search: session counts beyond this are
+/// reported as exactly [`RPPS_SESSION_CAP`] ("effectively unbounded").
+/// The canonical value — the first power of two past `1 << 30` — makes the
+/// capped result independent of the search path, which is what lets
+/// [`max_rpps_sessions_from`] warm-start without changing any answer.
+pub const RPPS_SESSION_CAP: usize = 1 << 31;
+
 /// The largest `n` such that `n` homogeneous sessions are admissible
 /// (binary search over the monotone predicate). Returns 0 if even one
-/// session fails.
+/// session fails, and [`RPPS_SESSION_CAP`] when the count is effectively
+/// unbounded (still admissible at the cap).
 pub fn max_rpps_sessions(
     session: EbbProcess,
     rate: f64,
@@ -69,15 +77,85 @@ pub fn max_rpps_sessions(
     if !rpps_admits(session, 1, rate, target, model) {
         return 0;
     }
-    // Exponential search for an upper bracket, then binary search.
+    // Exponential search for an upper bracket, then binary search. When
+    // the doubling escapes the cap with `hi` *still admissible* there is
+    // no inadmissible boundary to bisect against — the old code fed the
+    // admissible `hi` to the binary search as if it were inadmissible and
+    // silently under-reported by one; return the cap instead.
     let mut hi = 2usize;
-    while rpps_admits(session, hi, rate, target, model) {
+    while hi < RPPS_SESSION_CAP && rpps_admits(session, hi, rate, target, model) {
         hi *= 2;
-        if hi > 1 << 30 {
-            break; // effectively unbounded; cap for sanity
+    }
+    if rpps_admits(session, hi, rate, target, model) {
+        return RPPS_SESSION_CAP; // hi == cap and still admissible
+    }
+    let lo = hi / 2; // admissible
+    bisect_admission_boundary(session, rate, target, model, lo, hi)
+}
+
+/// [`max_rpps_sessions`] warm-started from a previous answer for a nearby
+/// configuration (the admission engine re-asks after each single
+/// arrival/departure). Galloping out from `hint` finds a bracket in
+/// O(log |n* − hint|) probes instead of O(log n*), and because the
+/// admissible set of a monotone predicate has a *unique* boundary the
+/// result is bit-identical to the cold search — pinned by tests.
+pub fn max_rpps_sessions_from(
+    session: EbbProcess,
+    rate: f64,
+    target: QosTarget,
+    model: TimeModel,
+    hint: usize,
+) -> usize {
+    if !rpps_admits(session, 1, rate, target, model) {
+        return 0;
+    }
+    let mut lo; // admissible
+    let mut hi; // inadmissible
+    let h = hint.clamp(1, RPPS_SESSION_CAP);
+    if rpps_admits(session, h, rate, target, model) {
+        lo = h;
+        let mut step = 1usize;
+        loop {
+            let probe = lo.saturating_add(step).min(RPPS_SESSION_CAP);
+            if rpps_admits(session, probe, rate, target, model) {
+                lo = probe;
+                if lo == RPPS_SESSION_CAP {
+                    return RPPS_SESSION_CAP;
+                }
+                step *= 2;
+            } else {
+                hi = probe;
+                break;
+            }
+        }
+    } else {
+        hi = h;
+        let mut step = 1usize;
+        loop {
+            let probe = hi.saturating_sub(step).max(1);
+            if rpps_admits(session, probe, rate, target, model) {
+                lo = probe;
+                break;
+            }
+            // probe > 1 here: n = 1 was admitted above, so the gallop
+            // always terminates before the floor.
+            hi = probe;
+            step *= 2;
         }
     }
-    let mut lo = hi / 2; // admissible
+    bisect_admission_boundary(session, rate, target, model, lo, hi)
+}
+
+/// Shrinks an `(admissible lo, inadmissible hi)` bracket to the boundary
+/// and returns the largest admissible count.
+fn bisect_admission_boundary(
+    session: EbbProcess,
+    rate: f64,
+    target: QosTarget,
+    model: TimeModel,
+    mut lo: usize,
+    mut hi: usize,
+) -> usize {
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         if rpps_admits(session, mid, rate, target, model) {
@@ -161,6 +239,60 @@ mod tests {
         let t = QosTarget::new(1e6, 0.999999); // absurdly lax
         let n = max_rpps_sessions(s, 1.0, t, TimeModel::Discrete);
         assert!(n <= stability_ceiling(s, 1.0));
+    }
+
+    #[test]
+    fn cap_break_reports_hi_not_hi_minus_one() {
+        // Regression for the bracket bug: a near-zero-load session admits
+        // any realistic count, so the exponential search escapes the cap
+        // with `hi` still admissible. The old code handed that admissible
+        // `hi` to the binary search as the inadmissible endpoint and
+        // returned `hi - 1`; the fix reports the canonical cap.
+        let s = EbbProcess::new(1e-12, 1e-15, 1.0);
+        let t = QosTarget::new(1e6, 0.5);
+        assert!(rpps_admits(
+            s,
+            RPPS_SESSION_CAP,
+            1.0,
+            t,
+            TimeModel::Discrete
+        ));
+        let n = max_rpps_sessions(s, 1.0, t, TimeModel::Discrete);
+        assert_eq!(n, RPPS_SESSION_CAP);
+        // The reported count itself is admissible — the old answer was,
+        // too, but it claimed a boundary one below an admissible point.
+        assert!(rpps_admits(s, n, 1.0, t, TimeModel::Discrete));
+    }
+
+    #[test]
+    fn warm_start_matches_cold_search_for_any_hint() {
+        let s = voice_like();
+        let t = QosTarget::new(5.0, 1e-6);
+        let cold = max_rpps_sessions(s, 1.0, t, TimeModel::Discrete);
+        for hint in [
+            1usize,
+            2,
+            cold.saturating_sub(1),
+            cold,
+            cold + 1,
+            cold * 8,
+            1 << 20,
+        ] {
+            let warm = max_rpps_sessions_from(s, 1.0, t, TimeModel::Discrete, hint);
+            assert_eq!(warm, cold, "hint {hint}");
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_at_the_cap() {
+        let s = EbbProcess::new(1e-12, 1e-15, 1.0);
+        let t = QosTarget::new(1e6, 0.5);
+        for hint in [1usize, 1000, RPPS_SESSION_CAP] {
+            assert_eq!(
+                max_rpps_sessions_from(s, 1.0, t, TimeModel::Discrete, hint),
+                RPPS_SESSION_CAP
+            );
+        }
     }
 
     #[test]

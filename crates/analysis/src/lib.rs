@@ -30,11 +30,14 @@
 //! * [`e2e`] — end-to-end delay bounds by convolving per-node E.B. bounds
 //!   (used for non-RPPS CRST networks, where no closed form exists);
 //! * [`admission`] — admission-control utilities built on the bounds (the
-//!   paper's motivating application).
+//!   paper's motivating application);
+//! * [`engine`] — the online admission-control service: memoized bound
+//!   certificates, warm-started searches, and batched decisions.
 
 pub mod admission;
 pub mod class_based;
 pub mod e2e;
+pub mod engine;
 pub mod network;
 pub mod partition_bounds;
 pub mod rho_selection;
@@ -42,10 +45,17 @@ pub mod rpps;
 pub mod single_node;
 pub mod theta_opt;
 
+pub use admission::{
+    max_rpps_sessions, max_rpps_sessions_from, rpps_admits, QosTarget, RPPS_SESSION_CAP,
+};
 pub use class_based::{ClassBasedGps, TrafficClass};
+pub use engine::{
+    AdmissionEngine, CacheStats, CertBackend, ClassSpec, Decision, EngineError, EngineStats,
+    RegionRow, Request, RequestKind,
+};
 pub use network::{CrstAnalysis, NetworkSession};
 pub use partition_bounds::{theorem10, Theorem11};
 pub use rho_selection::{best_rho_for_delay, max_sessions_optimized_rho, rho_tradeoff, RhoPoint};
 pub use rpps::RppsNetworkBounds;
 pub use single_node::{SessionBounds, Theorem7, Theorem8};
-pub use theta_opt::{optimize_tail, try_optimize_tail};
+pub use theta_opt::{optimize_tail, try_optimize_tail, try_optimize_tail_seeded, THETA_PROBES};

@@ -7,8 +7,11 @@
 //! objective is coercive and a golden-section search over a slightly
 //! shrunk interval is robust.
 
-use gps_ebb::numeric::{try_golden_min, NumericError};
+use gps_ebb::numeric::{grid_argmin, try_golden_min, NumericError};
 use gps_ebb::TailBound;
+
+/// Number of uniform probe cells used to seed the golden refinement.
+pub const THETA_PROBES: usize = 32;
 
 /// Finds the `θ ∈ (0, theta_sup)` whose bound is tightest at threshold
 /// `x`, i.e. minimizes `log_tail(x)`. `family(θ)` may return `None` for
@@ -33,12 +36,34 @@ pub fn optimize_tail(
 /// [`NumericError`]: bad `theta_sup`/`x` become `InvalidDomain` instead of
 /// a panic, and a family that is infeasible at every probe becomes
 /// `EmptyFamily` instead of `None`.
-#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > 0.0)` also rejects NaN
 pub fn try_optimize_tail(
     theta_sup: f64,
     x: f64,
     family: impl Fn(f64) -> Option<TailBound>,
 ) -> Result<TailBound, NumericError> {
+    try_optimize_tail_seeded(theta_sup, x, None, family).map(|(b, _)| b)
+}
+
+/// [`try_optimize_tail`] with a warm-start hint: the probe-grid cell that
+/// seeded a *previous* optimization of a nearby family (e.g. the same
+/// session at a slightly different service rate). Returns the optimized
+/// bound together with the winning probe cell, to be fed back as the hint
+/// for the next incremental change.
+///
+/// The hint only short-circuits the probe scan — [`grid_argmin`]
+/// hill-descends from the hinted cell to the *same* smallest-index grid
+/// argmin the full scan finds (the Lemma-6 objectives are convex with an
+/// interval feasible domain), and the golden refinement that follows is
+/// identical. Warm-started and from-scratch calls therefore return
+/// bit-identical bounds; the admission engine's determinism tests pin
+/// this.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > 0.0)` also rejects NaN
+pub fn try_optimize_tail_seeded(
+    theta_sup: f64,
+    x: f64,
+    hint: Option<usize>,
+    family: impl Fn(f64) -> Option<TailBound>,
+) -> Result<(TailBound, usize), NumericError> {
     if !(theta_sup > 0.0) || !theta_sup.is_finite() {
         return Err(NumericError::InvalidDomain {
             what: "theta_sup",
@@ -61,22 +86,10 @@ pub fn try_optimize_tail(
     // The objective is convex in θ for all the Lemma-6-derived families
     // (sum of convex terms), but guard against plateaus of infeasibility by
     // seeding golden search only if some probe is finite.
-    let probes = 32;
-    let mut best_seed = None;
-    for k in 0..=probes {
-        let t = lo + (hi - lo) * k as f64 / probes as f64;
-        let v = objective(t);
-        if v.is_finite() {
-            match best_seed {
-                None => best_seed = Some((t, v)),
-                Some((_, bv)) if v < bv => best_seed = Some((t, v)),
-                _ => {}
-            }
-        }
-    }
-    let (seed_t, _) = best_seed.ok_or(NumericError::EmptyFamily)?;
+    let (seed_cell, seed_t, _) =
+        grid_argmin(lo, hi, THETA_PROBES, hint, objective).ok_or(NumericError::EmptyFamily)?;
     // Refine around the seed within one probe spacing.
-    let span = (hi - lo) / probes as f64;
+    let span = (hi - lo) / THETA_PROBES as f64;
     let (t_star, _) = try_golden_min(
         (seed_t - span).max(lo),
         (seed_t + span).min(hi),
@@ -87,9 +100,12 @@ pub fn try_optimize_tail(
     // Keep whichever of seed/refined is better (golden search could land on
     // an infeasible pocket in pathological families).
     match (candidate, family(seed_t)) {
-        (Some(a), Some(b)) => Ok(if a.log_tail(x) <= b.log_tail(x) { a } else { b }),
-        (Some(a), None) => Ok(a),
-        (None, Some(b)) => Ok(b),
+        (Some(a), Some(b)) => Ok((
+            if a.log_tail(x) <= b.log_tail(x) { a } else { b },
+            seed_cell,
+        )),
+        (Some(a), None) => Ok((a, seed_cell)),
+        (None, Some(b)) => Ok((b, seed_cell)),
         (None, None) => Err(NumericError::EmptyFamily),
     }
 }
@@ -163,6 +179,26 @@ mod tests {
         let b = try_optimize_tail(10.0, 0.8, family).unwrap();
         assert_eq!(a.prefactor.to_bits(), b.prefactor.to_bits());
         assert_eq!(a.decay.to_bits(), b.decay.to_bits());
+    }
+
+    #[test]
+    fn seeded_variant_is_bit_identical_for_every_hint() {
+        // A Lemma-6-shaped convex family; warm-starting from any cell must
+        // reproduce the from-scratch optimum exactly.
+        let family = |t: f64| {
+            if t <= 0.0 || t >= 2.0 {
+                None
+            } else {
+                Some(TailBound::new(1.0 / (t * (2.0 - t)), t))
+            }
+        };
+        let (cold, cold_cell) = try_optimize_tail_seeded(2.0, 3.0, None, family).unwrap();
+        for hint in 0..=THETA_PROBES {
+            let (warm, warm_cell) = try_optimize_tail_seeded(2.0, 3.0, Some(hint), family).unwrap();
+            assert_eq!(cold.prefactor.to_bits(), warm.prefactor.to_bits());
+            assert_eq!(cold.decay.to_bits(), warm.decay.to_bits());
+            assert_eq!(cold_cell, warm_cell);
+        }
     }
 
     #[test]

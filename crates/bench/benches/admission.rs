@@ -1,0 +1,144 @@
+//! Admission-service perf: a 10⁶-session population replaying a
+//! 10⁵-decision admit/depart stream against the [`AdmissionEngine`],
+//! cold (certificate cache disabled, `cap = 0`) vs warm (cache
+//! pre-populated by one prior replay).
+//!
+//! The effective-bandwidth backend keys `g*` and its certificate by the
+//! class fingerprint alone — mix-independent — so a warm replay answers
+//! every decision from `O(classes)` cache lookups while a cold one
+//! redoes the bisection and θ optimization per decision. The suite
+//! self-gates on the headline ratio: the warm per-decision median must
+//! be at least 10× faster than cold, and cold vs cached decision
+//! streams must agree exactly (the engine's bit-identity contract).
+
+use gps_analysis::{AdmissionEngine, CertBackend, ClassSpec, QosTarget, Request, RequestKind};
+use gps_bench::harness::{black_box, BenchHarness};
+use gps_ebb::{EbbProcess, TimeModel};
+use gps_stats::{RngCore, Xoshiro256pp};
+
+/// Mix size for the replayed decision stream.
+const DECISIONS: usize = 100_000;
+/// Decisions per cold iteration (a full cold replay would take minutes;
+/// the per-decision median is what the gate compares).
+const COLD_CHUNK: usize = 64;
+/// Per-class population: 8 classes × 125 000 = 10⁶ standing sessions.
+const SESSIONS_PER_CLASS: u64 = 125_000;
+
+/// Eight heterogeneous E.B.B. classes with spread QoS targets.
+fn service_classes() -> Vec<ClassSpec> {
+    (0..8)
+        .map(|i| {
+            let f = i as f64;
+            ClassSpec::new(
+                format!("class{i}"),
+                EbbProcess::new(0.02 + 0.01 * f, 1.0 + 0.5 * f, 2.0 + 0.5 * f),
+                QosTarget::new(5.0 + 10.0 * f, 10f64.powi(-6 + i / 2)),
+            )
+        })
+        .collect()
+}
+
+fn engine(cap: usize) -> AdmissionEngine {
+    let mut e = AdmissionEngine::with_cache_cap(
+        service_classes(),
+        100_000.0,
+        TimeModel::Discrete,
+        CertBackend::EffectiveBandwidth,
+        cap,
+    )
+    .expect("valid engine");
+    e.set_counts(&[SESSIONS_PER_CLASS; 8]);
+    e
+}
+
+/// The deterministic admit/depart stream (70 % admits).
+fn replay(n: usize, classes: usize) -> Vec<Request> {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x9e37_79b9);
+    (0..n)
+        .map(|_| {
+            let class = (rng.next_u64() % classes as u64) as usize;
+            let kind = if rng.next_u64() % 10 < 7 {
+                RequestKind::Admit
+            } else {
+                RequestKind::Depart
+            };
+            Request { class, kind }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut h = BenchHarness::new("admission");
+    let stream = replay(DECISIONS, 8);
+
+    // Bit-identity spot check before timing anything: cache-off and
+    // cache-on engines must produce the same decision stream.
+    let mut cold_check = engine(0);
+    let mut cached_check = engine(gps_analysis::engine::DEFAULT_CACHE_CAP);
+    for req in &stream[..COLD_CHUNK] {
+        let a = cold_check.decide(*req);
+        let b = cached_check.decide(*req);
+        assert_eq!(a, b, "cold vs cached decision diverged at seq {}", a.seq);
+    }
+
+    // Cold: cache disabled, pristine engine per iteration, a COLD_CHUNK
+    // prefix of the replay.
+    let cold_template = engine(0);
+    let cold = h
+        .bench_elems("replay/cold", COLD_CHUNK as u64, || {
+            let mut e = cold_template.clone();
+            for req in &stream[..COLD_CHUNK] {
+                black_box(e.decide(*req));
+            }
+            e.stats().decisions
+        })
+        .clone();
+
+    // Warm: one full replay populates the cache, then each iteration
+    // replays all 10⁵ decisions from the warmed clone.
+    let mut warm_template = engine(gps_analysis::engine::DEFAULT_CACHE_CAP);
+    for req in &stream {
+        warm_template.decide(*req);
+    }
+    let warmed_misses = warm_template.cache_stats().misses;
+    let warm = h
+        .bench_elems("replay/warm", DECISIONS as u64, || {
+            let mut e = warm_template.clone();
+            for req in &stream {
+                black_box(e.decide(*req));
+            }
+            e.stats().decisions
+        })
+        .clone();
+    // A warm replay must be pure cache hits: no new misses.
+    let mut probe = warm_template.clone();
+    for req in &stream {
+        probe.decide(*req);
+    }
+    assert_eq!(
+        probe.cache_stats().misses,
+        warmed_misses,
+        "warm replay took cache misses"
+    );
+
+    // Batched decisions through the gps_par pool (same stream, warm).
+    h.bench_elems("admit_batch/warm", DECISIONS as u64, || {
+        let mut e = warm_template.clone();
+        black_box(e.admit_batch(&stream).len())
+    });
+
+    // Headline gate: >= 10x warm-over-cold per-decision median.
+    let cold_per = cold.median_ns / COLD_CHUNK as f64;
+    let warm_per = warm.median_ns / DECISIONS as f64;
+    let ratio = cold_per / warm_per;
+    println!(
+        "admission: cold {cold_per:.0} ns/decision, warm {warm_per:.0} ns/decision \
+         ({ratio:.0}x speedup)"
+    );
+    assert!(
+        ratio >= 10.0,
+        "warm cache speedup {ratio:.1}x below the 10x contract"
+    );
+
+    h.finish().expect("write bench report");
+}

@@ -90,6 +90,9 @@ impl MgfArrival for EbbProcess {
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregateArrival {
     parts: Vec<EbbProcess>,
+    /// Multiplicity of each part: `counts[i]` identical copies of
+    /// `parts[i]` contribute `counts[i]·σ̂_i` and `counts[i]·ρ_i`.
+    counts: Vec<u64>,
 }
 
 impl AggregateArrival {
@@ -100,7 +103,8 @@ impl AggregateArrival {
     /// Panics if `parts` is empty.
     pub fn new(parts: Vec<EbbProcess>) -> Self {
         assert!(!parts.is_empty(), "aggregate needs at least one component");
-        Self { parts }
+        let counts = vec![1; parts.len()];
+        Self { parts, counts }
     }
 
     /// Aggregate of a single flow.
@@ -108,9 +112,50 @@ impl AggregateArrival {
         Self::new(vec![p])
     }
 
-    /// Component flows.
+    /// Aggregate of `n` identical copies of `p`, stored with a
+    /// multiplicity instead of `n` clones: `σ̃(θ) = n·σ̂(θ)` and
+    /// `ρ̃ = n·ρ` in O(1) memory and O(1) per evaluation, which is what
+    /// lets the admission engine model a million-session class without a
+    /// million-element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn homogeneous(p: EbbProcess, n: u64) -> Self {
+        assert!(n >= 1, "homogeneous aggregate needs at least one copy");
+        Self {
+            parts: vec![p],
+            counts: vec![n],
+        }
+    }
+
+    /// Aggregate of heterogeneous classes, each with a multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty, differ in length, or any count is
+    /// zero.
+    pub fn with_counts(parts: Vec<EbbProcess>, counts: Vec<u64>) -> Self {
+        assert!(!parts.is_empty(), "aggregate needs at least one component");
+        assert_eq!(parts.len(), counts.len(), "one count per component");
+        assert!(counts.iter().all(|&c| c >= 1), "counts must be positive");
+        Self { parts, counts }
+    }
+
+    /// Component flows (each possibly carrying a multiplicity; see
+    /// [`counts`](Self::counts)).
     pub fn parts(&self) -> &[EbbProcess] {
         &self.parts
+    }
+
+    /// Multiplicity of each component flow.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of flows in the aggregate, multiplicities included.
+    pub fn num_flows(&self) -> u64 {
+        self.counts.iter().sum()
     }
 
     /// As an E.B.B. process at a chosen `θ`: `(ρ̃, e^{θσ̃(θ)}, θ)` —
@@ -124,13 +169,18 @@ impl AggregateArrival {
 
 impl MgfArrival for AggregateArrival {
     fn rho(&self) -> f64 {
-        self.parts.iter().map(|p| p.rho).sum()
+        self.parts
+            .iter()
+            .zip(&self.counts)
+            .map(|(p, &c)| c as f64 * p.rho)
+            .sum()
     }
 
     fn sigma_hat(&self, theta: f64) -> f64 {
         self.parts
             .iter()
-            .map(|p| sigma_hat(p.lambda, p.alpha, theta))
+            .zip(&self.counts)
+            .map(|(p, &c)| c as f64 * sigma_hat(p.lambda, p.alpha, theta))
             .sum()
     }
 
@@ -244,6 +294,39 @@ mod tests {
         assert!((as_ebb.rho - 0.45).abs() < 1e-15);
         assert!((as_ebb.alpha - th).abs() < 1e-15);
         assert!((as_ebb.lambda - (th * want).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_aggregate_matches_explicit_clones() {
+        let p = table2_s1();
+        let n = 1000u64;
+        let compact = AggregateArrival::homogeneous(p, n);
+        let explicit = AggregateArrival::new(vec![p; n as usize]);
+        let th = 0.8;
+        assert_eq!(compact.rho().to_bits(), (n as f64 * p.rho).to_bits());
+        assert!((compact.rho() - explicit.rho()).abs() < 1e-9);
+        assert!((compact.sigma_hat(th) - explicit.sigma_hat(th)).abs() < 1e-7);
+        assert_eq!(compact.theta_sup(), explicit.theta_sup());
+        assert_eq!(compact.num_flows(), n);
+        assert_eq!(compact.parts().len(), 1);
+    }
+
+    #[test]
+    fn with_counts_mixes_multiplicities() {
+        let a = EbbProcess::new(0.1, 1.0, 2.0);
+        let b = EbbProcess::new(0.05, 0.5, 3.0);
+        let agg = AggregateArrival::with_counts(vec![a, b], vec![3, 2]);
+        assert!((agg.rho() - (0.3 + 0.1)).abs() < 1e-15);
+        assert_eq!(agg.num_flows(), 5);
+        let th = 0.7;
+        let want = 3.0 * sigma_hat(1.0, 2.0, th) + 2.0 * sigma_hat(0.5, 3.0, th);
+        assert!((agg.sigma_hat(th) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn homogeneous_rejects_zero_count() {
+        let _ = AggregateArrival::homogeneous(table2_s1(), 0);
     }
 
     #[test]

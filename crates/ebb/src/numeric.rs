@@ -180,6 +180,77 @@ pub fn try_golden_min(
     Ok((x, f(x)))
 }
 
+/// Argmin of `f` over the uniform grid `t_k = lo + (hi-lo)·k/cells`,
+/// `k = 0..=cells`, returning `(k, t_k, f(t_k))`; `None` when every grid
+/// value is non-finite.
+///
+/// This is the warm-start entry point for the θ-optimizers: with
+/// `hint = None` the full grid is scanned and ties resolve to the
+/// *smallest* index (first strictly-smaller value wins, matching a
+/// left-to-right scan). With `hint = Some(k0)` the search hill-descends
+/// from cell `k0` instead — walk right while the neighbor is strictly
+/// smaller, then left while the neighbor is smaller-or-equal — which
+/// visits O(distance) cells instead of all of them.
+///
+/// **Contract:** for a quasi-convex `f` whose finite (feasible) region is
+/// an interval containing the hint cell, the descent provably lands on
+/// the same smallest-index grid argmin as the full scan, so warm-started
+/// and from-scratch callers get *bit-identical* results. If the hint cell
+/// evaluates non-finite the function falls back to the full scan, so a
+/// stale hint can cost time but never change the answer.
+pub fn grid_argmin(
+    lo: f64,
+    hi: f64,
+    cells: usize,
+    hint: Option<usize>,
+    f: impl Fn(f64) -> f64,
+) -> Option<(usize, f64, f64)> {
+    assert!(cells >= 1, "grid needs at least one cell");
+    let at = |k: usize| lo + (hi - lo) * k as f64 / cells as f64;
+    if let Some(k0) = hint {
+        let mut k = k0.min(cells);
+        let mut fk = f(at(k));
+        if fk.is_finite() {
+            // Walk right while strictly decreasing…
+            while k < cells {
+                let fr = f(at(k + 1));
+                if fr < fk {
+                    k += 1;
+                    fk = fr;
+                } else {
+                    break;
+                }
+            }
+            // …then left while smaller-or-equal, so a flat plateau at the
+            // minimum resolves to its leftmost cell exactly like the scan.
+            while k > 0 {
+                let fl = f(at(k - 1));
+                if fl <= fk && fl.is_finite() {
+                    k -= 1;
+                    fk = fl;
+                } else {
+                    break;
+                }
+            }
+            return Some((k, at(k), fk));
+        }
+        // Infeasible hint: fall through to the full scan.
+    }
+    let mut best: Option<(usize, f64, f64)> = None;
+    for k in 0..=cells {
+        let t = at(k);
+        let v = f(t);
+        if v.is_finite() {
+            match best {
+                None => best = Some((k, t, v)),
+                Some((_, _, bv)) if v < bv => best = Some((k, t, v)),
+                _ => {}
+            }
+        }
+    }
+    best
+}
+
 /// `ln(1 - e^{-y})` for `y > 0`, computed without catastrophic cancellation.
 ///
 /// For small `y`, `1 - e^{-y} ≈ y`, and `ln_1m_exp` uses `ln(-expm1(-y))`
@@ -286,6 +357,65 @@ mod tests {
         // Monotone decreasing on the bracket: minimum at the right edge.
         let (x, _) = golden_min(0.0, 1.0, 1e-12, |x| -x);
         assert!((x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_argmin_scan_matches_descent_everywhere() {
+        // Convex objective with an infeasible (infinite) left tail, the
+        // exact shape of the θ-families: every hint must reproduce the
+        // full scan bit-for-bit.
+        let f = |t: f64| {
+            if t < 0.12 {
+                f64::INFINITY
+            } else {
+                (t - 0.61).powi(2)
+            }
+        };
+        let full = grid_argmin(0.0, 1.0, 32, None, f).unwrap();
+        for hint in 0..=32 {
+            let warm = grid_argmin(0.0, 1.0, 32, Some(hint), f).unwrap();
+            assert_eq!(full.0, warm.0, "hint {hint}");
+            assert_eq!(full.1.to_bits(), warm.1.to_bits());
+            assert_eq!(full.2.to_bits(), warm.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn grid_argmin_plateau_resolves_leftmost() {
+        // A flat valley: the scan keeps the first (leftmost) minimal cell,
+        // and descent from either side must agree.
+        let f = |t: f64| (t - 0.5).abs().max(0.2);
+        let full = grid_argmin(0.0, 1.0, 10, None, f).unwrap();
+        for hint in [0usize, 3, 5, 9, 10] {
+            let warm = grid_argmin(0.0, 1.0, 10, Some(hint), f).unwrap();
+            assert_eq!(full.0, warm.0, "hint {hint}");
+        }
+    }
+
+    #[test]
+    fn grid_argmin_none_when_all_infinite() {
+        assert!(grid_argmin(0.0, 1.0, 8, None, |_| f64::INFINITY).is_none());
+        assert!(grid_argmin(0.0, 1.0, 8, Some(3), |_| f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn grid_argmin_counts_fewer_evals_when_warm() {
+        use std::cell::Cell;
+        let evals = Cell::new(0usize);
+        let f = |t: f64| {
+            evals.set(evals.get() + 1);
+            (t - 0.5).powi(2)
+        };
+        let (k, _, _) = grid_argmin(0.0, 1.0, 32, None, f).unwrap();
+        let cold = evals.get();
+        evals.set(0);
+        let warm_res = grid_argmin(0.0, 1.0, 32, Some(k), f).unwrap();
+        assert_eq!(warm_res.0, k);
+        let warm = evals.get();
+        assert!(
+            warm * 4 <= cold,
+            "warm descent should probe far fewer cells ({warm} vs {cold})"
+        );
     }
 
     #[test]

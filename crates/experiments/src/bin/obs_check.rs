@@ -21,6 +21,198 @@ fn check(name: &str, ok: bool, detail: &str) -> bool {
     ok
 }
 
+/// Stands up an [`gps_analysis::AdmissionEngine`] behind
+/// [`gps_obs::Exporter::serve_with_routes`] the way `admitd` does, then
+/// drives scripted admit/depart load over a single keep-alive connection
+/// and asserts the JSON endpoints, the `admission_cache_*` counters, and
+/// the `admission_region_occupancy` gauges in the Prometheus exposition.
+fn admission_service_checks() -> bool {
+    use gps_analysis::{AdmissionEngine, CertBackend, ClassSpec, QosTarget};
+    use gps_ebb::{EbbProcess, TimeModel};
+    use gps_obs::exporter::HttpClient;
+    use gps_obs::metrics::Registry;
+    use gps_obs::{Exporter, RouteHandler, RouteResponse};
+    use std::sync::{Arc, Mutex};
+
+    let classes = vec![
+        ClassSpec::new(
+            "voice",
+            EbbProcess::new(0.02, 1.0, 17.4),
+            QosTarget::new(5.0, 1e-6),
+        ),
+        ClassSpec::new(
+            "video",
+            EbbProcess::new(0.08, 2.0, 6.0),
+            QosTarget::new(10.0, 1e-4),
+        ),
+    ];
+    let engine = AdmissionEngine::with_cache_cap(
+        classes,
+        1.0,
+        TimeModel::Discrete,
+        CertBackend::EffectiveBandwidth,
+        1 << 12,
+    )
+    .expect("engine builds");
+    let registry = Registry::new();
+    let engine = Arc::new(Mutex::new(engine));
+    let handler: RouteHandler = {
+        let engine = Arc::clone(&engine);
+        let registry = registry.clone();
+        Arc::new(move |path: &str| {
+            let (route, query) = match path.split_once('?') {
+                Some((r, q)) => (r, Some(q)),
+                None => (path, None),
+            };
+            let class: usize = query
+                .and_then(|q| q.strip_prefix("class="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            let mut engine = engine.lock().expect("engine poisoned");
+            let body = match route {
+                "/admit" => {
+                    let d = engine.admit(class);
+                    format!(
+                        "{{\"accepted\": {}, \"sessions\": {}}}",
+                        d.accepted, d.sessions
+                    )
+                }
+                "/depart" => {
+                    let d = engine.depart(class);
+                    format!(
+                        "{{\"accepted\": {}, \"sessions\": {}}}",
+                        d.accepted, d.sessions
+                    )
+                }
+                "/region" => {
+                    let rows: Vec<String> = engine
+                        .region()
+                        .iter()
+                        .map(|r| {
+                            format!(
+                                "{{\"name\": \"{}\", \"sessions\": {}, \"headroom\": {}}}",
+                                r.name, r.sessions, r.headroom
+                            )
+                        })
+                        .collect();
+                    format!("{{\"classes\": [{}]}}", rows.join(", "))
+                }
+                _ => return None,
+            };
+            engine.publish(&registry);
+            Some(RouteResponse::json(200, body))
+        })
+    };
+    let exporter =
+        Exporter::serve_with_routes("127.0.0.1:0", registry.clone(), handler).expect("bind");
+    let addr = exporter.local_addr();
+
+    let mut ok = true;
+    let mut client = match HttpClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            ok = check("admitd connect", false, &e.to_string());
+            exporter.shutdown();
+            return ok;
+        }
+    };
+    // Scripted load on one keep-alive connection: admits on both classes
+    // until the first rejection, then a depart and a re-admit.
+    let mut last_accepted = true;
+    let mut decisions = 0usize;
+    while last_accepted && decisions < 80 {
+        match client.get(&format!("/admit?class={}", decisions % 2)) {
+            Ok((status, body)) => {
+                ok &= check(
+                    "admit status",
+                    status == 200,
+                    &format!("status {status} at decision {decisions}"),
+                );
+                last_accepted = body.contains("\"accepted\": true");
+                decisions += 1;
+            }
+            Err(e) => {
+                ok = check("admit request", false, &e.to_string());
+                break;
+            }
+        }
+        if !ok {
+            break;
+        }
+    }
+    ok &= check(
+        "admission saturates",
+        !last_accepted && decisions > 2,
+        &format!("{decisions} decisions, last accepted: {last_accepted}"),
+    );
+    let rejected_class = (decisions - 1) % 2;
+    if let Ok((_, body)) = client.get(&format!("/depart?class={rejected_class}")) {
+        ok &= check(
+            "depart accepted",
+            body.contains("\"accepted\": true"),
+            &body,
+        );
+    }
+    if let Ok((_, body)) = client.get(&format!("/admit?class={rejected_class}")) {
+        ok &= check(
+            "slot reopens after depart",
+            body.contains("\"accepted\": true"),
+            &body,
+        );
+    }
+    match client.get("/region") {
+        Ok((status, body)) => {
+            let parsed = gps_obs::json::parse(&body);
+            ok &= check(
+                "/region parses with classes",
+                status == 200
+                    && parsed
+                        .as_ref()
+                        .ok()
+                        .and_then(|d| {
+                            if let Some(gps_obs::json::Json::Arr(rows)) = d.get("classes") {
+                                Some(rows.len())
+                            } else {
+                                None
+                            }
+                        })
+                        .map(|n| n == 2)
+                        .unwrap_or(false),
+                &body,
+            );
+        }
+        Err(e) => ok = check("/region", false, &e.to_string()),
+    }
+    // All of the above rode one connection; the exposition must show the
+    // admission counters and gauges the engine published.
+    match client.get("/metrics") {
+        Ok((status, body)) => {
+            ok &= check(
+                "/metrics admission counters",
+                status == 200
+                    && body.contains("admission_cache_hits_total")
+                    && body.contains("admission_cache_misses_total"),
+                "missing admission_cache_* counters",
+            );
+            ok &= check(
+                "/metrics region occupancy",
+                body.contains("admission_region_occupancy{class=\"voice\"}")
+                    && body.contains("admission_region_occupancy{class=\"video\"}"),
+                "missing admission_region_occupancy gauges",
+            );
+        }
+        Err(e) => ok = check("/metrics admission", false, &e.to_string()),
+    }
+    let stats = engine.lock().expect("engine poisoned").cache_stats();
+    ok &= check(
+        "warm cache hits dominate",
+        stats.hits > stats.misses,
+        &format!("{} hits vs {} misses", stats.hits, stats.misses),
+    );
+    exporter.shutdown();
+    ok
+}
+
 fn main() {
     // Default to an ephemeral loopback port so the check never collides,
     // while still honoring an explicit --serve / GPS_OBS_SERVE.
@@ -142,6 +334,11 @@ fn main() {
         Ok((status, _)) => ok &= check("unknown path -> 404", status == 404, &format!("{status}")),
         Err(e) => ok = check("unknown path", false, &e.to_string()),
     }
+
+    // The admission-control service: an engine behind serve_with_routes,
+    // driven over one persistent connection — checks the custom routes,
+    // keep-alive, the cache counters, and the region gauges end to end.
+    ok &= admission_service_checks();
 
     // Round-trip the flight recorder: export the Chrome trace collected
     // during the campaign, write it out, and re-parse it with the in-tree

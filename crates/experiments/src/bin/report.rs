@@ -241,6 +241,11 @@ fn main() {
         });
     }
 
+    // Admission-service region snapshot, written by `admitd --replay
+    // --out-region` (satisfies the "dashboard panel" half of the
+    // admission-control service).
+    dash.admission = load_json(&dir.join("admission_region.json"));
+
     // Bench suites.
     for f in &entries {
         if f.starts_with("bench_") && f.ends_with(".json") {
@@ -267,11 +272,17 @@ fn main() {
     let out = dir.join("dashboard.html");
     std::fs::write(&out, &html).expect("write dashboard");
     println!(
-        "dashboard: {} charts, {} campaigns, {} bench suites, {} timelines -> {}",
+        "dashboard: {} charts, {} campaigns, {} bench suites, {} timelines, \
+         admission {} -> {}",
         dash.charts.len(),
         dash.campaigns.len(),
         dash.benches.len(),
         dash.timelines.len(),
+        if dash.admission.is_some() {
+            "panel"
+        } else {
+            "absent"
+        },
         out.display()
     );
 }

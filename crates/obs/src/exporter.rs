@@ -12,14 +12,23 @@
 //!   done/restored/retried/quarantined, chunk count, throughput, ETA.
 //! * `/health` — `ok`, for liveness probes.
 //!
+//! Services can mount extra GET endpoints next to the built-ins with
+//! [`Exporter::serve_with_routes`] — the admission-control daemon serves
+//! `/admit`, `/depart`, and `/region` this way, concurrently with
+//! `/metrics` scrapes.
+//!
 //! The accept loop runs on one named thread (`gps-obs-exporter`); each
 //! accepted connection is handled on its own short-lived `gps-obs-conn`
 //! thread so a slow or stalled client can never wedge `/metrics` for
-//! other scrapers. Shutdown stays exact: dropping (or
+//! other scrapers. Connections are persistent in the HTTP/1.1 style:
+//! the handler loops serving requests (pipelining included) until the
+//! client asks `Connection: close`, speaks HTTP/1.0, goes quiet past the
+//! read timeout, or exhausts the per-connection request budget
+//! ([`MAX_REQUESTS_PER_CONN`]). Shutdown stays exact: dropping (or
 //! [`Exporter::shutdown`]-ing) the handle sets a stop flag and makes a
 //! wake-up connection to unblock `accept`, then joins the accept thread
 //! (in-flight connection threads finish on their own, bounded by the
-//! per-connection timeouts).
+//! per-connection timeouts and the request budget).
 //!
 //! Malformed and hostile clients are bounded on every axis: reads and
 //! writes time out after two seconds, the request line is capped at 1 KiB
@@ -266,6 +275,63 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 const MAX_REQUEST_LINE: usize = 1024;
 
+/// Requests served on one persistent connection before the server closes
+/// it — bounds how long a keep-alive client can pin a `gps-obs-conn`
+/// thread (together with the 2 s read timeout per request).
+pub const MAX_REQUESTS_PER_CONN: usize = 100;
+
+/// A response produced by a custom route handler mounted via
+/// [`Exporter::serve_with_routes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteResponse {
+    /// HTTP status code (the reason phrase is derived from it).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl RouteResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain".to_string(),
+            body: body.into(),
+        }
+    }
+}
+
+/// Custom GET dispatch: receives the request path (query string
+/// included), returns `Some` to serve it or `None` to fall through to
+/// 404. Consulted only for paths no built-in endpoint claims.
+pub type RouteHandler = Arc<dyn Fn(&str) -> Option<RouteResponse> + Send + Sync>;
+
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
 /// A live `/metrics` server bound to one registry. Construct with
 /// [`Exporter::serve`]; the listener thread stops when the handle is
 /// shut down or dropped.
@@ -280,13 +346,31 @@ impl Exporter {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
     /// starts serving `registry` on a thread named `gps-obs-exporter`.
     pub fn serve(addr: &str, registry: Registry) -> std::io::Result<Exporter> {
+        Self::start(addr, registry, None)
+    }
+
+    /// [`serve`](Self::serve) plus a custom route handler consulted for
+    /// every GET path the built-in endpoints don't claim.
+    pub fn serve_with_routes(
+        addr: &str,
+        registry: Registry,
+        routes: RouteHandler,
+    ) -> std::io::Result<Exporter> {
+        Self::start(addr, registry, Some(routes))
+    }
+
+    fn start(
+        addr: &str,
+        registry: Registry,
+        routes: Option<RouteHandler>,
+    ) -> std::io::Result<Exporter> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("gps-obs-exporter".to_string())
-            .spawn(move || serve_loop(listener, registry, thread_stop))?;
+            .spawn(move || serve_loop(listener, registry, thread_stop, routes))?;
         crate::info(
             "obs.exporter",
             "started",
@@ -331,7 +415,12 @@ impl Drop for Exporter {
     }
 }
 
-fn serve_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+fn serve_loop(
+    listener: TcpListener,
+    registry: Registry,
+    stop: Arc<AtomicBool>,
+    routes: Option<RouteHandler>,
+) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -340,104 +429,189 @@ fn serve_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) 
             // One short-lived thread per connection: a stalled client
             // burns its own read timeout, not other scrapers' latency.
             let registry = registry.clone();
+            let routes = routes.clone();
             let _ = std::thread::Builder::new()
                 .name("gps-obs-conn".to_string())
-                .spawn(move || handle_connection(stream, &registry));
+                .spawn(move || handle_connection(stream, &registry, routes.as_ref()));
         }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, registry: &Registry) {
+/// Outcome of pulling one request head off a persistent connection.
+enum HeadRead {
+    /// A complete head (request line + headers + blank line).
+    Complete(Vec<u8>),
+    /// Request line exceeded [`MAX_REQUEST_LINE`].
+    LineTooLong,
+    /// Head exceeded [`MAX_REQUEST_BYTES`].
+    HeadTooLarge,
+    /// Peer closed, stalled past the read timeout, or errored.
+    Closed,
+}
+
+/// Reads one request head, consuming it from `carry` (which may already
+/// hold pipelined bytes from the previous read and keeps any surplus for
+/// the next request). Everything served here is GET, so bodies are not
+/// expected and not skipped.
+fn read_request_head(stream: &mut TcpStream, carry: &mut Vec<u8>) -> HeadRead {
+    let mut chunk = [0u8; 512];
+    loop {
+        let line_end = carry.windows(2).position(|w| w == b"\r\n");
+        if line_end.map_or(carry.len() > MAX_REQUEST_LINE, |e| e > MAX_REQUEST_LINE) {
+            return HeadRead::LineTooLong;
+        }
+        if let Some(end) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = carry[..end + 4].to_vec();
+            carry.drain(..end + 4);
+            return HeadRead::Complete(head);
+        }
+        if carry.len() > MAX_REQUEST_BYTES {
+            return HeadRead::HeadTooLarge;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return HeadRead::Closed,
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(_) => return HeadRead::Closed,
+        }
+    }
+}
+
+/// True when the request head asks to keep the connection open: HTTP/1.1
+/// defaults to persistent unless a `Connection: close` header appears;
+/// HTTP/1.0 (and anything unrecognized) closes.
+fn wants_keep_alive(head: &str) -> bool {
+    let mut lines = head.lines();
+    let version = lines
+        .next()
+        .unwrap_or("")
+        .split_whitespace()
+        .nth(2)
+        .unwrap_or("");
+    if version != "HTTP/1.1" {
+        return false;
+    }
+    for line in lines {
+        if let Some(value) = line
+            .split_once(':')
+            .filter(|(name, _)| name.eq_ignore_ascii_case("connection"))
+            .map(|(_, v)| v)
+        {
+            return !value.trim().eq_ignore_ascii_case("close");
+        }
+    }
+    true
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &Registry, routes: Option<&RouteHandler>) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    let mut line_too_long = false;
-    let mut head_too_large = false;
-    // Read until the end of the request head; everything we serve is GET,
-    // so the body (if any) is ignored.
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                let line_end = buf.windows(2).position(|w| w == b"\r\n");
-                if line_end.map_or(buf.len() > MAX_REQUEST_LINE, |e| e > MAX_REQUEST_LINE) {
-                    line_too_long = true;
-                    break;
-                }
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
-                    break;
-                }
-                if buf.len() > MAX_REQUEST_BYTES {
-                    head_too_large = true;
-                    break;
-                }
+    // Request/response over a persistent connection is exactly the
+    // write-write-read pattern where Nagle + delayed ACK costs ~40 ms per
+    // round trip; responses are tiny, so flush segments immediately.
+    let _ = stream.set_nodelay(true);
+    let mut carry = Vec::with_capacity(512);
+    for served in 0..MAX_REQUESTS_PER_CONN {
+        let head_bytes = match read_request_head(&mut stream, &mut carry) {
+            HeadRead::Complete(bytes) => bytes,
+            HeadRead::LineTooLong => {
+                registry.counter("obs.exporter.requests").inc();
+                respond_and_drain(&mut stream, 414, "URI Too Long", "request line too long\n");
+                return;
             }
-            Err(_) => return,
-        }
-    }
-    if line_too_long {
+            HeadRead::HeadTooLarge => {
+                registry.counter("obs.exporter.requests").inc();
+                respond_and_drain(
+                    &mut stream,
+                    431,
+                    "Request Header Fields Too Large",
+                    "request head too large\n",
+                );
+                return;
+            }
+            HeadRead::Closed => return,
+        };
+        let head = String::from_utf8_lossy(&head_bytes);
+        let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+        let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
         registry.counter("obs.exporter.requests").inc();
-        respond_and_drain(&mut stream, 414, "URI Too Long", "request line too long\n");
-        return;
-    }
-    if head_too_large {
-        registry.counter("obs.exporter.requests").inc();
-        respond_and_drain(
-            &mut stream,
-            431,
-            "Request Header Fields Too Large",
-            "request head too large\n",
-        );
-        return;
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    registry.counter("obs.exporter.requests").inc();
-    if method != "GET" {
-        respond(
-            &mut stream,
-            405,
-            "Method Not Allowed",
-            "text/plain",
-            "GET only\n",
-        );
-        return;
-    }
-    match path {
-        "/metrics" => {
-            let body = to_prometheus_text(&registry.snapshot());
+        // The last budgeted request closes regardless of what the client
+        // asked for; the `Connection:` header in the response says which.
+        let keep = wants_keep_alive(&head) && served + 1 < MAX_REQUESTS_PER_CONN;
+        if method != "GET" {
             respond(
                 &mut stream,
-                200,
-                "OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                &body,
+                405,
+                "Method Not Allowed",
+                "text/plain",
+                "GET only\n",
+                keep,
             );
+        } else {
+            match path {
+                "/metrics" => {
+                    let body = to_prometheus_text(&registry.snapshot());
+                    respond(
+                        &mut stream,
+                        200,
+                        "OK",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        &body,
+                        keep,
+                    );
+                }
+                "/metrics.json" => {
+                    let body = registry.snapshot().to_json();
+                    respond(&mut stream, 200, "OK", "application/json", &body, keep);
+                }
+                "/progress" => {
+                    let body = crate::progress::global_progress().to_json();
+                    respond(&mut stream, 200, "OK", "application/json", &body, keep);
+                }
+                "/health" => respond(&mut stream, 200, "OK", "text/plain", "ok\n", keep),
+                other => match routes.and_then(|h| h(other)) {
+                    Some(r) => respond(
+                        &mut stream,
+                        r.status,
+                        reason_for(r.status),
+                        &r.content_type,
+                        &r.body,
+                        keep,
+                    ),
+                    None => respond(
+                        &mut stream,
+                        404,
+                        "Not Found",
+                        "text/plain",
+                        "not found\n",
+                        keep,
+                    ),
+                },
+            }
         }
-        "/metrics.json" => {
-            let body = registry.snapshot().to_json();
-            respond(&mut stream, 200, "OK", "application/json", &body);
+        if !keep {
+            return;
         }
-        "/progress" => {
-            let body = crate::progress::global_progress().to_json();
-            respond(&mut stream, 200, "OK", "application/json", &body);
-        }
-        "/health" => respond(&mut stream, 200, "OK", "text/plain", "ok\n"),
-        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
     }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, reason: &str, content_type: &str, body: &str) {
-    let head = format!(
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One write per response: head and body in the same segment keeps a
+    // keep-alive round trip to a single packet each way.
+    let mut message = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    message.push_str(body);
+    let _ = stream.write_all(message.as_bytes());
     let _ = stream.flush();
 }
 
@@ -447,7 +621,7 @@ fn respond(stream: &mut TcpStream, status: u16, reason: &str, content_type: &str
 /// before the client reads it; draining (bounded by the read timeout and a
 /// byte cap) turns the close into an orderly `FIN`.
 fn respond_and_drain(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
-    respond(stream, status, reason, "text/plain", body);
+    respond(stream, status, reason, "text/plain", body, false);
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let mut sink = [0u8; 1024];
     let mut drained = 0usize;
@@ -472,6 +646,7 @@ pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(u16, S
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
     let mut stream = TcpStream::connect_timeout(&addr, READ_TIMEOUT)?;
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let _ = stream.set_nodelay(true);
     let request = format!("GET {path} HTTP/1.1\r\nHost: gps-obs\r\nConnection: close\r\n\r\n");
     stream.write_all(request.as_bytes())?;
     let mut response = String::new();
@@ -486,6 +661,96 @@ pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(u16, S
         None => String::new(),
     };
     Ok((status, body))
+}
+
+/// A persistent-connection HTTP client: issues many GETs over one TCP
+/// connection (the server's keep-alive path), parsing `Content-Length`
+/// to frame each response. Used by the admission benchmarks and the
+/// `obs_check` / `verify.sh` smoke tests so scripted decision streams
+/// don't pay a TCP handshake per request.
+///
+/// The server closes the connection after [`MAX_REQUESTS_PER_CONN`]
+/// requests; a `get` past that returns an error — reconnect to continue.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to a local exporter.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<HttpClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, READ_TIMEOUT)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            carry: Vec::with_capacity(512),
+        })
+    }
+
+    /// Issues one GET on the persistent connection; returns
+    /// `(status, body)`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        let request = format!("GET {path} HTTP/1.1\r\nHost: gps-obs\r\n\r\n");
+        self.stream.write_all(request.as_bytes())?;
+        let head = self.read_until_blank_line()?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let content_length: usize = head
+            .lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "missing content-length")
+            })?;
+        while self.carry.len() < content_length {
+            let mut chunk = [0u8; 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "body truncated",
+                ));
+            }
+            self.carry.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8_lossy(&self.carry[..content_length]).into_owned();
+        self.carry.drain(..content_length);
+        Ok((status, body))
+    }
+
+    /// Reads (and consumes) one response head, keeping surplus bytes in
+    /// the carry buffer for the body read.
+    fn read_until_blank_line(&mut self) -> std::io::Result<String> {
+        loop {
+            if let Some(end) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&self.carry[..end]).into_owned();
+                self.carry.drain(..end + 4);
+                return Ok(head);
+            }
+            let mut chunk = [0u8; 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-head",
+                ));
+            }
+            self.carry.extend_from_slice(&chunk[..n]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -625,6 +890,113 @@ obs_span_max_ns{path=\"sim/step\"} 300
         exporter.shutdown();
         // The port is released: a fresh bind to the same address works.
         assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let r = Registry::new();
+        let exporter = Exporter::serve("127.0.0.1:0", r.clone()).expect("bind");
+        let addr = exporter.local_addr();
+
+        let before = r.counter("obs.exporter.requests").get();
+        let mut client = HttpClient::connect(addr).unwrap();
+        for _ in 0..10 {
+            let (status, body) = client.get("/health").unwrap();
+            assert_eq!((status, body.as_str()), (200, "ok\n"));
+        }
+        // All ten requests rode one connection and were all counted.
+        assert_eq!(r.counter("obs.exporter.requests").get(), before + 10);
+
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn connection_request_budget_is_enforced() {
+        let exporter = Exporter::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let addr = exporter.local_addr();
+
+        let mut client = HttpClient::connect(addr).unwrap();
+        for i in 0..MAX_REQUESTS_PER_CONN {
+            let (status, _) = client.get("/health").unwrap_or_else(|e| {
+                panic!("request {i} within budget failed: {e}");
+            });
+            assert_eq!(status, 200);
+        }
+        // The server closed after the budgeted request; one more on the
+        // same connection cannot be answered.
+        assert!(client.get("/health").is_err());
+        // A fresh connection works fine.
+        let mut fresh = HttpClient::connect(addr).unwrap();
+        assert_eq!(fresh.get("/health").unwrap().0, 200);
+
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_served_in_order() {
+        let exporter = Exporter::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let addr = exporter.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        // Two requests in one write; the second asks to close so the
+        // server ends the connection after answering both.
+        let requests = "GET /health HTTP/1.1\r\nHost: t\r\n\r\n\
+                        GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+        stream.write_all(requests.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let statuses: Vec<&str> = response
+            .lines()
+            .filter(|l| l.starts_with("HTTP/1.1 "))
+            .collect();
+        assert_eq!(statuses, vec!["HTTP/1.1 200 OK", "HTTP/1.1 404 Not Found"]);
+        assert!(response.contains("Connection: keep-alive"));
+        assert!(response.contains("Connection: close"));
+
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn custom_routes_mount_beside_builtins() {
+        let r = Registry::new();
+        r.counter("hits").add(7);
+        let handler: RouteHandler = Arc::new(|path: &str| match path {
+            "/echo" => Some(RouteResponse::json(200, "{\"ok\":true}")),
+            p if p.starts_with("/echo?") => Some(RouteResponse::text(200, p.to_string())),
+            _ => None,
+        });
+        let exporter = Exporter::serve_with_routes("127.0.0.1:0", r, handler).expect("bind");
+        let addr = exporter.local_addr();
+
+        let (status, body) = http_get(addr, "/echo").unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+        // The query string reaches the handler verbatim.
+        let (status, body) = http_get(addr, "/echo?x=1").unwrap();
+        assert_eq!((status, body.as_str()), (200, "/echo?x=1"));
+        // Built-ins still win, unclaimed paths still 404.
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("hits_total 7"));
+        assert_eq!(http_get(addr, "/unclaimed").unwrap().0, 404);
+
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_header_parsing() {
+        assert!(wants_keep_alive("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+        assert!(!wants_keep_alive(
+            "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        ));
+        assert!(!wants_keep_alive(
+            "GET / HTTP/1.1\r\nCONNECTION:  CLOSE \r\n\r\n"
+        ));
+        assert!(wants_keep_alive(
+            "GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n"
+        ));
+        assert!(!wants_keep_alive("GET / HTTP/1.0\r\n\r\n"));
+        assert!(!wants_keep_alive(""));
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub mod report;
 pub mod span;
 pub mod trace;
 
-pub use exporter::{to_prometheus_text, Exporter};
+pub use exporter::{
+    http_get, to_prometheus_text, Exporter, HttpClient, RouteHandler, RouteResponse,
+};
 pub use journal::{FieldValue, Journal, Level, ParsedEvent, SinkKind};
 pub use manifest::RunManifest;
 pub use metrics::{labeled, Counter, Gauge, Registry, Snapshot, SpanStats};

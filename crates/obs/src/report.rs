@@ -124,6 +124,9 @@ pub struct Dashboard {
     pub benches: Vec<BenchSuite>,
     /// Flight-recorder timelines, in display order.
     pub timelines: Vec<TraceTimeline>,
+    /// Admission-service region snapshot (`results/admission_region.json`,
+    /// the `/region` body captured by `admitd --replay`), when present.
+    pub admission: Option<Json>,
 }
 
 /// Escapes text for HTML body and attribute positions.
@@ -770,6 +773,67 @@ fn metrics_html(metrics: &Json) -> String {
     out
 }
 
+/// Renders the admission-service panel from a `/region` snapshot: a
+/// service summary (capacity, load, decision/cache counters with the
+/// derived hit ratio) plus a per-class table of sessions, remaining
+/// headroom, and region occupancy.
+fn admission_html(region: &Json) -> String {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for key in [
+        "capacity",
+        "load",
+        "sessions",
+        "decisions",
+        "admitted",
+        "rejected",
+        "departed",
+    ] {
+        if let Some(v) = region.get(key) {
+            pairs.push((key.to_string(), json_scalar(v)));
+        }
+    }
+    if let Some(cache) = region.get("cache") {
+        let n = |key: &str| cache.get(key).and_then(|v| v.as_f64());
+        for key in ["hits", "misses", "evictions"] {
+            if let Some(v) = cache.get(key) {
+                pairs.push((format!("cache.{key}"), json_scalar(v)));
+            }
+        }
+        if let (Some(h), Some(m)) = (n("hits"), n("misses")) {
+            if h + m > 0.0 {
+                pairs.push(("cache.hit_ratio".to_string(), fmt_num(h / (h + m))));
+            }
+        }
+    }
+    let mut out = kv_table("service", &pairs);
+
+    if let Some(Json::Arr(classes)) = region.get("classes") {
+        if !classes.is_empty() {
+            out.push_str(
+                "<h4>admissible region</h4><table><thead><tr><th>class</th>\
+                 <th>sessions</th><th>headroom</th><th>occupancy</th></tr></thead><tbody>",
+            );
+            for c in classes {
+                let cell = |key: &str| match c.get(key) {
+                    Some(v) => json_scalar(v),
+                    None => "–".to_string(),
+                };
+                let _ = write!(
+                    out,
+                    "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td></tr>",
+                    html_escape(&cell("name")),
+                    cell("sessions"),
+                    cell("headroom"),
+                    cell("occupancy"),
+                );
+            }
+            out.push_str("</tbody></table>");
+        }
+    }
+    out
+}
+
 fn manifest_html(manifest: &Json) -> String {
     let mut pairs: Vec<(String, String)> = Vec::new();
     for key in ["campaign", "seed"] {
@@ -843,6 +907,15 @@ pub fn render(d: &Dashboard) -> String {
             }
             body.push_str("</details>");
         }
+    }
+
+    if let Some(region) = &d.admission {
+        body.push_str(
+            "<h2>Admission control</h2><details open><summary>\
+                       <h3 id=\"admission\">admission service</h3></summary>",
+        );
+        body.push_str(&admission_html(region));
+        body.push_str("</details>");
     }
 
     if !d.benches.is_empty() {
@@ -1000,6 +1073,16 @@ mod tests {
                 }],
             }],
             timelines: Vec::new(),
+            admission: Some(
+                json::parse(
+                    "{\"capacity\":1,\"load\":0.56,\"sessions\":10,\"decisions\":40,\
+                     \"admitted\":25,\"rejected\":5,\"departed\":10,\
+                     \"cache\":{\"hits\":30,\"misses\":10,\"evictions\":0},\
+                     \"classes\":[{\"class\":0,\"name\":\"voice<1>\",\"sessions\":4,\
+                     \"headroom\":3,\"occupancy\":0.571}]}",
+                )
+                .unwrap(),
+            ),
         };
         let a = render(&d);
         let b = render(&d);
@@ -1008,6 +1091,10 @@ mod tests {
         assert!(a.contains("sim.measured_slots"));
         assert!(a.contains("1.50 ms"));
         assert!(a.contains("bench: simulators"));
+        assert!(a.contains("Admission control"));
+        assert!(a.contains("cache.hit_ratio"));
+        assert!(a.contains("voice&lt;1&gt;")); // class names are escaped
+        assert!(a.contains("admissible region"));
         assert!(!a.contains("<script"));
     }
 

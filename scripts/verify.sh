@@ -38,6 +38,41 @@ cargo fmt --all --check
 echo "==> obs_check (exporter + flight-recorder integration)"
 GPS_OBS_TRACE=1 GPS_OBS_SERVE=127.0.0.1:0 ./target/release/obs_check
 
+# Admission-control service: replay a scripted decision stream through
+# admitd's own HTTP front end (keep-alive connections against the
+# exporter) under maximally different scheduling and cache settings.
+# The full digest (decisions + /region) must be invariant across the
+# GPS_PAR_THREADS matrix; the decision stream alone must additionally be
+# invariant under disabling the certificate cache (GPS_ADMIT_CACHE_CAP=0)
+# — caching may never change an admission decision. The default run must
+# also actually exercise the cache (hits > 0).
+echo "==> admitd replay (digest invariance + cache-hit counters)"
+adm="$(mktemp -d)"
+trap 'rm -rf "$adm"' EXIT
+GPS_PAR_THREADS=1 ./target/release/admitd --replay 2000 --seed 7 > "$adm/a.txt"
+GPS_PAR_THREADS=4 GPS_PAR_CHUNK=1 ./target/release/admitd --replay 2000 --seed 7 > "$adm/b.txt"
+GPS_ADMIT_CACHE_CAP=0 ./target/release/admitd --replay 2000 --seed 7 > "$adm/c.txt"
+dig_a="$(grep '^admitd digest:' "$adm/a.txt")"
+dig_b="$(grep '^admitd digest:' "$adm/b.txt")"
+if [ "$dig_a" != "$dig_b" ]; then
+    echo "verify.sh: admitd digest differs across GPS_PAR_THREADS ($dig_a vs $dig_b)" >&2
+    exit 1
+fi
+dec_a="$(grep '^admitd decisions digest:' "$adm/a.txt")"
+dec_c="$(grep '^admitd decisions digest:' "$adm/c.txt")"
+if [ "$dec_a" != "$dec_c" ]; then
+    echo "verify.sh: decision stream changed when the cache was disabled ($dec_a vs $dec_c)" >&2
+    exit 1
+fi
+if ! grep -q '^admitd cache: [1-9][0-9]* hits' "$adm/a.txt"; then
+    echo "verify.sh: default admitd replay recorded no cache hits" >&2
+    exit 1
+fi
+if ! grep -q '^admitd cache: 0 hits' "$adm/c.txt"; then
+    echo "verify.sh: GPS_ADMIT_CACHE_CAP=0 still recorded cache hits" >&2
+    exit 1
+fi
+
 # Flight recorder, counts mode: the digest is part of the determinism
 # contract — the same campaign traced under maximally different
 # scheduling (1 worker vs 4 workers with single-replication chunks)
@@ -45,7 +80,7 @@ GPS_OBS_TRACE=1 GPS_OBS_SERVE=127.0.0.1:0 ./target/release/obs_check
 echo "==> flight-recorder counts digest (schedule invariance)"
 tr_a="$(mktemp -d)"
 tr_b="$(mktemp -d)"
-trap 'rm -rf "$tr_a" "$tr_b"' EXIT
+trap 'rm -rf "$adm" "$tr_a" "$tr_b"' EXIT
 GPS_RESULTS_DIR="$tr_a" GPS_MEASURE_SLOTS=50000 GPS_OBS_TRACE=counts GPS_PAR_THREADS=1 \
     ./target/release/validate_single --quiet > /dev/null
 GPS_RESULTS_DIR="$tr_b" GPS_MEASURE_SLOTS=50000 GPS_OBS_TRACE=counts GPS_PAR_THREADS=4 GPS_PAR_CHUNK=1 \
@@ -63,7 +98,7 @@ cmp "$tr_a/validate_single_trace.json" "$tr_b/validate_single_trace.json"
 echo "==> supervised-campaign smoke (quarantine + checkpoint/resume)"
 sup_a="$(mktemp -d)"
 sup_b="$(mktemp -d)"
-trap 'rm -rf "$tr_a" "$tr_b" "$sup_a" "$sup_b"' EXIT
+trap 'rm -rf "$adm" "$tr_a" "$tr_b" "$sup_a" "$sup_b"' EXIT
 GPS_RESULTS_DIR="$sup_a" GPS_MEASURE_SLOTS=200000 \
     ./target/release/validate_single --quiet > "$sup_a/stdout.txt"
 GPS_RESULTS_DIR="$sup_b" GPS_MEASURE_SLOTS=200000 GPS_FAULT_TASK_PANIC=3 \
@@ -106,7 +141,7 @@ done
 # byte-identical (the report is a pure function of the files on disk).
 echo "==> report (dashboard smoke + determinism)"
 tmp_results="$(mktemp -d)"
-trap 'rm -rf "$tmp_results" "$tr_a" "$tr_b" "$sup_a" "$sup_b"' EXIT
+trap 'rm -rf "$adm" "$tmp_results" "$tr_a" "$tr_b" "$sup_a" "$sup_b"' EXIT
 cp -r results/. "$tmp_results"/
 GPS_RESULTS_DIR="$tmp_results" ./target/release/report
 hash1="$(sha256sum "$tmp_results/dashboard.html" | cut -d' ' -f1)"

@@ -42,6 +42,9 @@ pub use gps_stats as stats;
 pub mod prelude {
     pub use gps_analysis::admission::{max_rpps_sessions, QosTarget};
     pub use gps_analysis::e2e::e2e_delay;
+    pub use gps_analysis::engine::{
+        AdmissionEngine, CertBackend, ClassSpec, Decision, Request, RequestKind,
+    };
     pub use gps_analysis::network::{CrstAnalysis, CrstError, NetworkSession};
     pub use gps_analysis::partition_bounds::theorem10;
     pub use gps_analysis::{RppsNetworkBounds, SessionBounds, Theorem11, Theorem7, Theorem8};
