@@ -615,6 +615,13 @@ impl AdmissionEngine {
         } else {
             None
         };
+        // Cold θ-optimization: the expensive path a slow `/admit` traces
+        // to. Tagged with the serving request ID (0 outside a request).
+        let _miss = gps_obs::trace::scope(
+            gps_obs::TraceKind::RequestDispatch,
+            "engine/cert_miss",
+            gps_obs::current_request_id().unwrap_or(0),
+        );
         let (bound, seed) = self.compute_certificate(j, g, hint)?;
         if self.warm_start {
             self.theta_seeds[j] = Some(seed);
@@ -654,6 +661,11 @@ impl AdmissionEngine {
         if let Some(CachedValue::GStar(g)) = self.cache.get(&key) {
             return g;
         }
+        let _miss = gps_obs::trace::scope(
+            gps_obs::TraceKind::RequestDispatch,
+            "engine/gstar_miss",
+            gps_obs::current_request_id().unwrap_or(0),
+        );
         let g = self.compute_gstar(j);
         self.cache.insert(key, CachedValue::GStar(g));
         g
@@ -758,6 +770,12 @@ impl AdmissionEngine {
     /// Decides one admission request for class `j`.
     pub fn admit(&mut self, j: usize) -> Decision {
         assert!(j < self.classes.len(), "class {j} out of range");
+        let rid = gps_obs::current_request_id();
+        let _slice = gps_obs::trace::scope(
+            gps_obs::TraceKind::RequestDispatch,
+            "engine/admit",
+            rid.unwrap_or(0),
+        );
         let mut candidate = self.counts.clone();
         candidate[j] += 1;
         let ok = self.mix_admissible(&candidate);
@@ -773,6 +791,22 @@ impl AdmissionEngine {
             self.stats.admitted += 1;
         } else {
             self.stats.rejected += 1;
+        }
+        match rid {
+            Some(id) => gps_obs::debug(
+                "admission.engine",
+                "admit",
+                &[
+                    ("request_id", id.into()),
+                    ("class", (j as u64).into()),
+                    ("accepted", ok.into()),
+                ],
+            ),
+            None => gps_obs::debug(
+                "admission.engine",
+                "admit",
+                &[("class", (j as u64).into()), ("accepted", ok.into())],
+            ),
         }
         Decision {
             seq: self.seq,
@@ -795,6 +829,22 @@ impl AdmissionEngine {
         }
         self.seq += 1;
         self.stats.decisions += 1;
+        match gps_obs::current_request_id() {
+            Some(id) => gps_obs::debug(
+                "admission.engine",
+                "depart",
+                &[
+                    ("request_id", id.into()),
+                    ("class", (j as u64).into()),
+                    ("accepted", ok.into()),
+                ],
+            ),
+            None => gps_obs::debug(
+                "admission.engine",
+                "depart",
+                &[("class", (j as u64).into()), ("accepted", ok.into())],
+            ),
+        }
         Decision {
             seq: self.seq,
             class: j,

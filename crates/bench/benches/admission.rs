@@ -14,13 +14,20 @@
 use gps_analysis::{AdmissionEngine, CertBackend, ClassSpec, QosTarget, Request, RequestKind};
 use gps_bench::harness::{black_box, BenchHarness};
 use gps_ebb::{EbbProcess, TimeModel};
+use gps_obs::exporter::{HttpClient, MAX_REQUESTS_PER_CONN};
+use gps_obs::metrics::Registry;
+use gps_obs::{Exporter, RouteHandler, RouteResponse, TelemetryConfig};
 use gps_stats::{RngCore, Xoshiro256pp};
+use std::sync::{Arc, Mutex};
 
 /// Mix size for the replayed decision stream.
 const DECISIONS: usize = 100_000;
 /// Decisions per cold iteration (a full cold replay would take minutes;
 /// the per-decision median is what the gate compares).
 const COLD_CHUNK: usize = 64;
+/// Decisions per HTTP-path iteration (each is a full request/response
+/// round trip through the telemetry middleware on loopback).
+const HTTP_DECISIONS: usize = 1_000;
 /// Per-class population: 8 classes × 125 000 = 10⁶ standing sessions.
 const SESSIONS_PER_CLASS: u64 = 125_000;
 
@@ -127,6 +134,76 @@ fn main() {
         black_box(e.admit_batch(&stream).len())
     });
 
+    // HTTP path: the same warm engine behind the exporter front end with
+    // request telemetry armed — the full admitd stack (parse, dispatch,
+    // engine, counters + HDR latency) per decision, on keep-alive
+    // loopback connections.
+    let registry = Registry::new();
+    let http_engine = Arc::new(Mutex::new(warm_template.clone()));
+    let handler: RouteHandler = {
+        let engine = Arc::clone(&http_engine);
+        Arc::new(move |path: &str| {
+            let (route, query) = match path.split_once('?') {
+                Some((r, q)) => (r, Some(q)),
+                None => (path, None),
+            };
+            let class: usize = query
+                .and_then(|q| q.strip_prefix("class="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            let mut engine = engine.lock().expect("engine poisoned");
+            let d = match route {
+                "/admit" => engine.admit(class),
+                "/depart" => engine.depart(class),
+                _ => return None,
+            };
+            Some(RouteResponse::json(
+                200,
+                format!("{{\"accepted\": {}}}", d.accepted),
+            ))
+        })
+    };
+    let exporter = Exporter::serve_with_telemetry(
+        "127.0.0.1:0",
+        registry,
+        Some(handler),
+        TelemetryConfig::new("bench-admitd"),
+    )
+    .expect("bind exporter");
+    let addr = exporter.local_addr();
+    let paths: Vec<String> = stream[..HTTP_DECISIONS]
+        .iter()
+        .map(|r| {
+            let verb = match r.kind {
+                RequestKind::Admit => "admit",
+                RequestKind::Depart => "depart",
+            };
+            format!("/{verb}?class={}", r.class)
+        })
+        .collect();
+    let http = h
+        .bench_elems("replay/http", HTTP_DECISIONS as u64, || {
+            *http_engine.lock().expect("engine poisoned") = warm_template.clone();
+            let mut client = HttpClient::connect(addr).expect("connect");
+            let mut on_conn = 0usize;
+            let mut accepted = 0usize;
+            for path in &paths {
+                if on_conn + 1 >= MAX_REQUESTS_PER_CONN {
+                    client = HttpClient::connect(addr).expect("reconnect");
+                    on_conn = 0;
+                }
+                let (status, body) = client.get(path).expect("request");
+                on_conn += 1;
+                assert_eq!(status, 200);
+                if body.contains("true") {
+                    accepted += 1;
+                }
+            }
+            black_box(accepted)
+        })
+        .clone();
+    exporter.shutdown();
+
     // Headline gate: >= 10x warm-over-cold per-decision median.
     let cold_per = cold.median_ns / COLD_CHUNK as f64;
     let warm_per = warm.median_ns / DECISIONS as f64;
@@ -138,6 +215,19 @@ fn main() {
     assert!(
         ratio >= 10.0,
         "warm cache speedup {ratio:.1}x below the 10x contract"
+    );
+
+    // HTTP-path gate: deliberately lenient (loopback scheduling is
+    // noisy) — a warm decision through the full service stack must stay
+    // under a millisecond.
+    let http_per = http.median_ns / HTTP_DECISIONS as f64;
+    println!(
+        "admission: http {http_per:.0} ns/decision = {:.0} decisions/s over HTTP",
+        1e9 / http_per
+    );
+    assert!(
+        http_per <= 1_000_000.0,
+        "HTTP decision path {http_per:.0} ns/decision exceeds the 1 ms budget"
     );
 
     h.finish().expect("write bench report");

@@ -1,6 +1,6 @@
 //! Overhead of the observability layer on the campaign hot path.
 //!
-//! The same single-node campaign workload runs under five setups:
+//! The same single-node campaign workload runs under six setups:
 //!
 //! * `uninstrumented` — a hand-rolled copy of the measurement loop with
 //!   no `gps_obs` call sites at all (the floor);
@@ -14,18 +14,23 @@
 //!   measures the cost of merely having the server thread up);
 //! * `traced` — Noop journal with the flight recorder in timing mode:
 //!   chunk begin/end, span, and checkpoint events stream into the
-//!   per-thread rings (reset each iteration so the ring never saturates).
+//!   per-thread rings (reset each iteration so the ring never saturates);
+//! * `request_telemetry` — Noop journal with the exporter serving under
+//!   full request telemetry (per-route counters, HDR latency, SLO
+//!   tracking): the instrumentation is per *request*, so an idle-scraper
+//!   server must cost the campaign hot path nothing.
 //!
 //! The contract this pins: a disabled hub is free — `noop_journal` must
 //! stay within 2% of `uninstrumented` (that setup includes the disabled
-//! trace call sites on the chunk path). To keep the gate robust against
-//! scheduler noise on shared hosts, it fails only when *both* the median
-//! and the p10 ratios exceed the budget. `traced` is reported but not
-//! gated: it is the price of *opting in*.
+//! trace call sites on the chunk path), and `request_telemetry` must meet
+//! the same budget. To keep the gates robust against scheduler noise on
+//! shared hosts, each fails only when *both* the median and the p10
+//! ratios exceed the budget. `traced` is reported but not gated: it is
+//! the price of *opting in*.
 
 use gps_bench::harness::{black_box, BenchHarness};
 use gps_obs::journal::SinkKind;
-use gps_obs::{Exporter, Level, ObsConfig};
+use gps_obs::{Exporter, Level, ObsConfig, SloSpec, TelemetryConfig};
 use gps_sim::runner::{run_single_node_campaign_threads, SingleNodeRunConfig};
 use gps_sim::{SlotOutput, SlottedGps};
 use gps_sources::{OnOffSource, SlotSource};
@@ -162,16 +167,41 @@ fn main() {
     gps_obs::trace::configure(gps_obs::TraceMode::Off);
     gps_obs::trace::reset();
 
+    // Exporter back up, now with request telemetry armed (per-route
+    // counters, HDR latency, SLO burn-rate tracking). Telemetry work is
+    // per request served, so the campaign loop must not slow down.
+    let telemetry = TelemetryConfig::new("bench-obs")
+        .with_slos(vec![SloSpec::availability("availability", 0.999)]);
+    let exporter =
+        Exporter::serve_with_telemetry("127.0.0.1:0", gps_obs::metrics().clone(), None, telemetry)
+            .expect("bind telemetry exporter");
+    h.bench_elems("obs_overhead/request_telemetry", slots, || {
+        run_campaign(&base)
+    });
+    exporter.shutdown();
+
     let median_ratio = h.results()[1].median_ns / h.results()[0].median_ns;
     let p10_ratio = h.results()[1].p10_ns / h.results()[0].p10_ns;
+    let telem_median = h.results()[5].median_ns / h.results()[0].median_ns;
+    let telem_p10 = h.results()[5].p10_ns / h.results()[0].p10_ns;
     let path = h.finish().expect("write bench report");
     println!("report: {}", path.display());
     println!(
         "noop/uninstrumented ratios: median {median_ratio:.4}, p10 {p10_ratio:.4} (budget 1.02)"
     );
+    println!(
+        "request_telemetry/uninstrumented ratios: median {telem_median:.4}, \
+         p10 {telem_p10:.4} (budget 1.02)"
+    );
     assert!(
         median_ratio <= 1.02 || p10_ratio <= 1.02,
         "disabled observability must be free: noop/uninstrumented ratio \
          median {median_ratio:.4}, p10 {p10_ratio:.4} — both exceed the 2% budget"
+    );
+    assert!(
+        telem_median <= 1.02 || telem_p10 <= 1.02,
+        "request telemetry must not tax the campaign loop: \
+         request_telemetry/uninstrumented ratio median {telem_median:.4}, \
+         p10 {telem_p10:.4} — both exceed the 2% budget"
     );
 }

@@ -5,8 +5,8 @@
 //! occupancy gauges).
 //!
 //! ```text
-//! admitd [--serve ADDR] [--backend rpps|eb] [--rate R] [--cap N]
-//!        [--replay N [--seed S] [--out-region PATH]]
+//! admitd [--serve ADDR] [--backend rpps|eb] [--rate R] [--cap N] [--slo]
+//!        [--replay N [--seed S] [--out-region PATH] [--out-service PATH]]
 //! ```
 //!
 //! Without `--replay` it serves until killed. With `--replay N` it
@@ -15,13 +15,20 @@
 //! an FNV-1a digest of every response body, and exits — `scripts/verify.sh`
 //! runs this twice across `GPS_PAR_THREADS` settings and compares the
 //! digests.
+//!
+//! The exporter runs with request telemetry: per-route counters, HDR
+//! latency histograms, and — with `--slo` — burn-rate-tracked SLOs served
+//! at `/slo`. `GPS_OBS_ACCESS_LOG=PATH` additionally writes an NDJSON
+//! access log; replay then prints an order-insensitive digest of its
+//! decision-relevant fields (`admitd access digest`), another surface
+//! `verify.sh` compares across the scheduling matrix.
 
 use gps_analysis::{AdmissionEngine, CertBackend, ClassSpec, Decision, QosTarget, RequestKind};
 use gps_ebb::{EbbProcess, TimeModel};
 use gps_obs::exporter::{HttpClient, MAX_REQUESTS_PER_CONN};
-use gps_obs::json::fmt_f64;
+use gps_obs::json::{fmt_f64, Json};
 use gps_obs::metrics::Registry;
-use gps_obs::{Exporter, RouteHandler, RouteResponse};
+use gps_obs::{Exporter, RouteHandler, RouteResponse, SloSpec, TelemetryConfig};
 use gps_stats::{RngCore, Xoshiro256pp};
 use std::sync::{Arc, Mutex};
 
@@ -49,6 +56,16 @@ fn default_classes() -> Vec<ClassSpec> {
             EbbProcess::new(0.1, 6.0, 2.0),
             QosTarget::new(120.0, 1e-2),
         ),
+    ]
+}
+
+/// The service's default SLOs (`--slo`): overall availability plus an
+/// `/admit` latency objective generous enough that only a genuinely
+/// stalled service burns budget.
+fn default_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::availability("availability", 0.999),
+        SloSpec::latency("admit-latency", 0.99, 5_000_000).for_route("/admit"),
     ]
 }
 
@@ -183,6 +200,126 @@ fn fnv1a_update(h: &mut u64, text: &str) {
     }
 }
 
+/// Order-insensitive FNV-1a digest of the access log's *decision* lines
+/// (`/admit` and `/depart` requests: `request_id method route status
+/// bytes`). Timing fields are excluded and lines are sorted before
+/// hashing, so the digest is a pure function of the decision stream —
+/// invariant across scheduling. Introspection routes (`/metrics`,
+/// `/slo`, …) are skipped: their body sizes fold in wall-clock-shaped
+/// state such as HDR bucket occupancy.
+fn access_digest(text: &str) -> Result<u64, String> {
+    let events = gps_obs::journal::parse_ndjson(text)?;
+    let mut lines: Vec<String> = Vec::new();
+    for e in &events {
+        if e.component != "obs.access" || e.event != "request" {
+            continue;
+        }
+        let route = e.fields.iter().find(|(n, _)| n == "route");
+        match route {
+            Some((_, Json::Str(r))) if r == "/admit" || r == "/depart" => {}
+            _ => continue,
+        }
+        let field = |k: &str| -> String {
+            e.fields
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| match v {
+                    Json::Str(s) => s.clone(),
+                    Json::U64(u) => u.to_string(),
+                    other => format!("{other:?}"),
+                })
+                .unwrap_or_default()
+        };
+        lines.push(format!(
+            "{} {} {} {} {}",
+            field("request_id"),
+            field("method"),
+            field("route"),
+            field("status"),
+            field("bytes")
+        ));
+    }
+    lines.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for l in &lines {
+        fnv1a_update(&mut h, l);
+        fnv1a_update(&mut h, "\n");
+    }
+    Ok(h)
+}
+
+/// The `--out-service PATH` artifact: SLO statuses (the `/slo` body) plus
+/// per-route request counters and HDR latency snapshots pulled straight
+/// from the registry — everything the dashboard's service-health panel
+/// renders.
+fn service_json(registry: &Registry, slo_body: Option<&str>) -> String {
+    let snap = registry.snapshot();
+    let labels_of = |name: &str, family: &str| -> Option<Vec<(String, String)>> {
+        let rest = name
+            .strip_prefix(family)?
+            .strip_prefix('{')?
+            .strip_suffix('}')?;
+        Some(
+            rest.split(',')
+                .filter_map(|kv| kv.split_once('='))
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        )
+    };
+    let mut routes = Vec::new();
+    for (name, count) in &snap.counters {
+        if let Some(labels) = labels_of(name, "obs.http.requests") {
+            let get = |k: &str| {
+                labels
+                    .iter()
+                    .find(|(n, _)| n == k)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default()
+            };
+            routes.push(format!(
+                "{{\"route\": \"{}\", \"status\": {}, \"count\": {count}}}",
+                get("route"),
+                get("status")
+            ));
+        }
+    }
+    let mut latency = Vec::new();
+    for (name, h) in &snap.hdr {
+        if let Some(labels) = labels_of(name, "obs.http.request_duration_ns") {
+            let route = labels
+                .iter()
+                .find(|(n, _)| n == "route")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            let q = |p: f64| match h.value_at_quantile(p) {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(le, c)| format!("[{le}, {c}]"))
+                .collect();
+            latency.push(format!(
+                "{{\"route\": \"{route}\", \"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {}, \"buckets\": [{}]}}",
+                h.total,
+                q(0.5),
+                q(0.9),
+                q(0.99),
+                h.max,
+                buckets.join(", ")
+            ));
+        }
+    }
+    format!(
+        "{{\"service\": \"admitd\", \"slo\": {}, \"routes\": [{}], \"latency\": [{}]}}\n",
+        slo_body.map(str::trim_end).unwrap_or("null"),
+        routes.join(", "),
+        latency.join(", ")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr = arg_value(&args, "--serve").unwrap_or_else(|| "127.0.0.1:0".to_string());
@@ -221,10 +358,16 @@ fn main() {
     engine.publish(&registry); // expose gauges before the first request
     let engine = Arc::new(Mutex::new(engine));
 
-    let exporter = Exporter::serve_with_routes(
+    let slo_enabled = args.iter().any(|a| a == "--slo");
+    let mut telemetry = TelemetryConfig::from_env("admitd");
+    if slo_enabled {
+        telemetry = telemetry.with_slos(default_slos());
+    }
+    let exporter = Exporter::serve_with_telemetry(
         &addr,
         registry.clone(),
-        routes(Arc::clone(&engine), registry.clone()),
+        Some(routes(Arc::clone(&engine), registry.clone())),
+        telemetry,
     )
     .unwrap_or_else(|e| {
         eprintln!("admitd: bind {addr}: {e}");
@@ -296,6 +439,41 @@ fn main() {
         metrics.contains("admission_region_occupancy"),
         "metrics exposition missing region occupancy gauges"
     );
+    assert!(
+        metrics.contains("obs_http_requests_total{route="),
+        "metrics exposition missing per-route request counters"
+    );
+    assert!(
+        metrics.contains("obs_http_request_duration_ns_bucket{route="),
+        "metrics exposition missing HDR latency buckets"
+    );
+    let (status, health) = client.get("/health").expect("health request");
+    assert_eq!(status, 200);
+    assert!(
+        health.contains("\"service\":\"admitd\""),
+        "health body missing service name: {health}"
+    );
+    let slo_body = if slo_enabled {
+        let (status, slo) = client.get("/slo").expect("slo request");
+        assert_eq!(status, 200);
+        assert!(
+            slo.contains("budget_remaining") && slo.contains("burn_rate"),
+            "slo body missing budget/burn-rate fields: {slo}"
+        );
+        Some(slo)
+    } else {
+        None
+    };
+    // `--out-service PATH` persists the service-health snapshot (SLO
+    // statuses + per-route counters + HDR latency) for the dashboard.
+    if let Some(path) = arg_value(&args, "--out-service") {
+        let body = service_json(&registry, slo_body.as_deref());
+        std::fs::write(&path, body).unwrap_or_else(|e| {
+            eprintln!("admitd: write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("admitd service snapshot -> {path}");
+    }
 
     let stats = engine.lock().expect("engine poisoned").cache_stats();
     let rate_per_sec = n as f64 / elapsed.as_secs_f64();
@@ -310,5 +488,24 @@ fn main() {
     );
     println!("admitd decisions digest: {decisions_digest:016x}");
     println!("admitd digest: {digest:016x}");
+    // With an access log configured, digest its decision-relevant fields.
+    // finish_request writes the line before the response bytes, so every
+    // request we got an answer for is already flushed.
+    if let Ok(raw) = std::env::var("GPS_OBS_ACCESS_LOG") {
+        if let gps_obs::SinkKind::File(path) = gps_obs::SinkKind::parse(&raw) {
+            drop(client); // close the connection before reading the log
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("admitd: read access log {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            match access_digest(&text) {
+                Ok(h) => println!("admitd access digest: {h:016x}"),
+                Err(e) => {
+                    eprintln!("admitd: access log parse: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
     exporter.shutdown();
 }

@@ -22,16 +22,18 @@ fn check(name: &str, ok: bool, detail: &str) -> bool {
 }
 
 /// Stands up an [`gps_analysis::AdmissionEngine`] behind
-/// [`gps_obs::Exporter::serve_with_routes`] the way `admitd` does, then
-/// drives scripted admit/depart load over a single keep-alive connection
-/// and asserts the JSON endpoints, the `admission_cache_*` counters, and
-/// the `admission_region_occupancy` gauges in the Prometheus exposition.
+/// [`gps_obs::Exporter::serve_with_telemetry`] the way `admitd` does,
+/// then drives scripted admit/depart load over a single keep-alive
+/// connection and asserts the JSON endpoints, the `admission_cache_*`
+/// counters, the `admission_region_occupancy` gauges, the per-route
+/// request telemetry (counters + HDR latency buckets), and the `/slo`
+/// burn-rate surface.
 fn admission_service_checks() -> bool {
     use gps_analysis::{AdmissionEngine, CertBackend, ClassSpec, QosTarget};
     use gps_ebb::{EbbProcess, TimeModel};
     use gps_obs::exporter::HttpClient;
     use gps_obs::metrics::Registry;
-    use gps_obs::{Exporter, RouteHandler, RouteResponse};
+    use gps_obs::{Exporter, RouteHandler, RouteResponse, SloSpec, TelemetryConfig};
     use std::sync::{Arc, Mutex};
 
     let classes = vec![
@@ -103,8 +105,11 @@ fn admission_service_checks() -> bool {
             Some(RouteResponse::json(200, body))
         })
     };
+    let telemetry = TelemetryConfig::new("obs-check-admit")
+        .with_slos(vec![SloSpec::availability("availability", 0.999)]);
     let exporter =
-        Exporter::serve_with_routes("127.0.0.1:0", registry.clone(), handler).expect("bind");
+        Exporter::serve_with_telemetry("127.0.0.1:0", registry.clone(), Some(handler), telemetry)
+            .expect("bind");
     let addr = exporter.local_addr();
 
     let mut ok = true;
@@ -200,8 +205,57 @@ fn admission_service_checks() -> bool {
                     && body.contains("admission_region_occupancy{class=\"video\"}"),
                 "missing admission_region_occupancy gauges",
             );
+            ok &= check(
+                "/metrics per-route request counters",
+                body.contains("obs_http_requests_total{route=\"/admit\",status=\"200\"}"),
+                "missing obs_http_requests_total route series",
+            );
+            ok &= check(
+                "/metrics HDR latency buckets",
+                body.contains("obs_http_request_duration_ns_bucket{route=\"/admit\",le=\"")
+                    && body.contains("obs_http_request_duration_ns_count{route=\"/admit\"}"),
+                "missing obs_http_request_duration_ns histogram series",
+            );
         }
         Err(e) => ok = check("/metrics admission", false, &e.to_string()),
+    }
+    match client.get("/slo") {
+        Ok((status, body)) => {
+            let parsed = gps_obs::json::parse(&body);
+            let first_slo = parsed.as_ref().ok().and_then(|d| {
+                if let Some(gps_obs::json::Json::Arr(slos)) = d.get("slos") {
+                    slos.first().cloned()
+                } else {
+                    None
+                }
+            });
+            ok &= check(
+                "/slo burn-rate JSON",
+                status == 200
+                    && first_slo
+                        .as_ref()
+                        .map(|s| {
+                            s.get("budget_remaining").and_then(|v| v.as_f64()).is_some()
+                                && s.get("fast")
+                                    .and_then(|w| w.get("burn_rate"))
+                                    .and_then(|v| v.as_f64())
+                                    .is_some()
+                        })
+                        .unwrap_or(false),
+                &body,
+            );
+        }
+        Err(e) => ok = check("/slo", false, &e.to_string()),
+    }
+    match client.get("/health") {
+        Ok((status, body)) => {
+            ok &= check(
+                "telemetry /health names the service",
+                status == 200 && body.contains("\"service\":\"obs-check-admit\""),
+                &body,
+            );
+        }
+        Err(e) => ok = check("telemetry /health", false, &e.to_string()),
     }
     let stats = engine.lock().expect("engine poisoned").cache_stats();
     ok &= check(
@@ -255,9 +309,32 @@ fn main() {
     match http_get(addr, "/health") {
         Ok((status, body)) => {
             ok &= check("/health status", status == 200, &format!("status {status}"));
-            ok &= check("/health body", body == "ok\n", &format!("body {body:?}"));
+            let parsed = gps_obs::json::parse(&body);
+            ok &= check(
+                "/health structured body",
+                parsed
+                    .as_ref()
+                    .ok()
+                    .map(|d| {
+                        d.get("status").and_then(|v| v.as_str()) == Some("ok")
+                            && d.get("uptime_seconds").and_then(|v| v.as_u64()).is_some()
+                            && d.get("requests").and_then(|v| v.as_u64()).is_some()
+                    })
+                    .unwrap_or(false),
+                &format!("body {body:?}"),
+            );
         }
         Err(e) => ok = check("/health", false, &e.to_string()),
+    }
+    match http_get(addr, "/healthz") {
+        Ok((status, body)) => {
+            ok &= check(
+                "/healthz plain alias",
+                status == 200 && body == "ok\n",
+                &format!("status {status}, body {body:?}"),
+            );
+        }
+        Err(e) => ok = check("/healthz", false, &e.to_string()),
     }
     match http_get(addr, "/metrics") {
         Ok((status, body)) => {

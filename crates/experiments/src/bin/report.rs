@@ -246,6 +246,10 @@ fn main() {
     // admission-control service).
     dash.admission = load_json(&dir.join("admission_region.json"));
 
+    // Service-health snapshot, written by `admitd --replay --out-service`
+    // (the SLO + request-telemetry half of the observability surface).
+    dash.service = load_json(&dir.join("service_health.json"));
+
     // Bench suites.
     for f in &entries {
         if f.starts_with("bench_") && f.ends_with(".json") {

@@ -10,12 +10,34 @@
 //! * `/progress` — the live campaign progress document
 //!   ([`crate::progress::Progress::to_json`]): replications
 //!   done/restored/retried/quarantined, chunk count, throughput, ETA.
-//! * `/health` — `ok`, for liveness probes.
+//! * `/health` — structured liveness JSON (`status`, `service`,
+//!   `uptime_seconds`, `requests`).
+//! * `/healthz` — bare `ok`, for probes that can't parse JSON.
+//! * `/slo` — per-SLO error budgets and burn rates
+//!   ([`crate::slo::SloSet::to_json`]); served when the exporter was
+//!   started with request telemetry ([`Exporter::serve_with_telemetry`]).
 //!
 //! Services can mount extra GET endpoints next to the built-ins with
 //! [`Exporter::serve_with_routes`] — the admission-control daemon serves
 //! `/admit`, `/depart`, and `/region` this way, concurrently with
 //! `/metrics` scrapes.
+//!
+//! # Request telemetry
+//!
+//! [`Exporter::serve_with_telemetry`] wraps dispatch in a per-request
+//! middleware: every request gets a monotonically-assigned request ID
+//! (readable from route handlers via [`current_request_id`]), a
+//! per-route/per-status `obs.http.requests` counter, an HDR latency
+//! observation per route (`obs.http.request_duration_ns`, exposed as
+//! Prometheus `le` buckets), in-flight/connection gauges, an SLO
+//! burn-rate evaluation, a flight-recorder
+//! [`TraceKind::RequestDispatch`](crate::trace::TraceKind) slice, and —
+//! when [`TelemetryConfig::access_log`] is set (env:
+//! `GPS_OBS_ACCESS_LOG`) — one NDJSON access-log line through the
+//! journal sink. Access-log lines carry wall-clock latency only when
+//! global timing is enabled, so the untimed log is byte-deterministic
+//! for a deterministic client (verify.sh diffs it across the thread
+//! matrix).
 //!
 //! The accept loop runs on one named thread (`gps-obs-exporter`); each
 //! accepted connection is handled on its own short-lived `gps-obs-conn`
@@ -39,13 +61,16 @@
 //! [`Registry::snapshot`], so the exporter never holds metric locks
 //! across I/O.
 
-use crate::metrics::{Registry, Snapshot};
+use crate::journal::{FieldValue, Journal, SinkKind};
+use crate::metrics::{labeled, Registry, Snapshot};
+use crate::slo::{SloSet, SloSpec};
+use std::cell::Cell;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
 // Prometheus text exposition
@@ -154,12 +179,15 @@ fn push_family(
 /// Renders a snapshot in Prometheus text exposition format v0.0.4.
 ///
 /// Registry conventions map as follows: dotted names flatten to
-/// underscores, counters gain the `_total` suffix, labeled names
-/// (`name{k=v}`) become proper label sets, histograms emit cumulative
-/// `le` buckets (underflow mass included, no `_sum` — the binned
-/// histogram does not track one), and summaries emit
-/// `quantile="0.5|0.9|0.99"` samples plus `_count`/`_sum`. Span timing
-/// stats are exposed as `obs_span_*` gauges labeled by path.
+/// underscores, counters gain the `_total` suffix (exactly once), labeled
+/// names (`name{k=v}`) become proper label sets, histograms emit
+/// cumulative `le` buckets (underflow mass included, no `_sum` — the
+/// binned histogram does not track one), HDR histograms emit their exact
+/// non-empty log buckets as integer `le` boundaries plus `_sum`/`_count`,
+/// and summaries emit `quantile="0.5|0.9|0.99"` samples plus
+/// `_count`/`_sum`. Span timing stats are exposed as `obs_span_*` gauges
+/// labeled by path (`obs_span_samples`, not `_count` — that suffix is
+/// reserved for histogram/summary families).
 ///
 /// The output is a pure function of the snapshot: same snapshot, same
 /// bytes, which is what lets the thread-count determinism tests pin this
@@ -170,7 +198,15 @@ pub fn to_prometheus_text(snap: &Snapshot) -> String {
 
     for (full, v) in &snap.counters {
         let (base, labels) = split_labels(full);
-        let name = format!("{}_total", sanitize_name(base));
+        // Counters carry exactly one `_total` suffix: appended for the
+        // common dotted registry names, left alone if the registry name
+        // already ends in `_total`.
+        let base = sanitize_name(base);
+        let name = if base.ends_with("_total") {
+            base
+        } else {
+            format!("{base}_total")
+        };
         let i = push_family(&mut families, &mut index, &name, "counter");
         families[i]
             .lines
@@ -211,6 +247,32 @@ pub fn to_prometheus_text(snap: &Snapshot) -> String {
             h.total
         ));
     }
+    for (full, h) in &snap.hdr {
+        let (base, labels) = split_labels(full);
+        let name = sanitize_name(base);
+        let i = push_family(&mut families, &mut index, &name, "histogram");
+        for (le, cumulative) in h.cumulative_buckets() {
+            families[i].lines.push(format!(
+                "{name}_bucket{} {cumulative}",
+                render_labels(&labels, Some(("le", &le.to_string())))
+            ));
+        }
+        families[i].lines.push(format!(
+            "{name}_bucket{} {}",
+            render_labels(&labels, Some(("le", "+Inf"))),
+            h.total
+        ));
+        families[i].lines.push(format!(
+            "{name}_sum{} {}",
+            render_labels(&labels, None),
+            h.sum
+        ));
+        families[i].lines.push(format!(
+            "{name}_count{} {}",
+            render_labels(&labels, None),
+            h.total
+        ));
+    }
     for (full, s) in &snap.summaries {
         let (base, labels) = split_labels(full);
         let name = sanitize_name(base);
@@ -237,7 +299,9 @@ pub fn to_prometheus_text(snap: &Snapshot) -> String {
     }
     for (path, s) in &snap.spans {
         for (metric, value) in [
-            ("obs_span_count", s.count as f64),
+            // `_samples`, not `_count`: the reserved `_count` suffix is
+            // kept for histogram/summary families only.
+            ("obs_span_samples", s.count as f64),
             ("obs_span_total_ns", s.total_ns as f64),
             ("obs_span_mean_ns", s.mean_ns()),
             ("obs_span_min_ns", s.min_ns as f64),
@@ -317,6 +381,230 @@ impl RouteResponse {
 /// 404. Consulted only for paths no built-in endpoint claims.
 pub type RouteHandler = Arc<dyn Fn(&str) -> Option<RouteResponse> + Send + Sync>;
 
+/// Configuration for the exporter's request-telemetry middleware (see
+/// the module docs and [`Exporter::serve_with_telemetry`]).
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Service name, surfaced in `/health` and `/slo`.
+    pub service: String,
+    /// SLOs evaluated over the request stream.
+    pub slos: Vec<SloSpec>,
+    /// Where NDJSON access-log lines go (`None` = no access log).
+    pub access_log: Option<SinkKind>,
+}
+
+impl TelemetryConfig {
+    /// Telemetry with no SLOs and no access log.
+    pub fn new(service: impl Into<String>) -> TelemetryConfig {
+        TelemetryConfig {
+            service: service.into(),
+            slos: Vec::new(),
+            access_log: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), plus an access-log sink taken from
+    /// `GPS_OBS_ACCESS_LOG` (`noop`/`stderr`/a file path) when set.
+    pub fn from_env(service: impl Into<String>) -> TelemetryConfig {
+        let mut cfg = TelemetryConfig::new(service);
+        if let Ok(v) = std::env::var("GPS_OBS_ACCESS_LOG") {
+            cfg.access_log = Some(SinkKind::parse(&v));
+        }
+        cfg
+    }
+
+    /// Adds SLOs to evaluate.
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> TelemetryConfig {
+        self.slos = slos;
+        self
+    }
+}
+
+/// Live request-telemetry state shared by all connection threads.
+#[derive(Debug)]
+struct Telemetry {
+    next_id: AtomicU64,
+    in_flight: AtomicU64,
+    open_conns: AtomicU64,
+    access: Option<Journal>,
+    slo: SloSet,
+}
+
+/// Per-exporter state threaded into every connection handler.
+#[derive(Debug)]
+struct ServerState {
+    service: String,
+    started: Instant,
+    telemetry: Option<Telemetry>,
+}
+
+impl ServerState {
+    fn new(service: String, telemetry: Option<Telemetry>) -> ServerState {
+        ServerState {
+            service,
+            started: Instant::now(),
+            telemetry,
+        }
+    }
+}
+
+thread_local! {
+    /// The request ID the current connection thread is dispatching
+    /// (0 = none). Route handlers run synchronously on the connection
+    /// thread, so downstream code (e.g. the admission engine) can tag
+    /// its own journal events and trace slices with the ID without any
+    /// signature change.
+    static CURRENT_REQUEST_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request ID being dispatched on this thread, when the exporter
+/// was started with telemetry and a request is in flight.
+pub fn current_request_id() -> Option<u64> {
+    let id = CURRENT_REQUEST_ID.with(|c| c.get());
+    (id != 0).then_some(id)
+}
+
+/// In-flight accounting for one request: assigned ID, start instant,
+/// and the flight-recorder slice open for its duration.
+struct RequestCtx {
+    id: u64,
+    t0: Instant,
+    _slice: crate::trace::TraceScope,
+}
+
+/// How a request ended: the final route/status labels and the response
+/// body size, as recorded by [`Telemetry::finish_request`].
+struct RequestOutcome<'a> {
+    method: &'a str,
+    route: &'a str,
+    status: u16,
+    bytes: usize,
+}
+
+impl Telemetry {
+    fn new(registry: &Registry, cfg: &TelemetryConfig) -> Telemetry {
+        let access = cfg.access_log.as_ref().map(|kind| {
+            Journal::from_kind(kind, crate::Level::Info).unwrap_or_else(|_| Journal::noop())
+        });
+        // Touch the gauges so they render (at zero) from the first
+        // scrape, not the first request.
+        registry.gauge("obs.http.in_flight").set(0.0);
+        registry.gauge("obs.http.open_connections").set(0.0);
+        Telemetry {
+            next_id: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            open_conns: AtomicU64::new(0),
+            access,
+            slo: SloSet::new(cfg.slos.clone()),
+        }
+    }
+
+    fn connection_opened(&self, registry: &Registry) {
+        registry.counter("obs.http.connections").inc();
+        let open = self.open_conns.fetch_add(1, Ordering::Relaxed) + 1;
+        registry.gauge("obs.http.open_connections").set(open as f64);
+    }
+
+    fn connection_closed(&self, registry: &Registry) {
+        let open = self
+            .open_conns
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        registry.gauge("obs.http.open_connections").set(open as f64);
+    }
+
+    /// Assigns the next request ID and opens its trace slice. `route`
+    /// is only advisory here (the final label is decided at finish).
+    fn begin_request(&self, registry: &Registry, route: &str) -> RequestCtx {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        CURRENT_REQUEST_ID.with(|c| c.set(id));
+        let in_flight = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        registry.gauge("obs.http.in_flight").set(in_flight as f64);
+        RequestCtx {
+            id,
+            t0: Instant::now(),
+            _slice: crate::trace::scope(crate::trace::TraceKind::RequestDispatch, route, id),
+        }
+    }
+
+    /// Closes out one request once its response body is decided (and
+    /// before the bytes hit the socket — a client that has read the
+    /// response can rely on the access-log line being flushed): counters,
+    /// HDR latency, SLO evaluation, and the optional access-log line.
+    fn finish_request(
+        &self,
+        registry: &Registry,
+        started: &Instant,
+        ctx: RequestCtx,
+        outcome: RequestOutcome<'_>,
+    ) {
+        let RequestOutcome {
+            method,
+            route,
+            status,
+            bytes,
+        } = outcome;
+        CURRENT_REQUEST_ID.with(|c| c.set(0));
+        let latency_ns = ctx.t0.elapsed().as_nanos() as u64;
+        let in_flight = self
+            .in_flight
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        registry.gauge("obs.http.in_flight").set(in_flight as f64);
+        let status_str = status.to_string();
+        registry
+            .counter(&labeled(
+                "obs.http.requests",
+                &[("route", route), ("status", &status_str)],
+            ))
+            .inc();
+        registry
+            .hdr(&labeled(
+                "obs.http.request_duration_ns",
+                &[("route", route)],
+            ))
+            .observe(latency_ns);
+        self.slo.record(
+            registry,
+            started.elapsed().as_secs(),
+            route,
+            status,
+            latency_ns,
+        );
+        if let Some(access) = &self.access {
+            // Latency is wall clock; keep it out of the line unless
+            // timing was opted into, so the untimed access log stays
+            // byte-deterministic for a deterministic client.
+            if crate::global().timing_enabled() {
+                access.info(
+                    "obs.access",
+                    "request",
+                    &[
+                        ("request_id", FieldValue::U64(ctx.id)),
+                        ("method", FieldValue::from(method)),
+                        ("route", FieldValue::from(route)),
+                        ("status", FieldValue::U64(u64::from(status))),
+                        ("bytes", FieldValue::U64(bytes as u64)),
+                        ("latency_us", FieldValue::U64(latency_ns / 1_000)),
+                    ],
+                );
+            } else {
+                access.info(
+                    "obs.access",
+                    "request",
+                    &[
+                        ("request_id", FieldValue::U64(ctx.id)),
+                        ("method", FieldValue::from(method)),
+                        ("route", FieldValue::from(route)),
+                        ("status", FieldValue::U64(u64::from(status))),
+                        ("bytes", FieldValue::U64(bytes as u64)),
+                    ],
+                );
+            }
+        }
+    }
+}
+
 fn reason_for(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -346,7 +634,7 @@ impl Exporter {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
     /// starts serving `registry` on a thread named `gps-obs-exporter`.
     pub fn serve(addr: &str, registry: Registry) -> std::io::Result<Exporter> {
-        Self::start(addr, registry, None)
+        Self::start(addr, registry, None, None)
     }
 
     /// [`serve`](Self::serve) plus a custom route handler consulted for
@@ -356,21 +644,43 @@ impl Exporter {
         registry: Registry,
         routes: RouteHandler,
     ) -> std::io::Result<Exporter> {
-        Self::start(addr, registry, Some(routes))
+        Self::start(addr, registry, Some(routes), None)
+    }
+
+    /// [`serve_with_routes`](Self::serve_with_routes) with the
+    /// request-telemetry middleware enabled: request IDs, per-route
+    /// counters and HDR latency, in-flight gauges, SLO burn-rate
+    /// evaluation (served at `/slo`), and the optional access log.
+    pub fn serve_with_telemetry(
+        addr: &str,
+        registry: Registry,
+        routes: Option<RouteHandler>,
+        telemetry: TelemetryConfig,
+    ) -> std::io::Result<Exporter> {
+        Self::start(addr, registry, routes, Some(telemetry))
     }
 
     fn start(
         addr: &str,
         registry: Registry,
         routes: Option<RouteHandler>,
+        telemetry: Option<TelemetryConfig>,
     ) -> std::io::Result<Exporter> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
+        let service = telemetry
+            .as_ref()
+            .map(|t| t.service.clone())
+            .unwrap_or_else(|| "gps-obs".to_string());
+        let state = Arc::new(ServerState::new(
+            service,
+            telemetry.as_ref().map(|cfg| Telemetry::new(&registry, cfg)),
+        ));
         let handle = std::thread::Builder::new()
             .name("gps-obs-exporter".to_string())
-            .spawn(move || serve_loop(listener, registry, thread_stop, routes))?;
+            .spawn(move || serve_loop(listener, registry, thread_stop, routes, state))?;
         crate::info(
             "obs.exporter",
             "started",
@@ -420,6 +730,7 @@ fn serve_loop(
     registry: Registry,
     stop: Arc<AtomicBool>,
     routes: Option<RouteHandler>,
+    state: Arc<ServerState>,
 ) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -430,9 +741,10 @@ fn serve_loop(
             // burns its own read timeout, not other scrapers' latency.
             let registry = registry.clone();
             let routes = routes.clone();
+            let state = Arc::clone(&state);
             let _ = std::thread::Builder::new()
                 .name("gps-obs-conn".to_string())
-                .spawn(move || handle_connection(stream, &registry, routes.as_ref()));
+                .spawn(move || handle_connection(stream, &registry, routes.as_ref(), &state));
         }
     }
 }
@@ -502,33 +814,62 @@ fn wants_keep_alive(head: &str) -> bool {
     true
 }
 
-fn handle_connection(mut stream: TcpStream, registry: &Registry, routes: Option<&RouteHandler>) {
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &Registry,
+    routes: Option<&RouteHandler>,
+    state: &ServerState,
+) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     // Request/response over a persistent connection is exactly the
     // write-write-read pattern where Nagle + delayed ACK costs ~40 ms per
     // round trip; responses are tiny, so flush segments immediately.
     let _ = stream.set_nodelay(true);
+    let telemetry = state.telemetry.as_ref();
+    if let Some(t) = telemetry {
+        t.connection_opened(registry);
+    }
     let mut carry = Vec::with_capacity(512);
     for served in 0..MAX_REQUESTS_PER_CONN {
         let head_bytes = match read_request_head(&mut stream, &mut carry) {
             HeadRead::Complete(bytes) => bytes,
             HeadRead::LineTooLong => {
                 registry.counter("obs.exporter.requests").inc();
+                let ctx = telemetry.map(|t| t.begin_request(registry, "bad_request"));
+                if let (Some(t), Some(ctx)) = (telemetry, ctx) {
+                    let outcome = RequestOutcome {
+                        method: "GET",
+                        route: "bad_request",
+                        status: 414,
+                        bytes: 0,
+                    };
+                    t.finish_request(registry, &state.started, ctx, outcome);
+                }
                 respond_and_drain(&mut stream, 414, "URI Too Long", "request line too long\n");
-                return;
+                break;
             }
             HeadRead::HeadTooLarge => {
                 registry.counter("obs.exporter.requests").inc();
+                let ctx = telemetry.map(|t| t.begin_request(registry, "bad_request"));
+                if let (Some(t), Some(ctx)) = (telemetry, ctx) {
+                    let outcome = RequestOutcome {
+                        method: "GET",
+                        route: "bad_request",
+                        status: 431,
+                        bytes: 0,
+                    };
+                    t.finish_request(registry, &state.started, ctx, outcome);
+                }
                 respond_and_drain(
                     &mut stream,
                     431,
                     "Request Header Fields Too Large",
                     "request head too large\n",
                 );
-                return;
+                break;
             }
-            HeadRead::Closed => return,
+            HeadRead::Closed => break,
         };
         let head = String::from_utf8_lossy(&head_bytes);
         let mut parts = head.lines().next().unwrap_or("").split_whitespace();
@@ -537,61 +878,108 @@ fn handle_connection(mut stream: TcpStream, registry: &Registry, routes: Option<
         // The last budgeted request closes regardless of what the client
         // asked for; the `Connection:` header in the response says which.
         let keep = wants_keep_alive(&head) && served + 1 < MAX_REQUESTS_PER_CONN;
-        if method != "GET" {
-            respond(
-                &mut stream,
-                405,
-                "Method Not Allowed",
-                "text/plain",
-                "GET only\n",
-                keep,
-            );
-        } else {
-            match path {
-                "/metrics" => {
-                    let body = to_prometheus_text(&registry.snapshot());
-                    respond(
-                        &mut stream,
-                        200,
-                        "OK",
-                        "text/plain; version=0.0.4; charset=utf-8",
-                        &body,
-                        keep,
-                    );
-                }
-                "/metrics.json" => {
-                    let body = registry.snapshot().to_json();
-                    respond(&mut stream, 200, "OK", "application/json", &body, keep);
-                }
-                "/progress" => {
-                    let body = crate::progress::global_progress().to_json();
-                    respond(&mut stream, 200, "OK", "application/json", &body, keep);
-                }
-                "/health" => respond(&mut stream, 200, "OK", "text/plain", "ok\n", keep),
-                other => match routes.and_then(|h| h(other)) {
-                    Some(r) => respond(
-                        &mut stream,
-                        r.status,
-                        reason_for(r.status),
-                        &r.content_type,
-                        &r.body,
-                        keep,
-                    ),
-                    None => respond(
-                        &mut stream,
-                        404,
-                        "Not Found",
-                        "text/plain",
-                        "not found\n",
-                        keep,
-                    ),
-                },
-            }
+        // Provisional route label: path without its query string. The
+        // final label collapses unmatched paths to "unmatched" so hostile
+        // scans cannot mint unbounded per-route series.
+        let provisional = path.split('?').next().unwrap_or(path);
+        let ctx = telemetry.map(|t| t.begin_request(registry, provisional));
+        let (status, content_type, body) = dispatch(method, path, registry, routes, state);
+        if let (Some(t), Some(ctx)) = (telemetry, ctx) {
+            let route = if status == 404 || status == 405 {
+                "unmatched"
+            } else {
+                provisional
+            };
+            let outcome = RequestOutcome {
+                method,
+                route,
+                status,
+                bytes: body.len(),
+            };
+            t.finish_request(registry, &state.started, ctx, outcome);
         }
+        respond(
+            &mut stream,
+            status,
+            reason_for(status),
+            &content_type,
+            &body,
+            keep,
+        );
         if !keep {
-            return;
+            break;
         }
     }
+    if let Some(t) = telemetry {
+        t.connection_closed(registry);
+    }
+}
+
+/// Produces `(status, content type, body)` for one GET; the caller
+/// writes the response and feeds the outcome to the telemetry layer.
+fn dispatch(
+    method: &str,
+    path: &str,
+    registry: &Registry,
+    routes: Option<&RouteHandler>,
+    state: &ServerState,
+) -> (u16, String, String) {
+    if method != "GET" {
+        return (405, "text/plain".to_string(), "GET only\n".to_string());
+    }
+    match path {
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8".to_string(),
+            to_prometheus_text(&registry.snapshot()),
+        ),
+        "/metrics.json" => (
+            200,
+            "application/json".to_string(),
+            registry.snapshot().to_json(),
+        ),
+        "/progress" => (
+            200,
+            "application/json".to_string(),
+            crate::progress::global_progress().to_json(),
+        ),
+        "/health" => (
+            200,
+            "application/json".to_string(),
+            health_json(registry, state),
+        ),
+        "/healthz" => (200, "text/plain".to_string(), "ok\n".to_string()),
+        "/slo" => match &state.telemetry {
+            Some(t) => (
+                200,
+                "application/json".to_string(),
+                t.slo
+                    .to_json(&state.service, state.started.elapsed().as_secs()),
+            ),
+            None => route_or_404(path, routes),
+        },
+        other => route_or_404(other, routes),
+    }
+}
+
+fn route_or_404(path: &str, routes: Option<&RouteHandler>) -> (u16, String, String) {
+    match routes.and_then(|h| h(path)) {
+        Some(r) => (r.status, r.content_type, r.body),
+        None => (404, "text/plain".to_string(), "not found\n".to_string()),
+    }
+}
+
+/// The structured `/health` document: liveness plus just enough
+/// identity (service, uptime, request count) to tell *which* healthy
+/// process answered.
+fn health_json(registry: &Registry, state: &ServerState) -> String {
+    let mut service = String::new();
+    crate::json::write_escaped(&state.service, &mut service);
+    format!(
+        "{{\"status\":\"ok\",\"service\":{service},\"uptime_seconds\":{},\"requests\":{}}}\n",
+        state.started.elapsed().as_secs(),
+        registry.counter("obs.exporter.requests").get()
+    )
 }
 
 fn respond(
@@ -787,6 +1175,9 @@ mod tests {
     #[test]
     fn prometheus_text_golden() {
         let r = Registry::new();
+        // A registry name already carrying `_total` must not be
+        // double-suffixed.
+        r.counter("ingest_total").add(9);
         r.counter("sim.measured_slots").add(240);
         r.counter(&crate::metrics::labeled(
             "sim.session.delay_samples",
@@ -802,6 +1193,15 @@ mod tests {
         for x in [0.5, 1.5, 1.5, 3.5, 9.0] {
             h.observe(x);
         }
+        // Tiny HDR config (4 unit buckets, 2 sub-buckets per octave,
+        // saturation at 48) so the expected `le` boundaries are easy to
+        // derive by hand: 100 clamps into the [48,64) top bucket.
+        let hdr = r.hdr_with("rpc.latency_ns", || {
+            crate::hdrhist::HdrHistogram::with_config(2, 48)
+        });
+        for v in [1u64, 5, 7, 100] {
+            hdr.observe(v);
+        }
         let s = r.summary("delay");
         for _ in 0..5 {
             s.observe(2.0);
@@ -810,6 +1210,8 @@ mod tests {
         r.record_span("sim/step", 300);
         let text = to_prometheus_text(&r.snapshot());
         let expected = "\
+# TYPE ingest_total counter
+ingest_total 9
 # TYPE sim_measured_slots_total counter
 sim_measured_slots_total 240
 # TYPE sim_session_delay_samples_total counter
@@ -823,14 +1225,22 @@ queue_depth_bucket{le=\"3\"} 3
 queue_depth_bucket{le=\"4\"} 4
 queue_depth_bucket{le=\"+Inf\"} 5
 queue_depth_count 5
+# TYPE rpc_latency_ns histogram
+rpc_latency_ns_bucket{le=\"1\"} 1
+rpc_latency_ns_bucket{le=\"5\"} 2
+rpc_latency_ns_bucket{le=\"7\"} 3
+rpc_latency_ns_bucket{le=\"63\"} 4
+rpc_latency_ns_bucket{le=\"+Inf\"} 4
+rpc_latency_ns_sum 61
+rpc_latency_ns_count 4
 # TYPE delay summary
 delay{quantile=\"0.5\"} 2
 delay{quantile=\"0.9\"} 2
 delay{quantile=\"0.99\"} 2
 delay_sum 10
 delay_count 5
-# TYPE obs_span_count gauge
-obs_span_count{path=\"sim/step\"} 2
+# TYPE obs_span_samples gauge
+obs_span_samples{path=\"sim/step\"} 2
 # TYPE obs_span_total_ns gauge
 obs_span_total_ns{path=\"sim/step\"} 400
 # TYPE obs_span_mean_ns gauge
@@ -850,8 +1260,22 @@ obs_span_max_ns{path=\"sim/step\"} 300
         let exporter = Exporter::serve("127.0.0.1:0", r.clone()).expect("bind");
         let addr = exporter.local_addr();
 
-        let (status, body) = http_get(addr, "/health").unwrap();
+        let (status, body) = http_get(addr, "/healthz").unwrap();
         assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, body) = http_get(addr, "/health").unwrap();
+        assert_eq!(status, 200);
+        let health = crate::json::parse(&body).expect("health json parses");
+        assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert_eq!(
+            health.get("service").and_then(|v| v.as_str()),
+            Some("gps-obs")
+        );
+        assert!(health
+            .get("uptime_seconds")
+            .and_then(|v| v.as_u64())
+            .is_some());
+        assert!(health.get("requests").and_then(|v| v.as_u64()).unwrap_or(0) >= 1);
 
         let (status, body) = http_get(addr, "/metrics").unwrap();
         assert_eq!(status, 200);
@@ -901,7 +1325,7 @@ obs_span_max_ns{path=\"sim/step\"} 300
         let before = r.counter("obs.exporter.requests").get();
         let mut client = HttpClient::connect(addr).unwrap();
         for _ in 0..10 {
-            let (status, body) = client.get("/health").unwrap();
+            let (status, body) = client.get("/healthz").unwrap();
             assert_eq!((status, body.as_str()), (200, "ok\n"));
         }
         // All ten requests rode one connection and were all counted.
@@ -1011,7 +1435,7 @@ obs_span_max_ns{path=\"sim/step\"} 300
         // Another client must still be served well before that timeout
         // elapses — the serial loop this replaced would block ~2 s here.
         let start = std::time::Instant::now();
-        let (status, body) = http_get(addr, "/health").unwrap();
+        let (status, body) = http_get(addr, "/healthz").unwrap();
         let elapsed = start.elapsed();
         assert_eq!((status, body.as_str()), (200, "ok\n"));
         assert!(
@@ -1069,5 +1493,144 @@ obs_span_max_ns{path=\"sim/step\"} 300
         );
 
         exporter.shutdown();
+    }
+
+    #[test]
+    fn request_head_split_across_reads_hits_carry_path() {
+        // The head arrives in three TCP segments, each smaller than a
+        // request line; the server must keep accumulating in the carry
+        // buffer instead of treating a partial head as a request.
+        let r = Registry::new();
+        let exporter = Exporter::serve("127.0.0.1:0", r.clone()).expect("bind");
+        let addr = exporter.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        stream.set_nodelay(true).unwrap();
+        for part in ["GET /hea", "lthz HTTP/1.1\r\nHost: t\r\nConnec", ""] {
+            stream.write_all(part.as_bytes()).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        stream.write_all(b"tion: close\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK"),
+            "got: {}",
+            response.lines().next().unwrap_or("")
+        );
+        assert!(response.ends_with("ok\n"));
+        assert_eq!(r.counter("obs.exporter.requests").get(), 1);
+
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn two_pipelined_requests_in_one_segment_use_carry() {
+        // Both heads land in a single read; the second must be served
+        // entirely from the carry buffer (no further socket read), and
+        // both must be counted.
+        let r = Registry::new();
+        let exporter = Exporter::serve("127.0.0.1:0", r.clone()).expect("bind");
+        let addr = exporter.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        let requests = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                        GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+        stream.write_all(requests.as_bytes()).unwrap();
+        // Nothing more is written: if the server failed to carry the
+        // second head it would stall on read until timeout and close
+        // without the second response.
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let oks = response.matches("HTTP/1.1 200 OK").count();
+        assert_eq!(oks, 2, "expected both pipelined responses: {response}");
+        assert_eq!(response.matches("ok\n").count(), 2);
+        assert_eq!(r.counter("obs.exporter.requests").get(), 2);
+
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn telemetry_counts_routes_latency_and_serves_slo() {
+        let r = Registry::new();
+        let handler: RouteHandler = Arc::new(|path: &str| {
+            if !path.starts_with("/admit") {
+                return None;
+            }
+            // The request ID must be visible to downstream code on the
+            // dispatch thread.
+            let id = current_request_id().expect("request id set during dispatch");
+            Some(RouteResponse::json(200, format!("{{\"id\":{id}}}")))
+        });
+        let cfg = TelemetryConfig::new("svc-test")
+            .with_slos(vec![crate::slo::SloSpec::availability("avail", 0.999)]);
+        let exporter = Exporter::serve_with_telemetry("127.0.0.1:0", r.clone(), Some(handler), cfg)
+            .expect("bind");
+        let addr = exporter.local_addr();
+
+        // IDs are monotonically assigned in request order on one
+        // connection.
+        let mut client = HttpClient::connect(addr).unwrap();
+        let (_, first) = client.get("/admit?class=0").unwrap();
+        let (_, second) = client.get("/admit?class=1").unwrap();
+        let id_of = |body: &str| {
+            crate::json::parse(body)
+                .unwrap()
+                .get("id")
+                .and_then(|v| v.as_u64())
+                .unwrap()
+        };
+        assert_eq!(id_of(&second), id_of(&first) + 1);
+        let (status, _) = client.get("/missing").unwrap();
+        assert_eq!(status, 404);
+        // No request in flight on this thread.
+        assert_eq!(current_request_id(), None);
+
+        // Health names the service; /slo serves budget + burn rates.
+        let (_, health) = client.get("/health").unwrap();
+        let doc = crate::json::parse(&health).unwrap();
+        assert_eq!(
+            doc.get("service").and_then(|v| v.as_str()),
+            Some("svc-test")
+        );
+        let (status, slo) = client.get("/slo").unwrap();
+        assert_eq!(status, 200);
+        let doc = crate::json::parse(&slo).unwrap();
+        assert_eq!(
+            doc.get("service").and_then(|v| v.as_str()),
+            Some("svc-test")
+        );
+        let slos = match doc.get("slos") {
+            Some(crate::json::Json::Arr(items)) => items.clone(),
+            other => panic!("slos not an array: {other:?}"),
+        };
+        assert_eq!(slos.len(), 1);
+        assert!(slos[0].get("budget_remaining").is_some());
+        assert!(slos[0]
+            .get("fast")
+            .and_then(|w| w.get("burn_rate"))
+            .is_some());
+
+        // The Prometheus surface carries per-route requests counters and
+        // per-route HDR `le` buckets; the query string is stripped and
+        // unmatched paths collapse to one label.
+        let (_, text) = client.get("/metrics").unwrap();
+        assert!(text.contains("obs_http_requests_total{route=\"/admit\",status=\"200\"} 2"));
+        assert!(text.contains("obs_http_requests_total{route=\"unmatched\",status=\"404\"} 1"));
+        assert!(text.contains("obs_http_request_duration_ns_bucket{route=\"/admit\",le=\""));
+        assert!(text.contains("obs_http_request_duration_ns_count{route=\"/admit\"} 2"));
+        assert!(text.contains("obs_http_in_flight 1")); // the /metrics request itself
+        assert!(text.contains("obs_http_connections_total 1"));
+        drop(client);
+
+        exporter.shutdown();
+        // Without telemetry, /slo falls through to 404.
+        let plain = Exporter::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        assert_eq!(http_get(plain.local_addr(), "/slo").unwrap().0, 404);
+        plain.shutdown();
     }
 }

@@ -51,6 +51,7 @@
 //! snapshot's `"spans"` section.
 
 pub mod exporter;
+pub mod hdrhist;
 pub mod journal;
 pub mod json;
 pub mod manifest;
@@ -58,17 +59,21 @@ pub mod metrics;
 pub mod monitor;
 pub mod progress;
 pub mod report;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
 pub use exporter::{
-    http_get, to_prometheus_text, Exporter, HttpClient, RouteHandler, RouteResponse,
+    current_request_id, http_get, to_prometheus_text, Exporter, HttpClient, RouteHandler,
+    RouteResponse, TelemetryConfig,
 };
+pub use hdrhist::{HdrHandle, HdrHistogram, HdrSnapshot};
 pub use journal::{FieldValue, Journal, Level, ParsedEvent, SinkKind};
 pub use manifest::RunManifest;
 pub use metrics::{labeled, Counter, Gauge, Registry, Snapshot, SpanStats};
 pub use monitor::{BoundCurve, BoundMonitor, SeriesKind, SessionCurves};
 pub use progress::{global_progress, Progress};
+pub use slo::{SloSet, SloSpec, SloStatus};
 pub use span::Span;
 pub use trace::{TraceKind, TraceMode, TraceScope};
 

@@ -17,6 +17,7 @@
 //! only nondeterministic section is `"spans"` (wall-clock timing), which
 //! consumers strip before comparing (see [`Snapshot::to_json_without_spans`]).
 
+use crate::hdrhist::{HdrHandle, HdrHistogram, HdrSnapshot};
 use crate::json::{fmt_f64, write_escaped};
 use gps_stats::{Histogram, P2Quantile, StreamingMoments};
 use std::collections::BTreeMap;
@@ -190,6 +191,7 @@ struct Inner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, HistogramHandle>,
+    hdr: BTreeMap<String, HdrHandle>,
     summaries: BTreeMap<String, Summary>,
     spans: BTreeMap<String, SpanStats>,
 }
@@ -231,6 +233,24 @@ impl Registry {
         g.histograms
             .entry(name.to_string())
             .or_insert_with(|| HistogramHandle(Arc::new(Mutex::new(Histogram::new(lo, hi, bins)))))
+            .clone()
+    }
+
+    /// Returns the log-bucketed (HDR-style) histogram named `name`,
+    /// creating it with the default configuration on first use — the
+    /// instrument for latency-like quantities spanning many orders of
+    /// magnitude (see [`crate::hdrhist`]).
+    pub fn hdr(&self, name: &str) -> HdrHandle {
+        self.hdr_with(name, HdrHistogram::new)
+    }
+
+    /// Like [`hdr`](Self::hdr) with an explicit first-use constructor
+    /// (later calls ignore the shape, mirroring [`histogram`](Self::histogram)).
+    pub fn hdr_with(&self, name: &str, build: impl FnOnce() -> HdrHistogram) -> HdrHandle {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.hdr
+            .entry(name.to_string())
+            .or_insert_with(|| HdrHandle::new(build()))
             .clone()
     }
 
@@ -279,6 +299,9 @@ impl Registry {
             };
             *hist = fresh;
         }
+        for h in g.hdr.values() {
+            h.clear();
+        }
         for s in g.summaries.values() {
             *s.0.lock().expect("summary poisoned") = SummaryState::new();
         }
@@ -299,6 +322,11 @@ impl Registry {
                 .histograms
                 .iter()
                 .map(|(k, v)| (k.clone(), v.with(|h| HistogramSnapshot::from(h))))
+                .collect(),
+            hdr: g
+                .hdr
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
             summaries: g
                 .summaries
@@ -410,6 +438,8 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histogram snapshots by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// HDR (log-bucketed) histogram snapshots by name.
+    pub hdr: Vec<(String, HdrSnapshot)>,
     /// Summary snapshots by name.
     pub summaries: Vec<(String, SummarySnapshot)>,
     /// Span timing stats by hierarchical path (wall-clock; nondeterministic).
@@ -429,6 +459,7 @@ impl Snapshot {
         self.counters.is_empty()
             && self.gauges.is_empty()
             && self.histograms.is_empty()
+            && self.hdr.is_empty()
             && self.summaries.is_empty()
             && self.spans.is_empty()
     }
@@ -498,6 +529,41 @@ impl Snapshot {
                 opt_f64(h.quantile(0.9)),
                 opt_f64(h.quantile(0.99)),
             ));
+        }
+        // The HDR section appears only when an HDR histogram was
+        // registered: pre-existing snapshots keep their exact bytes.
+        if !self.hdr.is_empty() {
+            out.push_str("\n  },\n  \"hdr_histograms\": {");
+            for (i, (name, h)) in self.hdr.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+                write_escaped(name, &mut out);
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .map(|(le, c)| format!("[{le},{c}]"))
+                    .collect();
+                let q = |p: f64| match h.value_at_quantile(p) {
+                    Some(v) => v.to_string(),
+                    None => "null".to_string(),
+                };
+                out.push_str(&format!(
+                    ": {{\"sub_bits\": {}, \"max_trackable\": {}, \"count\": {}, \
+                     \"sum\": {}, \"min\": {}, \"max\": {}, \"saturated\": {}, \
+                     \"buckets\": [{}], \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+                    h.sub_bits,
+                    h.max_trackable,
+                    h.total,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.saturated,
+                    buckets.join(","),
+                    q(0.5),
+                    q(0.9),
+                    q(0.99),
+                    q(0.999),
+                ));
+            }
         }
         out.push_str("\n  },\n  \"summaries\": {");
         for (i, (name, s)) in self.summaries.iter().enumerate() {
@@ -742,6 +808,33 @@ mod tests {
         assert_eq!(es.p99, Some(7.0));
         assert_eq!(es.min, 7.0);
         assert_eq!(es.max, 7.0);
+    }
+
+    #[test]
+    fn hdr_histograms_register_reset_and_render() {
+        let r = Registry::new();
+        let h = r.hdr("lat");
+        h.observe(460);
+        h.observe(40_000_000);
+        r.hdr("lat").observe(460); // same handle by name
+        let snap = r.snapshot();
+        assert_eq!(snap.hdr.len(), 1);
+        assert_eq!(snap.hdr[0].1.total, 3);
+        let json = snap.to_json_without_spans();
+        assert!(json.contains("\"hdr_histograms\""));
+        assert!(json.contains("\"p999\""));
+        assert!(crate::json::parse(&json).is_ok());
+        // Absent entirely when no HDR histogram exists (byte-stability
+        // of pre-existing snapshots).
+        let plain = Registry::new();
+        plain.counter("c").inc();
+        assert!(!plain.snapshot().to_json().contains("hdr_histograms"));
+        // Reset zeroes data but keeps the instrument and configuration.
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap.hdr[0].1.total, 0);
+        h.observe(7);
+        assert_eq!(r.snapshot().hdr[0].1.total, 1);
     }
 
     #[test]

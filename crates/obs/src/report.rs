@@ -127,6 +127,10 @@ pub struct Dashboard {
     /// Admission-service region snapshot (`results/admission_region.json`,
     /// the `/region` body captured by `admitd --replay`), when present.
     pub admission: Option<Json>,
+    /// Service-health snapshot (`results/service_health.json`, written by
+    /// `admitd --replay --out-service`): SLO statuses, per-route request
+    /// counters, and HDR latency histograms.
+    pub service: Option<Json>,
 }
 
 /// Escapes text for HTML body and attribute positions.
@@ -834,6 +838,182 @@ fn admission_html(region: &Json) -> String {
     out
 }
 
+/// A small inline error-budget gauge: the filled fraction of a fixed-width
+/// bar, green while budget remains and the alert palette slot once spent.
+fn budget_bar(frac: f64) -> String {
+    let w = 90.0_f64;
+    let frac = if frac.is_finite() {
+        frac.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let filled = (frac * w).round();
+    let fill = if frac > 0.25 {
+        "var(--series-2)"
+    } else {
+        "var(--series-1)"
+    };
+    format!(
+        "<svg width=\"{w:.0}\" height=\"10\" viewBox=\"0 0 {w:.0} 10\" role=\"img\">\
+         <title>{} of error budget remaining</title>\
+         <rect width=\"{w:.0}\" height=\"10\" fill=\"var(--grid)\" rx=\"2\"/>\
+         <rect width=\"{filled:.0}\" height=\"10\" fill=\"{fill}\" rx=\"2\"/></svg>",
+        fmt_num(frac)
+    )
+}
+
+/// Renders the service-health panel from an `--out-service` snapshot:
+/// the SLO table (objectives, burn rates, error-budget gauges), the
+/// per-route request table, and the request-latency CCDF on log axes —
+/// the operational mirror of the analytic tail charts above it.
+fn service_health_html(service: &Json) -> String {
+    let mut out = String::new();
+
+    if let Some(Json::Arr(slos)) = service.get("slo").and_then(|s| s.get("slos")) {
+        if !slos.is_empty() {
+            out.push_str(
+                "<h4>SLOs</h4><table><thead><tr><th>slo</th><th>route</th>\
+                 <th>objective</th><th>good</th><th>bad</th><th>budget</th>\
+                 <th>fast burn</th><th>slow burn</th><th>breaches</th></tr></thead><tbody>",
+            );
+            for s in slos {
+                let cell = |key: &str| match s.get(key) {
+                    Some(Json::Null) | None => "–".to_string(),
+                    Some(v) => json_scalar(v),
+                };
+                let burn = |win: &str| match s.get(win) {
+                    Some(w) => {
+                        let rate = w.get("burn_rate").map(json_scalar).unwrap_or_default();
+                        match w.get("breached") {
+                            Some(Json::Bool(true)) => format!("{rate} ⚠"),
+                            _ => rate,
+                        }
+                    }
+                    None => "–".to_string(),
+                };
+                let budget = s
+                    .get("budget_remaining")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                let _ = write!(
+                    out,
+                    "<tr><td>{}</td><td>{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td class=\"num\">{}</td><td>{}</td>\
+                     <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
+                    html_escape(&cell("name")),
+                    html_escape(&cell("route")),
+                    cell("objective"),
+                    cell("good"),
+                    cell("bad"),
+                    budget_bar(budget),
+                    burn("fast"),
+                    burn("slow"),
+                    cell("breaches"),
+                );
+            }
+            out.push_str("</tbody></table>");
+        }
+    }
+
+    if let Some(Json::Arr(routes)) = service.get("routes") {
+        if !routes.is_empty() {
+            out.push_str(
+                "<h4>requests</h4><table><thead><tr><th>route</th><th>status</th>\
+                 <th>count</th></tr></thead><tbody>",
+            );
+            for r in routes {
+                let cell = |key: &str| match r.get(key) {
+                    Some(v) => json_scalar(v),
+                    None => "–".to_string(),
+                };
+                let _ = write!(
+                    out,
+                    "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
+                    html_escape(&cell("route")),
+                    cell("status"),
+                    cell("count"),
+                );
+            }
+            out.push_str("</tbody></table>");
+        }
+    }
+
+    if let Some(Json::Arr(latency)) = service.get("latency") {
+        let mut rows = String::new();
+        let mut series: Vec<CurveSeries> = Vec::new();
+        for l in latency {
+            let route = l
+                .get("route")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string();
+            let total = l.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let q = |key: &str| match l.get(key) {
+                Some(v) => v.as_f64().map(fmt_ns).unwrap_or_else(|| "–".to_string()),
+                None => "–".to_string(),
+            };
+            let _ = write!(
+                rows,
+                "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
+                html_escape(&route),
+                fmt_num(total),
+                q("p50_ns"),
+                q("p90_ns"),
+                q("p99_ns"),
+                q("max_ns"),
+            );
+            if total <= 0.0 {
+                continue;
+            }
+            let mut points = Vec::new();
+            let mut cum = 0.0;
+            if let Some(Json::Arr(buckets)) = l.get("buckets") {
+                for b in buckets {
+                    if let Json::Arr(pair) = b {
+                        let le = pair.first().and_then(|v| v.as_f64()).unwrap_or(0.0);
+                        let c = pair.get(1).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                        if le <= 0.0 {
+                            continue;
+                        }
+                        cum += c;
+                        points.push((le.log10(), (1.0 - cum / total).max(0.0)));
+                    }
+                }
+            }
+            if !points.is_empty() {
+                series.push(CurveSeries {
+                    label: route,
+                    points,
+                });
+            }
+        }
+        if !rows.is_empty() {
+            let _ = write!(
+                out,
+                "<h4>latency</h4><table><thead><tr><th>route</th><th>count</th>\
+                 <th>p50</th><th>p90</th><th>p99</th><th>max</th></tr></thead><tbody>{rows}</tbody></table>"
+            );
+        }
+        if !series.is_empty() {
+            let chart = CurveChart {
+                title: "request latency CCDF (HDR histogram)".to_string(),
+                x_label: "log10 latency (ns)".to_string(),
+                series,
+                log_y: true,
+            };
+            let _ = write!(
+                out,
+                "<div class=\"charts\"><figure><figcaption>{}</figcaption>{}</figure></div>",
+                html_escape(&chart.title),
+                svg_curve_chart(&chart)
+            );
+        }
+    }
+
+    out
+}
+
 fn manifest_html(manifest: &Json) -> String {
     let mut pairs: Vec<(String, String)> = Vec::new();
     for key in ["campaign", "seed"] {
@@ -915,6 +1095,15 @@ pub fn render(d: &Dashboard) -> String {
                        <h3 id=\"admission\">admission service</h3></summary>",
         );
         body.push_str(&admission_html(region));
+        body.push_str("</details>");
+    }
+
+    if let Some(service) = &d.service {
+        body.push_str(
+            "<h2>Service health</h2><details open><summary>\
+                       <h3 id=\"service-health\">request telemetry &amp; SLOs</h3></summary>",
+        );
+        body.push_str(&service_health_html(service));
         body.push_str("</details>");
     }
 
@@ -1083,6 +1272,23 @@ mod tests {
                 )
                 .unwrap(),
             ),
+            service: Some(
+                json::parse(
+                    "{\"service\":\"admitd\",\"slo\":{\"service\":\"admitd\",\"now_s\":1,\
+                     \"slos\":[{\"name\":\"avail<1>\",\"route\":null,\"objective\":0.999,\
+                     \"latency_threshold_ns\":null,\"good\":90,\"bad\":10,\
+                     \"budget_remaining\":0.2,\"breaches\":1,\
+                     \"fast\":{\"seconds\":300,\"good\":90,\"bad\":10,\"burn_rate\":100,\
+                     \"threshold\":14.4,\"breached\":true},\
+                     \"slow\":{\"seconds\":3600,\"good\":90,\"bad\":10,\"burn_rate\":100,\
+                     \"threshold\":6,\"breached\":false}}]},\
+                     \"routes\":[{\"route\":\"/admit\",\"status\":200,\"count\":90}],\
+                     \"latency\":[{\"route\":\"/admit\",\"count\":90,\"p50_ns\":63000,\
+                     \"p90_ns\":90000,\"p99_ns\":120000,\"max_ns\":130000,\
+                     \"buckets\":[[63000,45],[90000,40],[130000,5]]}]}",
+                )
+                .unwrap(),
+            ),
         };
         let a = render(&d);
         let b = render(&d);
@@ -1095,6 +1301,12 @@ mod tests {
         assert!(a.contains("cache.hit_ratio"));
         assert!(a.contains("voice&lt;1&gt;")); // class names are escaped
         assert!(a.contains("admissible region"));
+        assert!(a.contains("Service health"));
+        assert!(a.contains("avail&lt;1&gt;")); // SLO names are escaped
+        assert!(a.contains("100 ⚠")); // fast-window breach marker
+        assert!(a.contains("error budget remaining"));
+        assert!(a.contains("request latency CCDF"));
+        assert!(a.contains("63.00 µs")); // p50 in readable units
         assert!(!a.contains("<script"));
     }
 

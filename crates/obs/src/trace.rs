@@ -123,6 +123,10 @@ pub enum TraceKind {
     CheckpointRestore = 3,
     /// One post-join bound-monitor fold over a finished replication.
     MonitorFold = 4,
+    /// One HTTP request dispatched by the exporter (`arg` = request
+    /// ID). Wall-clock-driven and client-dependent: excluded from the
+    /// counts-mode deterministic tier, like [`TraceKind::SpanScope`].
+    RequestDispatch = 5,
 }
 
 impl TraceKind {
@@ -132,6 +136,7 @@ impl TraceKind {
             1 => TraceKind::SpanScope,
             2 => TraceKind::CheckpointWrite,
             3 => TraceKind::CheckpointRestore,
+            5 => TraceKind::RequestDispatch,
             _ => TraceKind::MonitorFold,
         }
     }
@@ -144,13 +149,17 @@ impl TraceKind {
             TraceKind::CheckpointWrite => "checkpoint_write",
             TraceKind::CheckpointRestore => "checkpoint_restore",
             TraceKind::MonitorFold => "monitor_fold",
+            TraceKind::RequestDispatch => "request",
         }
     }
 
     /// Whether the raw event count is a pure function of the workload
     /// (counts mode exports event counts only for these kinds).
     fn deterministic_count(self) -> bool {
-        !matches!(self, TraceKind::WorkerChunk | TraceKind::SpanScope)
+        !matches!(
+            self,
+            TraceKind::WorkerChunk | TraceKind::SpanScope | TraceKind::RequestDispatch
+        )
     }
 }
 
@@ -332,9 +341,13 @@ fn record(phase: u64, kind: TraceKind, name: &str, arg: u64) {
     match MODE.load(Ordering::Relaxed) {
         MODE_OFF => {}
         MODE_COUNTS => {
-            // Span scopes fire per worker — scheduling-dependent — so the
-            // deterministic tier ignores them entirely.
-            if kind == TraceKind::SpanScope || phase == PHASE_END {
+            // Span scopes fire per worker and request dispatches per
+            // client — both scheduling-dependent — so the deterministic
+            // tier ignores them entirely.
+            if kind == TraceKind::SpanScope
+                || kind == TraceKind::RequestDispatch
+                || phase == PHASE_END
+            {
                 return;
             }
             let id = intern(name);

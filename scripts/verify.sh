@@ -40,22 +40,33 @@ GPS_OBS_TRACE=1 GPS_OBS_SERVE=127.0.0.1:0 ./target/release/obs_check
 
 # Admission-control service: replay a scripted decision stream through
 # admitd's own HTTP front end (keep-alive connections against the
-# exporter) under maximally different scheduling and cache settings.
-# The full digest (decisions + /region) must be invariant across the
-# GPS_PAR_THREADS matrix; the decision stream alone must additionally be
-# invariant under disabling the certificate cache (GPS_ADMIT_CACHE_CAP=0)
-# — caching may never change an admission decision. The default run must
-# also actually exercise the cache (hits > 0).
+# exporter) under maximally different scheduling and cache settings,
+# with the NDJSON access log and the SLO surfaces enabled on the matrix
+# runs. The full digest (decisions + /region) must be invariant across
+# the GPS_PAR_THREADS matrix, and so must the access-log decision digest
+# (the request_id/route/status/bytes projection of the /admit + /depart
+# lines); the decision stream alone must additionally be invariant under
+# disabling the certificate cache (GPS_ADMIT_CACHE_CAP=0) — caching may
+# never change an admission decision. The default run must also actually
+# exercise the cache (hits > 0).
 echo "==> admitd replay (digest invariance + cache-hit counters)"
 adm="$(mktemp -d)"
 trap 'rm -rf "$adm"' EXIT
-GPS_PAR_THREADS=1 ./target/release/admitd --replay 2000 --seed 7 > "$adm/a.txt"
-GPS_PAR_THREADS=4 GPS_PAR_CHUNK=1 ./target/release/admitd --replay 2000 --seed 7 > "$adm/b.txt"
+GPS_PAR_THREADS=1 GPS_OBS_ACCESS_LOG="$adm/access_a.ndjson" \
+    ./target/release/admitd --replay 2000 --seed 7 --slo > "$adm/a.txt"
+GPS_PAR_THREADS=4 GPS_PAR_CHUNK=1 GPS_OBS_ACCESS_LOG="$adm/access_b.ndjson" \
+    ./target/release/admitd --replay 2000 --seed 7 --slo > "$adm/b.txt"
 GPS_ADMIT_CACHE_CAP=0 ./target/release/admitd --replay 2000 --seed 7 > "$adm/c.txt"
 dig_a="$(grep '^admitd digest:' "$adm/a.txt")"
 dig_b="$(grep '^admitd digest:' "$adm/b.txt")"
 if [ "$dig_a" != "$dig_b" ]; then
     echo "verify.sh: admitd digest differs across GPS_PAR_THREADS ($dig_a vs $dig_b)" >&2
+    exit 1
+fi
+acc_a="$(grep '^admitd access digest:' "$adm/a.txt")"
+acc_b="$(grep '^admitd access digest:' "$adm/b.txt")"
+if [ -z "$acc_a" ] || [ "$acc_a" != "$acc_b" ]; then
+    echo "verify.sh: admitd access digest differs across GPS_PAR_THREADS ($acc_a vs $acc_b)" >&2
     exit 1
 fi
 dec_a="$(grep '^admitd decisions digest:' "$adm/a.txt")"
