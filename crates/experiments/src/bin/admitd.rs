@@ -25,6 +25,7 @@
 
 use gps_analysis::{AdmissionEngine, CertBackend, ClassSpec, Decision, QosTarget, RequestKind};
 use gps_ebb::{EbbProcess, TimeModel};
+use gps_experiments::service::service_json;
 use gps_obs::exporter::{HttpClient, MAX_REQUESTS_PER_CONN};
 use gps_obs::json::{fmt_f64, Json};
 use gps_obs::metrics::Registry;
@@ -248,78 +249,6 @@ fn access_digest(text: &str) -> Result<u64, String> {
     Ok(h)
 }
 
-/// The `--out-service PATH` artifact: SLO statuses (the `/slo` body) plus
-/// per-route request counters and HDR latency snapshots pulled straight
-/// from the registry — everything the dashboard's service-health panel
-/// renders.
-fn service_json(registry: &Registry, slo_body: Option<&str>) -> String {
-    let snap = registry.snapshot();
-    let labels_of = |name: &str, family: &str| -> Option<Vec<(String, String)>> {
-        let rest = name
-            .strip_prefix(family)?
-            .strip_prefix('{')?
-            .strip_suffix('}')?;
-        Some(
-            rest.split(',')
-                .filter_map(|kv| kv.split_once('='))
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-                .collect(),
-        )
-    };
-    let mut routes = Vec::new();
-    for (name, count) in &snap.counters {
-        if let Some(labels) = labels_of(name, "obs.http.requests") {
-            let get = |k: &str| {
-                labels
-                    .iter()
-                    .find(|(n, _)| n == k)
-                    .map(|(_, v)| v.clone())
-                    .unwrap_or_default()
-            };
-            routes.push(format!(
-                "{{\"route\": \"{}\", \"status\": {}, \"count\": {count}}}",
-                get("route"),
-                get("status")
-            ));
-        }
-    }
-    let mut latency = Vec::new();
-    for (name, h) in &snap.hdr {
-        if let Some(labels) = labels_of(name, "obs.http.request_duration_ns") {
-            let route = labels
-                .iter()
-                .find(|(n, _)| n == "route")
-                .map(|(_, v)| v.clone())
-                .unwrap_or_default();
-            let q = |p: f64| match h.value_at_quantile(p) {
-                Some(v) => v.to_string(),
-                None => "null".to_string(),
-            };
-            let buckets: Vec<String> = h
-                .buckets
-                .iter()
-                .map(|(le, c)| format!("[{le}, {c}]"))
-                .collect();
-            latency.push(format!(
-                "{{\"route\": \"{route}\", \"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
-                 \"p99_ns\": {}, \"max_ns\": {}, \"buckets\": [{}]}}",
-                h.total,
-                q(0.5),
-                q(0.9),
-                q(0.99),
-                h.max,
-                buckets.join(", ")
-            ));
-        }
-    }
-    format!(
-        "{{\"service\": \"admitd\", \"slo\": {}, \"routes\": [{}], \"latency\": [{}]}}\n",
-        slo_body.map(str::trim_end).unwrap_or("null"),
-        routes.join(", "),
-        latency.join(", ")
-    )
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr = arg_value(&args, "--serve").unwrap_or_else(|| "127.0.0.1:0".to_string());
@@ -467,7 +396,7 @@ fn main() {
     // `--out-service PATH` persists the service-health snapshot (SLO
     // statuses + per-route counters + HDR latency) for the dashboard.
     if let Some(path) = arg_value(&args, "--out-service") {
-        let body = service_json(&registry, slo_body.as_deref());
+        let body = service_json("admitd", &registry, slo_body.as_deref());
         std::fs::write(&path, body).unwrap_or_else(|e| {
             eprintln!("admitd: write {path}: {e}");
             std::process::exit(2);

@@ -1,0 +1,97 @@
+//! `campaign-worker` — the worker half of a distributed campaign: leases
+//! shards from a `campaignd` coordinator over HTTP, runs them through
+//! the supervised campaign engine on the local `gps_par` pool, and
+//! streams every completed replication back as a checkpoint line.
+//!
+//! ```text
+//! campaign-worker --connect ADDR [--addr-file PATH] [--worker-id ID]
+//!                 [--threads N] [--poll-ms N] [--quiet]
+//! ```
+//!
+//! `--addr-file` reads the address `campaignd --addr-file` wrote
+//! (convenient when the coordinator bound port 0). The scenario is
+//! resolved locally by name from the lease and verified against the
+//! lease's config fingerprint, so a worker launched with mismatched
+//! `GPS_CAMPAIGN_*` knobs fails loudly instead of corrupting the merge.
+//!
+//! Fault injection: `GPS_FAULT_WORKER_KILL=<r>` aborts this process
+//! right before replication `r`'s result is submitted;
+//! `GPS_FAULT_WORKER_KILL=<r>:stall` prints a `gps-worker-stall` marker
+//! (with the PID) and parks forever so a harness can `kill -9` it —
+//! the coordinator re-leases the shard and the campaign still merges
+//! byte-identically.
+
+use gps_experiments::scenarios::resolve;
+use gps_experiments::{finish_obs, init_obs};
+use gps_obs::RunManifest;
+use gps_sim::orchestrate::{run_worker, HttpTransport, KillInjection, WorkerOptions};
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let obs = init_obs("campaign_worker", quiet);
+    let addr = arg_value(&args, "--connect").or_else(|| {
+        arg_value(&args, "--addr-file")
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .map(|s| s.trim().to_string())
+    });
+    let Some(addr) = addr.filter(|a| !a.is_empty()) else {
+        eprintln!("campaign-worker: need --connect ADDR or --addr-file PATH");
+        std::process::exit(2);
+    };
+    let transport = match HttpTransport::connect(addr.as_str()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("campaign-worker: cannot reach coordinator at {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let opts = WorkerOptions {
+        worker_id: arg_value(&args, "--worker-id")
+            .unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        threads: arg_value(&args, "--threads")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        poll: Duration::from_millis(
+            arg_value(&args, "--poll-ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(20),
+        ),
+        kill: KillInjection::from_env(),
+        ..WorkerOptions::default()
+    };
+    let worker_id = opts.worker_id.clone();
+    println!("campaign-worker {worker_id}: polling coordinator at http://{addr}");
+    match run_worker(transport, &opts, |name| {
+        resolve(name).map(|s| s.worker_scenario())
+    }) {
+        Ok(summary) => {
+            println!(
+                "campaign-worker {worker_id}: done — {} shards ({} takeovers), {} replications, {} wait polls",
+                summary.shards_completed,
+                summary.takeovers,
+                summary.replications_run,
+                summary.wait_polls
+            );
+            let mut manifest = RunManifest::new("campaign_worker")
+                .param("worker_id", worker_id)
+                .param("shards", summary.shards_completed)
+                .param("replications", summary.replications_run)
+                .param("takeovers", summary.takeovers);
+            manifest.output("streamed to coordinator", summary.replications_run);
+            finish_obs(obs, manifest).expect("obs teardown");
+        }
+        Err(e) => {
+            eprintln!("campaign-worker {worker_id}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

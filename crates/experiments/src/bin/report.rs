@@ -10,10 +10,11 @@
 //! dashboard depend on its own previous run).
 
 use gps_experiments::results_dir;
+use gps_experiments::scenarios;
 use gps_obs::json::{self, Json};
 use gps_obs::report::{
     render, timeline_from_chrome_trace, BenchEntry, BenchSuite, CampaignSection, CurveChart,
-    CurveSeries, Dashboard,
+    CurveSeries, Dashboard, OverloadPanel, OverloadSession,
 };
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -125,6 +126,110 @@ fn bench_suite(path: &Path) -> Option<BenchSuite> {
         })
         .collect();
     (!entries.is_empty()).then_some(BenchSuite { name, entries })
+}
+
+/// Builds the distributed overload panel from `campaignd_overload.csv`
+/// (written by `campaignd --scenario overload`) plus the coordinator
+/// manifest: certificate charts for a representative protected session,
+/// the attack session's tail, the throughput-vs-guarantee table, shed
+/// fractions, and the orchestration counters.
+fn overload_panel(dir: &Path) -> Option<OverloadPanel> {
+    let csv = Csv::read(&dir.join("campaignd_overload.csv"))?;
+    let scenario = scenarios::resolve("overload")?;
+    let attack = scenario.attack?;
+    let attack_session = (attack.session + 1) as f64; // CSV sessions are 1-based
+
+    let finite = |points: Vec<(f64, f64)>| -> Vec<(f64, f64)> {
+        points.into_iter().filter(|&(_, y)| y.is_finite()).collect()
+    };
+    let mut charts = Vec::new();
+    for (kind, what, x_label) in [
+        (0.0, "backlog tail", "backlog b (slots of work)"),
+        (1.0, "delay tail", "delay d (slots)"),
+    ] {
+        let empirical = finite(csv.series("x", "empirical", &[("session", 1.0), ("kind", kind)]));
+        let bound = finite(csv.series("x", "bound", &[("session", 1.0), ("kind", kind)]));
+        if empirical.is_empty() {
+            continue;
+        }
+        let mut series = vec![CurveSeries {
+            label: "empirical".to_string(),
+            points: empirical,
+        }];
+        if !bound.is_empty() {
+            series.push(CurveSeries {
+                label: "Theorem 10 certificate".to_string(),
+                points: bound,
+            });
+        }
+        charts.push(CurveChart {
+            title: format!("Overload, protected session 1: {what} vs certificate"),
+            x_label: x_label.to_string(),
+            series,
+            log_y: true,
+        });
+    }
+    let attack_backlog = finite(csv.series(
+        "x",
+        "empirical",
+        &[("session", attack_session), ("kind", 0.0)],
+    ));
+    if !attack_backlog.is_empty() {
+        charts.push(CurveChart {
+            title: format!(
+                "Overload, attack session {}: backlog tail (no certificate, policed)",
+                attack.session + 1
+            ),
+            x_label: "backlog b (slots of work)".to_string(),
+            series: vec![CurveSeries {
+                label: "empirical".to_string(),
+                points: attack_backlog,
+            }],
+            log_y: true,
+        });
+    }
+
+    // Per-session throughput summary rows: kind 2, empirical column is
+    // the measured throughput, bound column the GPS guaranteed rate.
+    let (si, ki, ti, gi) = (
+        csv.col("session")?,
+        csv.col("kind")?,
+        csv.col("empirical")?,
+        csv.col("bound")?,
+    );
+    let mut sessions = Vec::new();
+    for r in csv.rows.iter().filter(|r| (r[ki] - 2.0).abs() < 1e-9) {
+        sessions.push(OverloadSession {
+            label: format!("session {}", r[si] as u64),
+            throughput: r[ti],
+            guaranteed: r[gi],
+            attack: (r[si] - attack_session).abs() < 1e-9,
+        });
+    }
+    let shed = sessions.iter().find(|s| s.attack).map(|s| {
+        (
+            1.0 - s.throughput / attack.offered_mean,
+            attack.analytic_shed_fraction(),
+        )
+    });
+
+    let mut orchestration = Vec::new();
+    if let Some(Json::Obj(pairs)) = load_json(&dir.join("campaignd_manifest.json"))
+        .as_ref()
+        .and_then(|m| m.get("config").cloned())
+    {
+        for (k, v) in pairs {
+            orchestration.push((k, v.to_compact().trim_matches('"').to_string()));
+        }
+    }
+
+    Some(OverloadPanel {
+        scenario: "overload".to_string(),
+        charts,
+        sessions,
+        shed,
+        orchestration,
+    })
 }
 
 fn main() {
@@ -246,9 +351,21 @@ fn main() {
     // admission-control service).
     dash.admission = load_json(&dir.join("admission_region.json"));
 
-    // Service-health snapshot, written by `admitd --replay --out-service`
-    // (the SLO + request-telemetry half of the observability surface).
-    dash.service = load_json(&dir.join("service_health.json"));
+    // Distributed overload-campaign panel, from the `campaignd
+    // --scenario overload` artifacts when a run has been recorded.
+    dash.overload = overload_panel(&dir);
+
+    // Service-health snapshots: `service_health.json` from `admitd
+    // --replay --out-service`, plus every `*_service.json` the daemons'
+    // `--out-service` flags wrote (e.g. `campaignd_service.json`), in
+    // name order.
+    dash.services
+        .extend(load_json(&dir.join("service_health.json")));
+    for f in &entries {
+        if f.ends_with("_service.json") {
+            dash.services.extend(load_json(&dir.join(f)));
+        }
+    }
 
     // Bench suites.
     for f in &entries {
@@ -277,7 +394,7 @@ fn main() {
     std::fs::write(&out, &html).expect("write dashboard");
     println!(
         "dashboard: {} charts, {} campaigns, {} bench suites, {} timelines, \
-         admission {} -> {}",
+         admission {}, overload {}, {} services -> {}",
         dash.charts.len(),
         dash.campaigns.len(),
         dash.benches.len(),
@@ -287,6 +404,12 @@ fn main() {
         } else {
             "absent"
         },
+        if dash.overload.is_some() {
+            "panel"
+        } else {
+            "absent"
+        },
+        dash.services.len(),
         out.display()
     );
 }

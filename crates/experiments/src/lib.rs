@@ -10,6 +10,11 @@
 //! * [`csv`] — a minimal CSV writer into `results/`;
 //! * [`plot`] — ASCII log-scale tail plots, so every figure is visible
 //!   directly in the terminal transcript;
+//! * [`scenarios`] — the named campaign scenarios (`paper`, `overload`)
+//!   that `campaignd` and `campaign-worker` resolve on both ends of a
+//!   distributed run;
+//! * [`service`] — the shared `--out-service` service-health snapshot
+//!   (SLO statuses + per-route telemetry) the daemons persist;
 //! * [`init_obs`]/[`finish_obs`] — the observability bracket every binary
 //!   runs inside: journal sink selection, then metrics snapshot + run
 //!   manifest into `results/`.
@@ -17,6 +22,8 @@
 pub mod csv;
 pub mod paper;
 pub mod plot;
+pub mod scenarios;
+pub mod service;
 
 use gps_obs::{Exporter, Level, ObsConfig, RunManifest, SinkKind};
 use std::path::PathBuf;

@@ -1,0 +1,117 @@
+//! The shared service-health snapshot the daemons (`admitd`,
+//! `campaignd`) persist via `--out-service` and the dashboard's
+//! service panel renders: SLO statuses (the `/slo` body) plus per-route
+//! request counters and HDR latency snapshots pulled straight from the
+//! telemetry registry.
+
+use gps_obs::metrics::Registry;
+
+/// Renders the `--out-service PATH` artifact for `service`: the SLO
+/// document (if any), `obs.http.requests{...}` counters grouped per
+/// route/status, and per-route HDR latency quantiles + buckets.
+pub fn service_json(service: &str, registry: &Registry, slo_body: Option<&str>) -> String {
+    let snap = registry.snapshot();
+    let labels_of = |name: &str, family: &str| -> Option<Vec<(String, String)>> {
+        let rest = name
+            .strip_prefix(family)?
+            .strip_prefix('{')?
+            .strip_suffix('}')?;
+        Some(
+            rest.split(',')
+                .filter_map(|kv| kv.split_once('='))
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        )
+    };
+    let mut routes = Vec::new();
+    for (name, count) in &snap.counters {
+        if let Some(labels) = labels_of(name, "obs.http.requests") {
+            let get = |k: &str| {
+                labels
+                    .iter()
+                    .find(|(n, _)| n == k)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default()
+            };
+            routes.push(format!(
+                "{{\"route\": \"{}\", \"status\": {}, \"count\": {count}}}",
+                get("route"),
+                get("status")
+            ));
+        }
+    }
+    let mut latency = Vec::new();
+    for (name, h) in &snap.hdr {
+        if let Some(labels) = labels_of(name, "obs.http.request_duration_ns") {
+            let route = labels
+                .iter()
+                .find(|(n, _)| n == "route")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            let q = |p: f64| match h.value_at_quantile(p) {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(le, c)| format!("[{le}, {c}]"))
+                .collect();
+            latency.push(format!(
+                "{{\"route\": \"{route}\", \"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {}, \"buckets\": [{}]}}",
+                h.total,
+                q(0.5),
+                q(0.9),
+                q(0.99),
+                h.max,
+                buckets.join(", ")
+            ));
+        }
+    }
+    format!(
+        "{{\"service\": \"{service}\", \"slo\": {}, \"routes\": [{}], \"latency\": [{}]}}\n",
+        slo_body.map(str::trim_end).unwrap_or("null"),
+        routes.join(", "),
+        latency.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_obs::metrics::labeled;
+
+    #[test]
+    fn snapshot_carries_routes_latency_and_slo() {
+        let registry = Registry::new();
+        registry
+            .counter(&labeled(
+                "obs.http.requests",
+                &[("route", "/shard"), ("status", "200")],
+            ))
+            .inc();
+        registry
+            .hdr(&labeled(
+                "obs.http.request_duration_ns",
+                &[("route", "/shard")],
+            ))
+            .observe(1_000);
+        let body = service_json("campaignd", &registry, Some("{\"slos\":[]}\n"));
+        assert!(body.starts_with("{\"service\": \"campaignd\""));
+        assert!(body.contains("\"route\": \"/shard\""));
+        assert!(body.contains("\"status\": 200"));
+        assert!(body.contains("\"p50_ns\""));
+        assert!(body.contains("\"slo\": {\"slos\":[]}"));
+        assert!(body.ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_registry_renders_null_slo() {
+        let body = service_json("admitd", &Registry::new(), None);
+        assert_eq!(
+            body,
+            "{\"service\": \"admitd\", \"slo\": null, \"routes\": [], \"latency\": []}\n"
+        );
+    }
+}

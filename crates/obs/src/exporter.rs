@@ -338,6 +338,9 @@ const READ_TIMEOUT: Duration = Duration::from_secs(2);
 const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 const MAX_REQUEST_LINE: usize = 1024;
+/// Largest request body accepted on POST routes (`413` beyond that) —
+/// checkpoint NDJSON lines are well under this.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// Requests served on one persistent connection before the server closes
 /// it — bounds how long a keep-alive client can pin a `gps-obs-conn`
@@ -381,6 +384,31 @@ impl RouteResponse {
 /// 404. Consulted only for paths no built-in endpoint claims.
 pub type RouteHandler = Arc<dyn Fn(&str) -> Option<RouteResponse> + Send + Sync>;
 
+/// One parsed request handed to a [`RequestHandler`]: method, path
+/// (query string included), and the request body (empty for GET).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET` or `POST`; others are rejected upstream).
+    pub method: String,
+    /// Request path with its query string.
+    pub path: String,
+    /// Request body, bounded by the server's body cap.
+    pub body: String,
+}
+
+/// Custom method-aware dispatch mounted via [`Exporter::serve_requests`]:
+/// consulted for every GET path the built-ins don't claim *and* for every
+/// POST. Return `Some` to serve, `None` to fall through to 404.
+pub type RequestHandler = Arc<dyn Fn(&HttpRequest) -> Option<RouteResponse> + Send + Sync>;
+
+/// The custom dispatch table threaded through connection handlers:
+/// either the legacy GET-only handler or the method-aware one.
+#[derive(Clone, Default)]
+struct RouteTable {
+    get: Option<RouteHandler>,
+    request: Option<RequestHandler>,
+}
+
 /// Configuration for the exporter's request-telemetry middleware (see
 /// the module docs and [`Exporter::serve_with_telemetry`]).
 #[derive(Debug, Clone)]
@@ -391,6 +419,11 @@ pub struct TelemetryConfig {
     pub slos: Vec<SloSpec>,
     /// Where NDJSON access-log lines go (`None` = no access log).
     pub access_log: Option<SinkKind>,
+    /// A pre-built SLO set to share with the host process. When set it
+    /// replaces `slos`: the exporter records HTTP outcomes into it, and
+    /// the host can record non-HTTP events (e.g. shard completions in
+    /// `campaignd`) into the same set — both show up at `/slo`.
+    pub shared_slo: Option<Arc<SloSet>>,
 }
 
 impl TelemetryConfig {
@@ -400,6 +433,7 @@ impl TelemetryConfig {
             service: service.into(),
             slos: Vec::new(),
             access_log: None,
+            shared_slo: None,
         }
     }
 
@@ -418,6 +452,13 @@ impl TelemetryConfig {
         self.slos = slos;
         self
     }
+
+    /// Shares a pre-built [`SloSet`] between the exporter and the host
+    /// process (overrides [`with_slos`](Self::with_slos)).
+    pub fn with_shared_slo(mut self, slo: Arc<SloSet>) -> TelemetryConfig {
+        self.shared_slo = Some(slo);
+        self
+    }
 }
 
 /// Live request-telemetry state shared by all connection threads.
@@ -427,7 +468,7 @@ struct Telemetry {
     in_flight: AtomicU64,
     open_conns: AtomicU64,
     access: Option<Journal>,
-    slo: SloSet,
+    slo: Arc<SloSet>,
 }
 
 /// Per-exporter state threaded into every connection handler.
@@ -495,7 +536,10 @@ impl Telemetry {
             in_flight: AtomicU64::new(0),
             open_conns: AtomicU64::new(0),
             access,
-            slo: SloSet::new(cfg.slos.clone()),
+            slo: cfg
+                .shared_slo
+                .clone()
+                .unwrap_or_else(|| Arc::new(SloSet::new(cfg.slos.clone()))),
         }
     }
 
@@ -613,6 +657,7 @@ fn reason_for(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Content Too Large",
         414 => "URI Too Long",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
@@ -634,7 +679,7 @@ impl Exporter {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
     /// starts serving `registry` on a thread named `gps-obs-exporter`.
     pub fn serve(addr: &str, registry: Registry) -> std::io::Result<Exporter> {
-        Self::start(addr, registry, None, None)
+        Self::start(addr, registry, RouteTable::default(), None)
     }
 
     /// [`serve`](Self::serve) plus a custom route handler consulted for
@@ -644,7 +689,11 @@ impl Exporter {
         registry: Registry,
         routes: RouteHandler,
     ) -> std::io::Result<Exporter> {
-        Self::start(addr, registry, Some(routes), None)
+        let table = RouteTable {
+            get: Some(routes),
+            request: None,
+        };
+        Self::start(addr, registry, table, None)
     }
 
     /// [`serve_with_routes`](Self::serve_with_routes) with the
@@ -657,13 +706,35 @@ impl Exporter {
         routes: Option<RouteHandler>,
         telemetry: TelemetryConfig,
     ) -> std::io::Result<Exporter> {
-        Self::start(addr, registry, routes, Some(telemetry))
+        let table = RouteTable {
+            get: routes,
+            request: None,
+        };
+        Self::start(addr, registry, table, Some(telemetry))
+    }
+
+    /// [`serve`](Self::serve) plus a method-aware [`RequestHandler`]:
+    /// consulted for unclaimed GETs and for every POST (bodies framed by
+    /// `Content-Length`, capped server-side with `413` beyond the cap).
+    /// Optional telemetry as in
+    /// [`serve_with_telemetry`](Self::serve_with_telemetry).
+    pub fn serve_requests(
+        addr: &str,
+        registry: Registry,
+        handler: RequestHandler,
+        telemetry: Option<TelemetryConfig>,
+    ) -> std::io::Result<Exporter> {
+        let table = RouteTable {
+            get: None,
+            request: Some(handler),
+        };
+        Self::start(addr, registry, table, telemetry)
     }
 
     fn start(
         addr: &str,
         registry: Registry,
-        routes: Option<RouteHandler>,
+        routes: RouteTable,
         telemetry: Option<TelemetryConfig>,
     ) -> std::io::Result<Exporter> {
         let listener = TcpListener::bind(addr)?;
@@ -729,7 +800,7 @@ fn serve_loop(
     listener: TcpListener,
     registry: Registry,
     stop: Arc<AtomicBool>,
-    routes: Option<RouteHandler>,
+    routes: RouteTable,
     state: Arc<ServerState>,
 ) {
     for conn in listener.incoming() {
@@ -744,7 +815,7 @@ fn serve_loop(
             let state = Arc::clone(&state);
             let _ = std::thread::Builder::new()
                 .name("gps-obs-conn".to_string())
-                .spawn(move || handle_connection(stream, &registry, routes.as_ref(), &state));
+                .spawn(move || handle_connection(stream, &registry, &routes, &state));
         }
     }
 }
@@ -763,8 +834,8 @@ enum HeadRead {
 
 /// Reads one request head, consuming it from `carry` (which may already
 /// hold pipelined bytes from the previous read and keeps any surplus for
-/// the next request). Everything served here is GET, so bodies are not
-/// expected and not skipped.
+/// the next request). Bodies are framed separately by
+/// [`read_request_body`] using the head's `Content-Length`.
 fn read_request_head(stream: &mut TcpStream, carry: &mut Vec<u8>) -> HeadRead {
     let mut chunk = [0u8; 512];
     loop {
@@ -786,6 +857,33 @@ fn read_request_head(stream: &mut TcpStream, carry: &mut Vec<u8>) -> HeadRead {
             Err(_) => return HeadRead::Closed,
         }
     }
+}
+
+/// The request body size announced by the head (`0` when absent or
+/// unparseable — GETs carry no body and the client we ship always sends
+/// `Content-Length` on POST).
+fn content_length_of(head: &str) -> usize {
+    head.lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Pulls `len` body bytes off the connection, starting from whatever the
+/// head read left in `carry`. Returns `None` if the peer closes or stalls
+/// mid-body.
+fn read_request_body(stream: &mut TcpStream, carry: &mut Vec<u8>, len: usize) -> Option<Vec<u8>> {
+    let mut chunk = [0u8; 1024];
+    while carry.len() < len {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let body = carry[..len].to_vec();
+    carry.drain(..len);
+    Some(body)
 }
 
 /// True when the request head asks to keep the connection open: HTTP/1.1
@@ -817,7 +915,7 @@ fn wants_keep_alive(head: &str) -> bool {
 fn handle_connection(
     mut stream: TcpStream,
     registry: &Registry,
-    routes: Option<&RouteHandler>,
+    routes: &RouteTable,
     state: &ServerState,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
@@ -882,8 +980,35 @@ fn handle_connection(
         // final label collapses unmatched paths to "unmatched" so hostile
         // scans cannot mint unbounded per-route series.
         let provisional = path.split('?').next().unwrap_or(path);
+        let announced = content_length_of(&head);
+        if announced > MAX_BODY_BYTES {
+            let ctx = telemetry.map(|t| t.begin_request(registry, "bad_request"));
+            if let (Some(t), Some(ctx)) = (telemetry, ctx) {
+                let outcome = RequestOutcome {
+                    method,
+                    route: "bad_request",
+                    status: 413,
+                    bytes: 0,
+                };
+                t.finish_request(registry, &state.started, ctx, outcome);
+            }
+            respond_and_drain(
+                &mut stream,
+                413,
+                "Content Too Large",
+                "request body too large\n",
+            );
+            break;
+        }
+        // Consume the body even on paths that ignore it — keep-alive
+        // framing depends on the next head starting after it.
+        let request_body = match read_request_body(&mut stream, &mut carry, announced) {
+            Some(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            None => break,
+        };
         let ctx = telemetry.map(|t| t.begin_request(registry, provisional));
-        let (status, content_type, body) = dispatch(method, path, registry, routes, state);
+        let (status, content_type, body) =
+            dispatch(method, path, &request_body, registry, routes, state);
         if let (Some(t), Some(ctx)) = (telemetry, ctx) {
             let route = if status == 404 || status == 405 {
                 "unmatched"
@@ -915,17 +1040,41 @@ fn handle_connection(
     }
 }
 
-/// Produces `(status, content type, body)` for one GET; the caller
+/// Produces `(status, content type, body)` for one request; the caller
 /// writes the response and feeds the outcome to the telemetry layer.
+/// Built-ins answer GET only; POST goes to the mounted
+/// [`RequestHandler`] when there is one, `405` otherwise.
 fn dispatch(
     method: &str,
     path: &str,
+    body: &str,
     registry: &Registry,
-    routes: Option<&RouteHandler>,
+    routes: &RouteTable,
     state: &ServerState,
 ) -> (u16, String, String) {
+    if method == "POST" {
+        return match &routes.request {
+            Some(handler) => {
+                let request = HttpRequest {
+                    method: method.to_string(),
+                    path: path.to_string(),
+                    body: body.to_string(),
+                };
+                match handler(&request) {
+                    Some(r) => (r.status, r.content_type, r.body),
+                    None => (404, "text/plain".to_string(), "not found\n".to_string()),
+                }
+            }
+            None => (405, "text/plain".to_string(), "GET only\n".to_string()),
+        };
+    }
     if method != "GET" {
-        return (405, "text/plain".to_string(), "GET only\n".to_string());
+        let hint = if routes.request.is_some() {
+            "GET or POST only\n"
+        } else {
+            "GET only\n"
+        };
+        return (405, "text/plain".to_string(), hint.to_string());
     }
     match path {
         "/metrics" => (
@@ -962,11 +1111,21 @@ fn dispatch(
     }
 }
 
-fn route_or_404(path: &str, routes: Option<&RouteHandler>) -> (u16, String, String) {
-    match routes.and_then(|h| h(path)) {
-        Some(r) => (r.status, r.content_type, r.body),
-        None => (404, "text/plain".to_string(), "not found\n".to_string()),
+fn route_or_404(path: &str, routes: &RouteTable) -> (u16, String, String) {
+    if let Some(r) = routes.get.as_ref().and_then(|h| h(path)) {
+        return (r.status, r.content_type, r.body);
     }
+    if let Some(handler) = &routes.request {
+        let request = HttpRequest {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: String::new(),
+        };
+        if let Some(r) = handler(&request) {
+            return (r.status, r.content_type, r.body);
+        }
+    }
+    (404, "text/plain".to_string(), "not found\n".to_string())
 }
 
 /// The structured `/health` document: liveness plus just enough
@@ -1058,23 +1217,80 @@ pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(u16, S
 /// don't pay a TCP handshake per request.
 ///
 /// The server closes the connection after [`MAX_REQUESTS_PER_CONN`]
-/// requests; a `get` past that returns an error — reconnect to continue.
+/// requests; a `get` past that returns an error — reconnect to continue
+/// (or use [`RetryingClient`], which does it for you).
 #[derive(Debug)]
 pub struct HttpClient {
     stream: TcpStream,
     carry: Vec<u8>,
 }
 
+/// Timeout/retry policy for [`HttpClient::connect_with`] and
+/// [`RetryingClient`]. Fully deterministic: a fixed timeout on connect,
+/// read, and write, a bounded retry count, and linear attempt-count
+/// backoff (`attempt × backoff_step`, no jitter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Connect/read/write timeout.
+    pub timeout: Duration,
+    /// Retries after the first attempt (0 = fail fast).
+    pub retries: u32,
+    /// Backoff step: attempt `k` (1-based) sleeps `k × backoff_step`
+    /// before retrying.
+    pub backoff_step: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            timeout: READ_TIMEOUT,
+            retries: 2,
+            backoff_step: Duration::from_millis(25),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Policy from the environment: `GPS_HTTP_TIMEOUT_MS` (default
+    /// 2000) and `GPS_HTTP_RETRIES` (default 2).
+    pub fn from_env() -> ClientConfig {
+        let mut cfg = ClientConfig::default();
+        if let Some(ms) = std::env::var("GPS_HTTP_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            cfg.timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(n) = std::env::var("GPS_HTTP_RETRIES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+        {
+            cfg.retries = n;
+        }
+        cfg
+    }
+}
+
 impl HttpClient {
-    /// Connects to a local exporter.
+    /// Connects to a local exporter with the default 2 s timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<HttpClient> {
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects with an explicit timeout policy — the connect, read, and
+    /// write timeouts all come from `cfg.timeout`, so a dead peer costs
+    /// one bounded timeout instead of hanging forever.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        cfg: &ClientConfig,
+    ) -> std::io::Result<HttpClient> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
-        let stream = TcpStream::connect_timeout(&addr, READ_TIMEOUT)?;
-        stream.set_read_timeout(Some(READ_TIMEOUT))?;
-        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        let stream = TcpStream::connect_timeout(&addr, cfg.timeout)?;
+        stream.set_read_timeout(Some(cfg.timeout))?;
+        stream.set_write_timeout(Some(cfg.timeout))?;
         stream.set_nodelay(true)?;
         Ok(HttpClient {
             stream,
@@ -1085,7 +1301,28 @@ impl HttpClient {
     /// Issues one GET on the persistent connection; returns
     /// `(status, body)`.
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
-        let request = format!("GET {path} HTTP/1.1\r\nHost: gps-obs\r\n\r\n");
+        self.request("GET", path, None)
+    }
+
+    /// Issues one POST with a `Content-Length`-framed body; returns
+    /// `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        request_body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let request = match request_body {
+            Some(b) => format!(
+                "{method} {path} HTTP/1.1\r\nHost: gps-obs\r\nContent-Length: {}\r\n\r\n{b}",
+                b.len()
+            ),
+            None => format!("{method} {path} HTTP/1.1\r\nHost: gps-obs\r\n\r\n"),
+        };
         self.stream.write_all(request.as_bytes())?;
         let head = self.read_until_blank_line()?;
         let status: u16 = head
@@ -1138,6 +1375,108 @@ impl HttpClient {
             }
             self.carry.extend_from_slice(&chunk[..n]);
         }
+    }
+}
+
+/// [`HttpClient`] wrapped in the deterministic retry policy of
+/// [`ClientConfig`]: reconnects on any transport error (bounded retries,
+/// linear attempt-count backoff, no jitter) and transparently rolls the
+/// connection before it hits the server's [`MAX_REQUESTS_PER_CONN`]
+/// budget. Every reconnect-and-retry increments the global
+/// `client.retries` counter. A request that still fails after the last
+/// retry returns the final error.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<HttpClient>,
+    served: usize,
+}
+
+impl RetryingClient {
+    /// A lazy client for `addr` with the policy from
+    /// [`ClientConfig::from_env`]. No connection is made until the first
+    /// request.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<RetryingClient> {
+        Self::with_config(addr, ClientConfig::from_env())
+    }
+
+    /// A lazy client with an explicit policy.
+    pub fn with_config(
+        addr: impl ToSocketAddrs,
+        cfg: ClientConfig,
+    ) -> std::io::Result<RetryingClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        Ok(RetryingClient {
+            addr,
+            cfg,
+            conn: None,
+            served: 0,
+        })
+    }
+
+    /// The retry policy in force.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
+    /// GET with retries; returns `(status, body)`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request(path, None)
+    }
+
+    /// POST with retries; returns `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request(path, Some(body))
+    }
+
+    fn request(&mut self, path: &str, body: Option<&str>) -> std::io::Result<(u16, String)> {
+        let mut last_err = None;
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 {
+                crate::metrics().counter("client.retries").inc();
+                std::thread::sleep(self.cfg.backoff_step * attempt);
+            }
+            // Roll the connection before the server's per-connection
+            // budget closes it mid-request.
+            if self.served >= MAX_REQUESTS_PER_CONN - 1 {
+                self.conn = None;
+            }
+            if self.conn.is_none() {
+                match HttpClient::connect_with(self.addr, &self.cfg) {
+                    Ok(c) => {
+                        self.conn = Some(c);
+                        self.served = 0;
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("connection just established");
+            let result = match body {
+                Some(b) => conn.post(path, b),
+                None => conn.get(path),
+            };
+            match result {
+                Ok(reply) => {
+                    self.served += 1;
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    // The connection is in an unknown framing state;
+                    // retry on a fresh one.
+                    self.conn = None;
+                    self.served = 0;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("request failed")))
     }
 }
 
@@ -1632,5 +1971,147 @@ obs_span_max_ns{path=\"sim/step\"} 300
         let plain = Exporter::serve("127.0.0.1:0", Registry::new()).expect("bind");
         assert_eq!(http_get(plain.local_addr(), "/slo").unwrap().0, 404);
         plain.shutdown();
+    }
+
+    #[test]
+    fn post_routes_round_trip_with_bodies() {
+        let handler: RequestHandler = Arc::new(|req: &HttpRequest| match req.path.as_str() {
+            "/echo" if req.method == "POST" => {
+                Some(RouteResponse::text(200, format!("got:{}", req.body)))
+            }
+            "/info" if req.method == "GET" => Some(RouteResponse::text(200, "info")),
+            _ => None,
+        });
+        let exporter =
+            Exporter::serve_requests("127.0.0.1:0", Registry::new(), handler, None).expect("bind");
+        let addr = exporter.local_addr();
+
+        let mut client = HttpClient::connect(addr).unwrap();
+        // POST bodies reach the handler, keep-alive framing intact:
+        // mixed POSTs and GETs ride the same connection.
+        let (status, body) = client.post("/echo", "hello world").unwrap();
+        assert_eq!((status, body.as_str()), (200, "got:hello world"));
+        let (status, body) = client.get("/info").unwrap();
+        assert_eq!((status, body.as_str()), (200, "info"));
+        let (status, body) = client.post("/echo", "{\"x\":[1,2]}").unwrap();
+        assert_eq!((status, body.as_str()), (200, "got:{\"x\":[1,2]}"));
+        // Builtins still answer GET on the same server.
+        assert_eq!(client.get("/healthz").unwrap().0, 200);
+        // POST to an unclaimed path is 404, not 405.
+        assert_eq!(client.post("/nope", "x").unwrap().0, 404);
+        drop(client);
+
+        // Without a request handler, POST stays 405 as before.
+        let plain = Exporter::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let mut c = HttpClient::connect(plain.local_addr()).unwrap();
+        assert_eq!(c.post("/metrics", "x").unwrap().0, 405);
+        plain.shutdown();
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn oversized_post_body_gets_413() {
+        let handler: RequestHandler =
+            Arc::new(|_req: &HttpRequest| Some(RouteResponse::text(200, "ok")));
+        let exporter =
+            Exporter::serve_requests("127.0.0.1:0", Registry::new(), handler, None).expect("bind");
+        let addr = exporter.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        // Announce a body over the cap; the server must refuse before
+        // reading it.
+        let head = format!(
+            "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 413 "),
+            "expected 413, got: {}",
+            response.lines().next().unwrap_or("")
+        );
+
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn client_config_env_knobs_parse() {
+        // Uses explicit values rather than set_var: the suite is
+        // multi-threaded and env mutation races other tests.
+        let cfg = ClientConfig::default();
+        assert_eq!(cfg.timeout, Duration::from_secs(2));
+        assert_eq!(cfg.retries, 2);
+        let fast = ClientConfig {
+            timeout: Duration::from_millis(100),
+            retries: 5,
+            ..ClientConfig::default()
+        };
+        assert_eq!(fast.timeout, Duration::from_millis(100));
+        assert_eq!(fast.retries, 5);
+    }
+
+    #[test]
+    fn retrying_client_survives_connection_budget_and_counts_retries() {
+        let exporter = Exporter::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let addr = exporter.local_addr();
+        let mut client = RetryingClient::with_config(addr, ClientConfig::default()).unwrap();
+        // Cross the per-connection request budget several times over: the
+        // client reconnects proactively, so no request observes an error.
+        for _ in 0..(2 * MAX_REQUESTS_PER_CONN + 7) {
+            let (status, body) = client.get("/healthz").unwrap();
+            assert_eq!((status, body.as_str()), (200, "ok\n"));
+        }
+        exporter.shutdown();
+
+        // Against a dead peer the client fails bounded-fast and counts
+        // each retry.
+        let before = crate::metrics().counter("client.retries").get();
+        let cfg = ClientConfig {
+            timeout: Duration::from_millis(50),
+            retries: 2,
+            backoff_step: Duration::from_millis(1),
+        };
+        let mut dead = RetryingClient::with_config(addr, cfg).unwrap();
+        assert!(dead.get("/healthz").is_err());
+        assert_eq!(crate::metrics().counter("client.retries").get(), before + 2);
+    }
+
+    #[test]
+    fn shared_slo_merges_http_and_host_events() {
+        let r = Registry::new();
+        let slo = Arc::new(SloSet::new(vec![crate::slo::SloSpec::availability(
+            "shard-completion",
+            0.9,
+        )
+        .for_route("shard")]));
+        let cfg = TelemetryConfig::new("campaignd-test").with_shared_slo(Arc::clone(&slo));
+        let exporter =
+            Exporter::serve_with_telemetry("127.0.0.1:0", r.clone(), None, cfg).expect("bind");
+        let addr = exporter.local_addr();
+
+        // The host records synthetic (non-HTTP) events into the same set
+        // the exporter serves at /slo.
+        slo.record(&r, 0, "shard", 200, 0);
+        slo.record(&r, 1, "shard", 503, 0);
+        let (status, body) = http_get(addr, "/slo").unwrap();
+        assert_eq!(status, 200);
+        let doc = crate::json::parse(&body).unwrap();
+        let slos = match doc.get("slos") {
+            Some(crate::json::Json::Arr(items)) => items.clone(),
+            other => panic!("slos not an array: {other:?}"),
+        };
+        assert_eq!(slos.len(), 1);
+        assert_eq!(
+            slos[0].get("name").and_then(|v| v.as_str()),
+            Some("shard-completion")
+        );
+        // One good + one bad event reached the shared tracker.
+        assert_eq!(slos[0].get("good").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(slos[0].get("bad").and_then(|v| v.as_u64()), Some(1));
+
+        exporter.shutdown();
     }
 }

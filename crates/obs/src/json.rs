@@ -93,6 +93,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, when `self` is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// The value as `u64`, when integral and in range.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {

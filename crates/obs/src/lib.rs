@@ -64,8 +64,8 @@ pub mod span;
 pub mod trace;
 
 pub use exporter::{
-    current_request_id, http_get, to_prometheus_text, Exporter, HttpClient, RouteHandler,
-    RouteResponse, TelemetryConfig,
+    current_request_id, http_get, to_prometheus_text, ClientConfig, Exporter, HttpClient,
+    HttpRequest, RequestHandler, RetryingClient, RouteHandler, RouteResponse, TelemetryConfig,
 };
 pub use hdrhist::{HdrHandle, HdrHistogram, HdrSnapshot};
 pub use journal::{FieldValue, Journal, Level, ParsedEvent, SinkKind};

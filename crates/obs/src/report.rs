@@ -113,6 +113,37 @@ pub struct TraceTimeline {
     pub dropped: u64,
 }
 
+/// One session row of the distributed overload panel.
+#[derive(Debug, Clone)]
+pub struct OverloadSession {
+    /// Display label (`session 1`, …).
+    pub label: String,
+    /// Measured long-run throughput from the merged campaign.
+    pub throughput: f64,
+    /// GPS guaranteed rate `φᵢ/Σφ · C`.
+    pub guaranteed: f64,
+    /// True for the hostile session behind the shedding policer.
+    pub attack: bool,
+}
+
+/// The distributed overload-campaign panel: tail charts for the
+/// protected sessions against their Theorem-10 certificates, the
+/// per-session throughput-vs-guarantee table, the attack shed fractions,
+/// and the coordinator's orchestration counters.
+#[derive(Debug, Clone, Default)]
+pub struct OverloadPanel {
+    /// Scenario name (`overload`).
+    pub scenario: String,
+    /// Tail charts (protected session vs certificate, attack session).
+    pub charts: Vec<CurveChart>,
+    /// Per-session throughput summary, in session order.
+    pub sessions: Vec<OverloadSession>,
+    /// `(measured, analytic)` shed fraction of the attack session.
+    pub shed: Option<(f64, f64)>,
+    /// Coordinator orchestration counters (leases, expiries, …).
+    pub orchestration: Vec<(String, String)>,
+}
+
 /// Everything the dashboard shows.
 #[derive(Debug, Clone, Default)]
 pub struct Dashboard {
@@ -124,13 +155,17 @@ pub struct Dashboard {
     pub benches: Vec<BenchSuite>,
     /// Flight-recorder timelines, in display order.
     pub timelines: Vec<TraceTimeline>,
+    /// Distributed overload-campaign panel (`results/campaignd_overload.csv`
+    /// plus the coordinator manifest), when present.
+    pub overload: Option<OverloadPanel>,
     /// Admission-service region snapshot (`results/admission_region.json`,
     /// the `/region` body captured by `admitd --replay`), when present.
     pub admission: Option<Json>,
-    /// Service-health snapshot (`results/service_health.json`, written by
-    /// `admitd --replay --out-service`): SLO statuses, per-route request
-    /// counters, and HDR latency histograms.
-    pub service: Option<Json>,
+    /// Service-health snapshots (`results/service_health.json` from
+    /// `admitd --replay --out-service`, `results/*_service.json` from the
+    /// daemons' `--out-service`): SLO statuses, per-route request
+    /// counters, and HDR latency histograms, one entry per service.
+    pub services: Vec<Json>,
 }
 
 /// Escapes text for HTML body and attribute positions.
@@ -1014,6 +1049,53 @@ fn service_health_html(service: &Json) -> String {
     out
 }
 
+/// Renders the distributed overload panel: certificate charts, the
+/// throughput-vs-guarantee table (attack row flagged), the shed-fraction
+/// line, and the coordinator's orchestration counters.
+fn overload_html(p: &OverloadPanel) -> String {
+    let mut out = String::new();
+    if !p.charts.is_empty() {
+        out.push_str("<div class=\"charts\">");
+        for c in &p.charts {
+            let _ = write!(
+                out,
+                "<figure><figcaption>{}</figcaption>{}</figure>",
+                html_escape(&c.title),
+                svg_curve_chart(c)
+            );
+        }
+        out.push_str("</div>");
+    }
+    if !p.sessions.is_empty() {
+        out.push_str(
+            "<h4>throughput vs guarantee</h4><table><thead><tr><th>session</th>\
+             <th>role</th><th>throughput</th><th>guaranteed rate</th></tr></thead><tbody>",
+        );
+        for s in &p.sessions {
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td></tr>",
+                html_escape(&s.label),
+                if s.attack { "attack ⚠" } else { "protected" },
+                fmt_num(s.throughput),
+                fmt_num(s.guaranteed),
+            );
+        }
+        out.push_str("</tbody></table>");
+    }
+    if let Some((measured, analytic)) = p.shed {
+        let _ = write!(
+            out,
+            "<p class=\"note\">attack shed fraction: measured {} (analytic {})</p>",
+            fmt_num(measured),
+            fmt_num(analytic)
+        );
+    }
+    out.push_str(&kv_table("orchestration", &p.orchestration));
+    out
+}
+
 fn manifest_html(manifest: &Json) -> String {
     let mut pairs: Vec<(String, String)> = Vec::new();
     for key in ["campaign", "seed"] {
@@ -1089,6 +1171,18 @@ pub fn render(d: &Dashboard) -> String {
         }
     }
 
+    if let Some(p) = &d.overload {
+        let _ = write!(
+            body,
+            "<h2>Distributed overload campaign</h2><details open><summary>\
+             <h3 id=\"overload\">{} — shedding under attack, certificates held\
+             </h3></summary>",
+            html_escape(&p.scenario)
+        );
+        body.push_str(&overload_html(p));
+        body.push_str("</details>");
+    }
+
     if let Some(region) = &d.admission {
         body.push_str(
             "<h2>Admission control</h2><details open><summary>\
@@ -1098,13 +1192,22 @@ pub fn render(d: &Dashboard) -> String {
         body.push_str("</details>");
     }
 
-    if let Some(service) = &d.service {
-        body.push_str(
-            "<h2>Service health</h2><details open><summary>\
-                       <h3 id=\"service-health\">request telemetry &amp; SLOs</h3></summary>",
-        );
-        body.push_str(&service_health_html(service));
-        body.push_str("</details>");
+    if !d.services.is_empty() {
+        body.push_str("<h2>Service health</h2>");
+        for service in &d.services {
+            let name = service
+                .get("service")
+                .and_then(|v| v.as_str())
+                .unwrap_or("service");
+            let _ = write!(
+                body,
+                "<details open><summary><h3 id=\"service-{0}\">{0}: request \
+                 telemetry &amp; SLOs</h3></summary>",
+                html_escape(name)
+            );
+            body.push_str(&service_health_html(service));
+            body.push_str("</details>");
+        }
     }
 
     if !d.benches.is_empty() {
@@ -1272,9 +1375,28 @@ mod tests {
                 )
                 .unwrap(),
             ),
-            service: Some(
-                json::parse(
-                    "{\"service\":\"admitd\",\"slo\":{\"service\":\"admitd\",\"now_s\":1,\
+            overload: Some(OverloadPanel {
+                scenario: "overload".to_string(),
+                charts: vec![chart()],
+                sessions: vec![
+                    OverloadSession {
+                        label: "session 1".to_string(),
+                        throughput: 0.203,
+                        guaranteed: 0.21,
+                        attack: false,
+                    },
+                    OverloadSession {
+                        label: "session 5".to_string(),
+                        throughput: 0.047,
+                        guaranteed: 0.06,
+                        attack: true,
+                    },
+                ],
+                shed: Some((0.905, 0.9)),
+                orchestration: vec![("leases".to_string(), "7".to_string())],
+            }),
+            services: vec![json::parse(
+                "{\"service\":\"admitd\",\"slo\":{\"service\":\"admitd\",\"now_s\":1,\
                      \"slos\":[{\"name\":\"avail<1>\",\"route\":null,\"objective\":0.999,\
                      \"latency_threshold_ns\":null,\"good\":90,\"bad\":10,\
                      \"budget_remaining\":0.2,\"breaches\":1,\
@@ -1286,9 +1408,8 @@ mod tests {
                      \"latency\":[{\"route\":\"/admit\",\"count\":90,\"p50_ns\":63000,\
                      \"p90_ns\":90000,\"p99_ns\":120000,\"max_ns\":130000,\
                      \"buckets\":[[63000,45],[90000,40],[130000,5]]}]}",
-                )
-                .unwrap(),
-            ),
+            )
+            .unwrap()],
         };
         let a = render(&d);
         let b = render(&d);
@@ -1302,6 +1423,11 @@ mod tests {
         assert!(a.contains("voice&lt;1&gt;")); // class names are escaped
         assert!(a.contains("admissible region"));
         assert!(a.contains("Service health"));
+        assert!(a.contains("admitd: request telemetry"));
+        assert!(a.contains("Distributed overload campaign"));
+        assert!(a.contains("attack ⚠"));
+        assert!(a.contains("shed fraction: measured 0.905 (analytic 0.9)"));
+        assert!(a.contains("orchestration"));
         assert!(a.contains("avail&lt;1&gt;")); // SLO names are escaped
         assert!(a.contains("100 ⚠")); // fast-window breach marker
         assert!(a.contains("error budget remaining"));

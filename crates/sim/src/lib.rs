@@ -27,7 +27,12 @@
 //! * [`supervise`] — supervised campaigns: per-replication panic
 //!   isolation with deterministic retry, typed [`supervise::SimError`]
 //!   failures, quarantine accounting, and crash-safe NDJSON
-//!   checkpoint/resume that keeps results byte-identical.
+//!   checkpoint/resume that keeps results byte-identical;
+//! * [`orchestrate`] — fault-tolerant multi-process campaigns: a
+//!   coordinator leases (fingerprint, seed, replication-range) shards to
+//!   workers over the in-tree HTTP stack, workers stream checkpoint
+//!   lines back, and the merged result is byte-identical to a local
+//!   supervised run even across worker kills and coordinator restarts.
 //!
 //! Throughout: slot = the paper's discrete time unit; amounts are fluid
 //! volumes; capacities are per-slot (rate × slot).
@@ -41,6 +46,7 @@ pub mod faults;
 pub mod fluid_event;
 pub mod fluid_rates;
 pub mod network_sim;
+pub mod orchestrate;
 pub mod packet_network;
 pub mod pgps;
 pub mod runner;
@@ -52,6 +58,10 @@ pub use faults::{FaultConfig, FaultConfigError, FaultySource};
 pub use fluid_event::FluidGps;
 pub use fluid_rates::RateFluidGps;
 pub use network_sim::{NetworkSlotOutput, SlottedGpsNetwork};
+pub use orchestrate::{
+    CampaignSpec, CompleteReply, Coordinator, CoordinatorConfig, HttpTransport, KillInjection,
+    LeaseReply, LocalTransport, ShardTransport, SubmitReply, WorkerOptions, WorkerSummary,
+};
 pub use packet_network::{run_packet_network, PacketJourney, PacketNetworkError};
 pub use pgps::{FifoServer, Packet, PgpsServer, PriorityServer};
 pub use runner::{
@@ -62,5 +72,6 @@ pub use runner::{
 pub use slotted::{SlotOutput, SlottedGps};
 pub use supervise::{
     resume_network_campaign, resume_single_node_campaign, run_supervised_network_campaign,
-    run_supervised_single_node_campaign, CampaignOutcome, PanicInjection, SimError, Supervisor,
+    run_supervised_single_node_campaign, CampaignOutcome, CheckpointFile, PanicInjection, SimError,
+    Supervisor,
 };

@@ -186,9 +186,17 @@ impl PanicInjection {
     }
 }
 
+/// Callback invoked after each freshly computed replication completes
+/// (checkpoint payload in hand, before the replication is counted done).
+/// Workers in [`crate::orchestrate`] use this to stream results to the
+/// coordinator; an `Err` fails the replication with
+/// [`SimError::Checkpoint`] (never retried — transport retries belong in
+/// the hook).
+pub type OnComplete = std::sync::Arc<dyn Fn(u64, &Json) -> Result<(), String> + Send + Sync>;
+
 /// How a supervised campaign should run: retry budget, optional
 /// checkpoint file, resume mode, and optional fault injection.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Supervisor {
     /// Retry policy for panicking replications (default: one retry).
     pub retry: RetryPolicy,
@@ -201,6 +209,21 @@ pub struct Supervisor {
     /// Deterministic panic injection (tests pass this directly;
     /// binaries use [`PanicInjection::from_env`]).
     pub inject: Option<PanicInjection>,
+    /// Streaming hook for freshly computed replications (not fired for
+    /// checkpoint restores). See [`OnComplete`].
+    pub on_complete: Option<OnComplete>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("retry", &self.retry)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume)
+            .field("inject", &self.inject)
+            .field("on_complete", &self.on_complete.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Supervisor {
@@ -224,6 +247,12 @@ impl Supervisor {
     /// Sets the injection knob.
     pub fn with_inject(mut self, inject: Option<PanicInjection>) -> Self {
         self.inject = inject;
+        self
+    }
+
+    /// Sets the per-replication streaming hook.
+    pub fn with_on_complete(mut self, hook: OnComplete) -> Self {
+        self.on_complete = Some(hook);
         self
     }
 }
@@ -474,21 +503,75 @@ pub fn network_report_from_json(cfg: &NetworkRunConfig, j: &Json) -> Option<Netw
 // ---------------------------------------------------------------------
 // Checkpoint file
 
+/// Renders one checkpoint line (no trailing newline) in the v1 format
+/// described in the module docs. The same encoding is used by local
+/// checkpoints, worker result streams, and the coordinator journal, so
+/// a line written anywhere restores everywhere.
+pub fn checkpoint_line(
+    kind: &str,
+    fingerprint: u64,
+    seed: u64,
+    replication: u64,
+    report: &Json,
+) -> String {
+    Json::Obj(vec![
+        ("v".to_string(), Json::U64(1)),
+        ("kind".to_string(), Json::Str(kind.to_string())),
+        (
+            "config".to_string(),
+            Json::Str(format!("{fingerprint:016x}")),
+        ),
+        ("seed".to_string(), Json::U64(seed)),
+        ("replication".to_string(), Json::U64(replication)),
+        ("report".to_string(), report.clone()),
+    ])
+    .to_compact()
+}
+
+/// Parses one checkpoint line, returning `(replication, payload)` when
+/// the line is well-formed and belongs to the campaign identified by
+/// `(kind, fingerprint, seed)`. Inverse of [`checkpoint_line`].
+pub fn decode_checkpoint_line(
+    line: &str,
+    kind: &str,
+    fingerprint: u64,
+    seed: u64,
+) -> Option<(u64, Json)> {
+    let v = json::parse(line).ok()?;
+    if v.get("v")?.as_u64()? != 1
+        || v.get("kind")?.as_str()? != kind
+        || v.get("config")?.as_str()? != format!("{fingerprint:016x}")
+        || v.get("seed")?.as_u64()? != seed
+    {
+        return None;
+    }
+    let r = v.get("replication")?.as_u64()?;
+    let report = v.get("report")?.clone();
+    Some((r, report))
+}
+
 /// Open NDJSON checkpoint: appends are single `write_all`s of complete
 /// lines under one mutex, so a crash can only truncate the final line.
-struct Checkpoint {
+/// [`rewrite_durable`](Self::rewrite_durable) additionally offers
+/// write-to-temp + fsync + atomic-rename compaction for records that
+/// must survive power loss, not just process death. Used for local
+/// campaign checkpoints and as the coordinator journal in
+/// [`crate::orchestrate`].
+#[derive(Debug)]
+pub struct CheckpointFile {
+    path: PathBuf,
     file: Mutex<std::fs::File>,
-    kind: &'static str,
+    kind: String,
     fingerprint: u64,
     seed: u64,
 }
 
-impl Checkpoint {
+impl CheckpointFile {
     /// Opens (resume) or recreates (fresh) the checkpoint at `path` and
     /// loads the restorable replication payloads.
-    fn open(
+    pub fn open(
         path: &Path,
-        kind: &'static str,
+        kind: &str,
         fingerprint: u64,
         seed: u64,
         resume: bool,
@@ -549,8 +632,9 @@ impl Checkpoint {
         }
         Ok((
             Self {
+                path: path.to_path_buf(),
                 file: Mutex::new(file),
-                kind,
+                kind: kind.to_string(),
                 fingerprint,
                 seed,
             },
@@ -561,35 +645,20 @@ impl Checkpoint {
     /// Parses one checkpoint line, returning the replication payload when
     /// the line is well-formed and belongs to this campaign.
     fn decode_line(line: &str, kind: &str, fingerprint: u64, seed: u64) -> Option<(u64, Json)> {
-        let v = json::parse(line).ok()?;
-        if v.get("v")?.as_u64()? != 1
-            || v.get("kind")?.as_str()? != kind
-            || v.get("config")?.as_str()? != format!("{fingerprint:016x}")
-            || v.get("seed")?.as_u64()? != seed
-        {
-            return None;
-        }
-        let r = v.get("replication")?.as_u64()?;
-        let report = v.get("report")?.clone();
-        Some((r, report))
+        decode_checkpoint_line(line, kind, fingerprint, seed)
     }
 
     /// Appends one completed replication as a full line. Append failures
     /// are reported as `warn` events, not errors — the campaign result is
     /// still correct, the file just protects less work on the next crash.
-    fn append(&self, replication: u64, report: Json) {
-        let line = Json::Obj(vec![
-            ("v".to_string(), Json::U64(1)),
-            ("kind".to_string(), Json::Str(self.kind.to_string())),
-            (
-                "config".to_string(),
-                Json::Str(format!("{:016x}", self.fingerprint)),
-            ),
-            ("seed".to_string(), Json::U64(self.seed)),
-            ("replication".to_string(), Json::U64(replication)),
-            ("report".to_string(), report),
-        ]);
-        let mut text = line.to_compact();
+    pub fn append(&self, replication: u64, report: Json) {
+        let mut text = checkpoint_line(
+            &self.kind,
+            self.fingerprint,
+            self.seed,
+            replication,
+            &report,
+        );
         text.push('\n');
         gps_obs::trace::instant(
             gps_obs::TraceKind::CheckpointWrite,
@@ -608,6 +677,74 @@ impl Checkpoint {
             );
         }
     }
+
+    /// Flushes appended lines to stable storage (`fsync`). Failures are
+    /// warn-only, like [`append`](Self::append).
+    pub fn sync(&self) {
+        let file = self.file.lock().expect("checkpoint mutex poisoned");
+        if let Err(e) = file.sync_data() {
+            gps_obs::warn(
+                "sim.supervise",
+                "checkpoint_sync_failed",
+                &[("error", e.to_string().as_str().into())],
+            );
+        }
+    }
+
+    /// Durably replaces the file's contents with `entries` (ascending
+    /// replication order): write to a sibling temp file, `fsync` it,
+    /// atomically rename over the checkpoint, and `fsync` the directory,
+    /// so a power cut leaves either the old complete file or the new
+    /// complete file — never a torn mix. Also compacts duplicate lines
+    /// accumulated by at-least-once delivery. The append handle is
+    /// reopened on the new file, so later [`append`](Self::append)s land
+    /// after the rewritten records.
+    pub fn rewrite_durable(
+        &self,
+        entries: &std::collections::BTreeMap<u64, Json>,
+    ) -> Result<(), SimError> {
+        let io_err = |what: &str, e: std::io::Error| {
+            SimError::Checkpoint(format!("{what} {}: {e}", self.path.display()))
+        };
+        let mut text = String::new();
+        for (r, report) in entries {
+            text.push_str(&checkpoint_line(
+                &self.kind,
+                self.fingerprint,
+                self.seed,
+                *r,
+                report,
+            ));
+            text.push('\n');
+        }
+        let mut tmp_name = self.path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        // Hold the append lock across the swap so no line lands in the
+        // doomed pre-rename inode.
+        let mut file = self.file.lock().expect("checkpoint mutex poisoned");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp for", e))?;
+            f.write_all(text.as_bytes())
+                .map_err(|e| io_err("write temp for", e))?;
+            f.sync_all().map_err(|e| io_err("fsync temp for", e))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err("rename into", e))?;
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                // Make the rename itself durable.
+                std::fs::File::open(dir)
+                    .and_then(|d| d.sync_all())
+                    .map_err(|e| io_err("fsync dir of", e))?;
+            }
+        }
+        *file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&self.path)
+            .map_err(|e| io_err("reopen", e))?;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -616,11 +753,14 @@ impl Checkpoint {
 /// Quarantine/fold bookkeeping shared by both campaign kinds. Restores
 /// are journal-only (no counters) so a resumed run's metrics snapshot is
 /// byte-identical to a straight-through run's; quarantines *do* move
-/// counters — they only occur under real or injected faults.
+/// counters — they only occur under real or injected faults. `start`
+/// offsets task indices into absolute replication indices for
+/// range-sharded campaigns.
 fn account_outcomes<R>(
     campaign: &str,
     tasks: &[TaskReport<R, SimError>],
     restored: u64,
+    start: u64,
 ) -> Vec<u64> {
     if restored > 0 {
         gps_obs::info(
@@ -630,11 +770,12 @@ fn account_outcomes<R>(
         );
     }
     let mut quarantined = Vec::new();
-    for (r, t) in tasks.iter().enumerate() {
+    for (i, t) in tasks.iter().enumerate() {
+        let r = start + i as u64;
         match &t.outcome {
             TaskOutcome::Ok(_) => {}
             TaskOutcome::Panicked(message) => {
-                quarantined.push(r as u64);
+                quarantined.push(r);
                 gps_obs::global_progress().add_quarantined(1);
                 let m = gps_obs::metrics();
                 m.counter("sim.campaign.quarantined").inc();
@@ -649,7 +790,7 @@ fn account_outcomes<R>(
                     "replication_quarantined",
                     &[
                         ("campaign", campaign.into()),
-                        ("replication", (r as u64).into()),
+                        ("replication", r.into()),
                         ("attempts", u64::from(t.attempts).into()),
                         ("message", message.as_str().into()),
                     ],
@@ -663,7 +804,7 @@ fn account_outcomes<R>(
                     "replication_failed",
                     &[
                         ("campaign", campaign.into()),
-                        ("replication", (r as u64).into()),
+                        ("replication", r.into()),
                         ("error", e.to_string().as_str().into()),
                     ],
                 );
@@ -764,11 +905,42 @@ pub fn run_supervised_single_node_campaign_chunked_threads<F>(
 where
     F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
 {
+    run_supervised_single_node_campaign_range_chunked_threads(
+        threads,
+        chunk,
+        base,
+        0..replications,
+        make_sources,
+        supervisor,
+        monitor,
+    )
+}
+
+/// [`run_supervised_single_node_campaign_chunked_threads`] over an
+/// arbitrary replication range — the shard engine behind
+/// [`crate::orchestrate`] workers. Replication `r` still uses master
+/// seed `base.seed + r` regardless of where the range starts, so
+/// sharded runs compose into exactly the reports a full local run
+/// produces.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_single_node_campaign_range_chunked_threads<F>(
+    threads: usize,
+    chunk: Option<usize>,
+    base: &SingleNodeRunConfig,
+    range: std::ops::Range<u64>,
+    make_sources: F,
+    supervisor: &Supervisor,
+    monitor: Option<&BoundMonitor>,
+) -> Result<CampaignOutcome<SingleNodeRunReport>, SimError>
+where
+    F: Fn(u64) -> Vec<Box<dyn SlotSource>> + Sync,
+{
+    let count = range.end.saturating_sub(range.start);
     gps_obs::info(
         "sim.supervise",
         "single_node_campaign",
         &[
-            ("replications", replications.into()),
+            ("replications", count.into()),
             ("threads", (threads as u64).into()),
             ("base_seed", base.seed.into()),
             ("resume", supervisor.resume.into()),
@@ -779,12 +951,12 @@ where
         ],
     );
     let _span = gps_obs::span("sim/supervised_single_node_campaign");
-    gps_obs::global_progress().begin_campaign("supervised_single_node", replications);
+    gps_obs::global_progress().begin_campaign("supervised_single_node", count);
     let opened = match &supervisor.checkpoint {
         Some(path) => {
             let fp = fingerprint_single_node(base);
             let (ckpt, map) =
-                Checkpoint::open(path, "single_node", fp, base.seed, supervisor.resume)?;
+                CheckpointFile::open(path, "single_node", fp, base.seed, supervisor.resume)?;
             (Some(ckpt), map)
         }
         None => (None, HashMap::new()),
@@ -792,14 +964,14 @@ where
     let (ckpt, restored_map) = opened;
     let restored = restored_map
         .keys()
-        .filter(|&&r| r < replications)
+        .filter(|&&r| range.contains(&r))
         .filter(|&r| {
             // Only count payloads that actually decode; broken ones are
             // recomputed below.
             single_node_report_from_json(base, &restored_map[r]).is_some()
         })
         .count() as u64;
-    let reps: Vec<u64> = (0..replications).collect();
+    let reps: Vec<u64> = range.clone().collect();
     let tasks = gps_par::par_try_map_indexed_retry_chunked_threads(
         threads,
         chunk,
@@ -828,20 +1000,33 @@ where
             let mut sources = make_sources(r);
             let report = run_single_node_core(&mut sources, &cfg);
             validate_single_node_report(r, &report)?;
-            if let Some(c) = &ckpt {
-                c.append(r, single_node_report_to_json(&report));
+            let payload = if ckpt.is_some() || supervisor.on_complete.is_some() {
+                Some(single_node_report_to_json(&report))
+            } else {
+                None
+            };
+            if let (Some(c), Some(p)) = (&ckpt, &payload) {
+                c.append(r, p.clone());
+            }
+            if let (Some(hook), Some(p)) = (&supervisor.on_complete, &payload) {
+                hook(r, p).map_err(SimError::Checkpoint)?;
             }
             gps_obs::global_progress().add_done(1);
             Ok(report)
         },
     );
+    if let Some(c) = &ckpt {
+        // Completed work reaches the platter before the campaign is
+        // reported done.
+        c.sync();
+    }
     drop(ckpt);
     for t in &tasks {
         if let TaskOutcome::Ok(report) = &t.outcome {
             record_single_node_metrics(gps_obs::metrics(), report);
         }
     }
-    let quarantined = account_outcomes("single_node", &tasks, restored);
+    let quarantined = account_outcomes("single_node", &tasks, restored, range.start);
     if let Some(mon) = monitor {
         let mut merged: Option<SingleNodeRunReport> = None;
         let mut fold = 0u64;
@@ -966,7 +1151,8 @@ where
     let opened = match &supervisor.checkpoint {
         Some(path) => {
             let fp = fingerprint_network(base);
-            let (ckpt, map) = Checkpoint::open(path, "network", fp, base.seed, supervisor.resume)?;
+            let (ckpt, map) =
+                CheckpointFile::open(path, "network", fp, base.seed, supervisor.resume)?;
             (Some(ckpt), map)
         }
         None => (None, HashMap::new()),
@@ -1005,20 +1191,31 @@ where
             cfg.seed = base.seed.wrapping_add(r);
             let mut sources = make_sources(r);
             let report = run_network_core(&mut sources, &cfg);
-            if let Some(c) = &ckpt {
-                c.append(r, network_report_to_json(&report));
+            let payload = if ckpt.is_some() || supervisor.on_complete.is_some() {
+                Some(network_report_to_json(&report))
+            } else {
+                None
+            };
+            if let (Some(c), Some(p)) = (&ckpt, &payload) {
+                c.append(r, p.clone());
+            }
+            if let (Some(hook), Some(p)) = (&supervisor.on_complete, &payload) {
+                hook(r, p).map_err(SimError::Checkpoint)?;
             }
             gps_obs::global_progress().add_done(1);
             Ok(report)
         },
     );
+    if let Some(c) = &ckpt {
+        c.sync();
+    }
     drop(ckpt);
     for t in &tasks {
         if let TaskOutcome::Ok(report) = &t.outcome {
             record_network_metrics(gps_obs::metrics(), report);
         }
     }
-    let quarantined = account_outcomes("network", &tasks, restored);
+    let quarantined = account_outcomes("network", &tasks, restored, 0);
     if let Some(mon) = monitor {
         let mut merged: Option<NetworkRunReport> = None;
         let mut fold = 0u64;
@@ -1404,6 +1601,67 @@ mod tests {
             what: "throughput",
         };
         assert!(e.to_string().contains("throughput"));
+    }
+
+    #[test]
+    fn durable_rewrite_is_atomic_ordered_and_appendable() {
+        let path = std::path::PathBuf::from(format!(
+            "results/_test_durable_rewrite_{}.ndjson",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let (ckpt, restored) =
+            CheckpointFile::open(&path, "single_node", 0xabcd, 7, false).expect("open checkpoint");
+        assert!(restored.is_empty());
+        // Simulate at-least-once delivery: appends arrive out of order
+        // and with a duplicate.
+        ckpt.append(2, Json::U64(22));
+        ckpt.append(0, Json::U64(10));
+        ckpt.append(2, Json::U64(22));
+        ckpt.append(1, Json::U64(11));
+        let entries: std::collections::BTreeMap<u64, Json> =
+            [(0, Json::U64(10)), (1, Json::U64(11)), (2, Json::U64(22))]
+                .into_iter()
+                .collect();
+        ckpt.rewrite_durable(&entries).expect("durable rewrite");
+        // The rewrite compacted duplicates into ascending order...
+        let content = std::fs::read_to_string(&path).unwrap();
+        let reps: Vec<u64> = content
+            .lines()
+            .map(|l| {
+                decode_checkpoint_line(l, "single_node", 0xabcd, 7)
+                    .expect("line decodes")
+                    .0
+            })
+            .collect();
+        assert_eq!(reps, vec![0, 1, 2]);
+        // ...left no temp file behind...
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(!std::path::Path::new(&tmp_name).exists());
+        // ...and appends keep landing on the renamed file, not the old
+        // inode.
+        ckpt.append(3, Json::U64(33));
+        ckpt.sync();
+        drop(ckpt);
+        let (_ckpt2, restored) =
+            CheckpointFile::open(&path, "single_node", 0xabcd, 7, true).expect("reopen checkpoint");
+        assert_eq!(restored.len(), 4);
+        assert_eq!(restored[&3], Json::U64(33));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_line_round_trips_and_rejects_mismatches() {
+        let payload = Json::Obj(vec![("x".to_string(), Json::U64(5))]);
+        let line = checkpoint_line("single_node", 0x1234, 99, 41, &payload);
+        let (r, back) = decode_checkpoint_line(&line, "single_node", 0x1234, 99).unwrap();
+        assert_eq!((r, back), (41, payload));
+        // Any identity mismatch makes the line invisible.
+        assert!(decode_checkpoint_line(&line, "network", 0x1234, 99).is_none());
+        assert!(decode_checkpoint_line(&line, "single_node", 0x9999, 99).is_none());
+        assert!(decode_checkpoint_line(&line, "single_node", 0x1234, 98).is_none());
+        assert!(decode_checkpoint_line("not json", "single_node", 0x1234, 99).is_none());
     }
 
     #[test]

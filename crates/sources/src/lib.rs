@@ -34,6 +34,7 @@ pub mod lnt94;
 pub mod markov;
 pub mod onoff;
 pub mod poisson;
+pub mod shed;
 pub mod spectral;
 pub mod token_bucket;
 pub mod trace;
@@ -46,6 +47,7 @@ pub use lnt94::{Lnt94Characterization, PrefactorKind};
 pub use markov::MarkovSource;
 pub use onoff::OnOffSource;
 pub use poisson::PoissonSource;
+pub use shed::TokenShedSource;
 pub use token_bucket::{LeakyBucket, MarkedTrafficMeter};
 pub use trace::ArrivalTrace;
 pub use video::video_source;

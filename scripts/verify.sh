@@ -135,6 +135,68 @@ if [ "$hash_a" != "$hash_b" ]; then
     exit 1
 fi
 
+# Distributed orchestration: the same overload campaign run three ways —
+# in-process (campaignd --local), distributed across two worker
+# processes over the real HTTP transport, and distributed with one
+# worker kill -9'd mid-shard and replaced — must write byte-identical
+# CSV and metrics artifacts. The kill run must actually stall at the
+# injection point and the rescuer must report a lease takeover.
+echo "==> distributed campaign drill (HTTP workers + kill -9 recovery)"
+dist="$(mktemp -d)"
+trap 'rm -rf "$adm" "$tr_a" "$tr_b" "$sup_a" "$sup_b" "$dist"' EXIT
+mkdir -p "$dist/ref" "$dist/net" "$dist/kill"
+camp_env=(GPS_CAMPAIGN_WARMUP=200 GPS_CAMPAIGN_MEASURE=2000)
+
+env "${camp_env[@]}" GPS_RESULTS_DIR="$dist/ref" \
+    ./target/release/campaignd --local 2 --scenario overload --quiet > /dev/null
+
+env "${camp_env[@]}" GPS_RESULTS_DIR="$dist/net" \
+    ./target/release/campaignd --scenario overload --listen 127.0.0.1:0 \
+    --addr-file "$dist/net/addr" --quiet > /dev/null &
+cpid=$!
+for _ in $(seq 100); do [ -s "$dist/net/addr" ] && break; sleep 0.1; done
+env "${camp_env[@]}" GPS_RESULTS_DIR="$dist/net" \
+    ./target/release/campaign-worker --addr-file "$dist/net/addr" \
+    --worker-id net-a --quiet > /dev/null &
+wa=$!
+env "${camp_env[@]}" GPS_RESULTS_DIR="$dist/net" \
+    ./target/release/campaign-worker --addr-file "$dist/net/addr" \
+    --worker-id net-b --quiet > /dev/null &
+wb=$!
+wait "$cpid" "$wa" "$wb"
+
+env "${camp_env[@]}" GPS_RESULTS_DIR="$dist/kill" \
+    ./target/release/campaignd --scenario overload --listen 127.0.0.1:0 \
+    --addr-file "$dist/kill/addr" --lease-patience 20 --quiet > /dev/null &
+cpid=$!
+for _ in $(seq 100); do [ -s "$dist/kill/addr" ] && break; sleep 0.1; done
+env "${camp_env[@]}" GPS_RESULTS_DIR="$dist/kill" GPS_FAULT_WORKER_KILL=0:stall \
+    ./target/release/campaign-worker --addr-file "$dist/kill/addr" \
+    --worker-id victim --threads 1 --quiet > "$dist/kill/victim.log" 2>&1 &
+vpid=$!
+for _ in $(seq 200); do
+    grep -q 'gps-worker-stall' "$dist/kill/victim.log" && break
+    sleep 0.1
+done
+if ! grep -q 'gps-worker-stall' "$dist/kill/victim.log"; then
+    echo "verify.sh: victim worker never reached the stall point" >&2
+    exit 1
+fi
+kill -9 "$vpid"
+env "${camp_env[@]}" GPS_RESULTS_DIR="$dist/kill" \
+    ./target/release/campaign-worker --addr-file "$dist/kill/addr" \
+    --worker-id rescuer --quiet > "$dist/kill/rescuer.log"
+wait "$cpid"
+if ! grep -Eq '\([1-9][0-9]* takeovers\)' "$dist/kill/rescuer.log"; then
+    echo "verify.sh: rescuer reported no lease takeover after kill -9" >&2
+    exit 1
+fi
+
+for run in net kill; do
+    cmp "$dist/ref/campaignd_overload.csv" "$dist/$run/campaignd_overload.csv"
+    cmp "$dist/ref/campaignd_overload_metrics.json" "$dist/$run/campaignd_overload_metrics.json"
+done
+
 # Bench-history ledger: every pinned bench snapshot must have at least
 # one dated line in results/bench_history.ndjson recording when its
 # numbers were produced (the harness appends one on every finish()).
@@ -152,7 +214,7 @@ done
 # byte-identical (the report is a pure function of the files on disk).
 echo "==> report (dashboard smoke + determinism)"
 tmp_results="$(mktemp -d)"
-trap 'rm -rf "$adm" "$tmp_results" "$tr_a" "$tr_b" "$sup_a" "$sup_b"' EXIT
+trap 'rm -rf "$adm" "$tmp_results" "$tr_a" "$tr_b" "$sup_a" "$sup_b" "$dist"' EXIT
 cp -r results/. "$tmp_results"/
 GPS_RESULTS_DIR="$tmp_results" ./target/release/report
 hash1="$(sha256sum "$tmp_results/dashboard.html" | cut -d' ' -f1)"
